@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the BLAS substrate: gemm kernel
+// throughput across sizes, packing cost, linear-combination (matrix addition)
+// bandwidth by arity, and transpose. These quantify the two effects the paper
+// identifies as limiting APA speedup: gemm efficiency loss at small dims and
+// the memory-bound additions.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/combine.h"
+#include "blas/gemm.h"
+#include "blas/transpose.h"
+#include "support/matrix.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace apa;
+
+void BM_GemmSquare(benchmark::State& state) {
+  const index_t dim = state.range(0);
+  Rng rng(1);
+  Matrix<float> a(dim, dim), b(dim, dim), c(dim, dim);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  for (auto _ : state) {
+    blas::gemm<float>(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(dim) * dim * dim * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_GemmSkinny(benchmark::State& state) {
+  // The shape of the sub-multiplications a <4,4,2> rule produces at dim 1024.
+  const index_t m = 256, k = 256, n = 512;
+  Rng rng(2);
+  Matrix<float> a(m, k), b(k, n), c(m, n);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  for (auto _ : state) {
+    blas::gemm<float>(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmSkinny);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const index_t dim = state.range(0);
+  Rng rng(3);
+  Matrix<float> a(dim, dim), b(dim, dim), c(dim, dim);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  for (auto _ : state) {
+    blas::gemm<float>(blas::Trans::kYes, blas::Trans::kNo, dim, dim, dim, 1.0f, a.data(),
+                      dim, b.data(), dim, 0.0f, c.data(), dim);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransposed)->Arg(256)->Arg(512);
+
+void BM_LinearCombination(benchmark::State& state) {
+  // Bandwidth of the write-once fused additions by arity — the overhead term
+  // of every APA step.
+  const index_t dim = 512;
+  const auto arity = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<Matrix<float>> inputs;
+  std::vector<blas::Scaled<float>> terms;
+  for (std::size_t i = 0; i < arity; ++i) {
+    inputs.emplace_back(dim, dim);
+    fill_random_uniform<float>(inputs.back().view(), rng);
+  }
+  for (std::size_t i = 0; i < arity; ++i) terms.push_back({1.5f, inputs[i].view()});
+  Matrix<float> y(dim, dim);
+  for (auto _ : state) {
+    blas::linear_combination<float>(terms, y.view());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>((arity + 1) * dim * dim * 4));
+}
+BENCHMARK(BM_LinearCombination)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Transpose(benchmark::State& state) {
+  const index_t dim = state.range(0);
+  Rng rng(5);
+  Matrix<float> a(dim, dim), t(dim, dim);
+  fill_random_uniform<float>(a.view(), rng);
+  for (auto _ : state) {
+    blas::transpose<float>(a.view(), t.view());
+    benchmark::DoNotOptimize(t.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * dim * dim * 4));
+}
+BENCHMARK(BM_Transpose)->Arg(512)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Microbenchmarks (google-benchmark) for the core framework itself: symbolic
+// validation cost, rule evaluation, designer search, and per-call executor
+// overhead relative to a bare gemm — the "interpretation tax" the code
+// generator exists to shave.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "blas/gemm.h"
+#include "core/designer.h"
+#include "core/executor.h"
+#include "core/registry.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace apa;
+using namespace apa::core;
+
+void BM_ValidateBini(benchmark::State& state) {
+  const Rule rule = rule_by_name("bini322");
+  for (auto _ : state) {
+    const Validation v = validate(rule);
+    benchmark::DoNotOptimize(v.valid);
+  }
+}
+BENCHMARK(BM_ValidateBini);
+
+void BM_ValidateFast444(benchmark::State& state) {
+  const Rule rule = rule_by_name("fast444");
+  for (auto _ : state) {
+    const Validation v = validate(rule);
+    benchmark::DoNotOptimize(v.valid);
+  }
+}
+BENCHMARK(BM_ValidateFast444);
+
+void BM_EvaluateRule(benchmark::State& state) {
+  const Rule& rule = rule_by_name("apa555");
+  for (auto _ : state) {
+    const EvaluatedRule ev = EvaluatedRule::from(rule, std::exp2(-11.5));
+    benchmark::DoNotOptimize(ev.rank);
+  }
+}
+BENCHMARK(BM_EvaluateRule);
+
+void BM_DesignerSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    const DesignSummary summary = design_summary(5, 5, 5);
+    benchmark::DoNotOptimize(summary.rank);
+  }
+}
+BENCHMARK(BM_DesignerSearch);
+
+/// Executor one-step overhead vs plain gemm at a small size where the
+/// interpretation cost is visible.
+void BM_ExecutorVsGemm(benchmark::State& state) {
+  const bool use_executor = state.range(0) != 0;
+  const index_t dim = 192;
+  Rng rng(1);
+  Matrix<float> a(dim, dim), b(dim, dim), c(dim, dim);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  const EvaluatedRule ev = EvaluatedRule::from(rule_by_name("strassen"), 1.0);
+  for (auto _ : state) {
+    if (use_executor) {
+      multiply<float>(ev, a.view().as_const(), b.view().as_const(), c.view(), 1,
+                      Strategy::kSequential, 1);
+    } else {
+      blas::gemm<float>(a.view(), b.view(), c.view());
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_ExecutorVsGemm)->Arg(0)->Arg(1);
+
+void BM_LambdaEvaluate(benchmark::State& state) {
+  const LaurentPoly p = LaurentPoly::monomial(Rational(3, 2), -1) +
+                        LaurentPoly(1) + LaurentPoly::lambda(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.evaluate(0.001));
+  }
+}
+BENCHMARK(BM_LambdaEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Explore the algorithm catalog: list every registered rule with its
+// parameters, validate it against the Brent equations, and ask the DP
+// designer for the best construction of an arbitrary shape.
+//
+//   ./algorithm_explorer                     # list the registry
+//   ./algorithm_explorer --design=6,3,4      # design a rule for <6,3,4>
+//   ./algorithm_explorer --show=bini322      # dump one rule's combinations
+//   ./algorithm_explorer --export=bini322 --out=bini322.rule
+//   ./algorithm_explorer --import=my.rule    # validate + analyze a rule file
+//
+// The import path is how externally published coefficient tables (e.g. the
+// Smirnov algorithms this reproduction substitutes) become first-class
+// algorithms; see rules/README.md for the format.
+
+#include <cstdio>
+
+#include "core/designer.h"
+#include "core/lambda_opt.h"
+#include "core/registry.h"
+#include "core/serialize.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+
+
+int main(int argc, char** argv) {
+  using namespace apa;
+  const CliArgs args(argc, argv);
+
+  if (args.has("show")) {
+    std::printf("%s", core::describe(core::rule_by_name(args.get("show", ""))).c_str());
+    return 0;
+  }
+
+  if (args.has("export")) {
+    const std::string out_path = args.get("out", args.get("export", "") + ".rule");
+    core::write_rule_file(out_path, core::rule_by_name(args.get("export", "")));
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  }
+
+  if (args.has("import")) {
+    const core::Rule rule = core::read_rule_file(args.get("import", ""));
+    const auto params = core::analyze(rule);
+    std::printf("loaded '%s': <%ld,%ld,%ld> rank %ld, %s, sigma=%d phi=%d, "
+                "theoretical speedup %.1f%%\n",
+                rule.name.c_str(), static_cast<long>(rule.m), static_cast<long>(rule.k),
+                static_cast<long>(rule.n), static_cast<long>(rule.rank),
+                params.exact ? "exact" : "APA", params.sigma, params.phi,
+                100.0 * params.speedup);
+    return 0;
+  }
+
+  if (args.has("design")) {
+    const auto dims = args.get_int_list("design", {3, 3, 3});
+    APA_CHECK_MSG(dims.size() == 3, "--design expects m,k,n");
+    const core::Rule apa_rule = core::design(dims[0], dims[1], dims[2]);
+    const core::Rule exact_rule =
+        core::design(dims[0], dims[1], dims[2], {.allow_apa = false});
+    std::printf("best APA construction   : rank %ld  (%s)\n",
+                static_cast<long>(apa_rule.rank), apa_rule.name.c_str());
+    std::printf("best exact construction : rank %ld  (%s)\n",
+                static_cast<long>(exact_rule.rank), exact_rule.name.c_str());
+    std::printf("classical rank          : %ld\n",
+                static_cast<long>(dims[0] * dims[1] * dims[2]));
+    return 0;
+  }
+
+  TablePrinter table({"name", "dims", "rank", "type", "speedup%", "lambda*",
+                      "pred-error", "construction"});
+  for (const auto& info : core::list_algorithms()) {
+    const auto params = core::analyze(core::rule_by_name(info.name));
+    table.add_row(
+        {info.name,
+         "<" + std::to_string(info.m) + "," + std::to_string(info.k) + "," +
+             std::to_string(info.n) + ">",
+         std::to_string(info.rank), params.exact ? "exact" : "APA",
+         format_double(100 * params.speedup, 1),
+         params.exact ? "-"
+                      : format_sci(params.optimal_lambda(core::kPrecisionBitsSingle), 1),
+         format_sci(params.predicted_error(core::kPrecisionBitsSingle), 1),
+         info.construction});
+  }
+  table.print();
+  std::printf("\nTry: --show=<name> to dump a rule, --design=m,k,n to run the designer.\n");
+  return 0;
+}

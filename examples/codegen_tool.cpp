@@ -1,0 +1,37 @@
+// Emit a specialized C++ translation unit for a rule — the library's analog of
+// the Benson-Ballard code-generation workflow the paper extends.
+//
+//   ./codegen_tool --algo=bini322 [--lambda=0.000488] [--out=bini322_gen.cpp]
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/codegen.h"
+#include "core/params.h"
+#include "core/registry.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace apa;
+  const CliArgs args(argc, argv);
+  const std::string algo = args.get("algo", "bini322");
+  const core::Rule& rule = core::rule_by_name(algo);
+
+  core::CodegenOptions options;
+  const auto params = core::analyze(rule);
+  options.lambda = args.get_double(
+      "lambda", params.exact ? 1.0 : params.optimal_lambda(core::kPrecisionBitsSingle));
+
+  const std::string code = core::generate_cpp(rule, options);
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) {
+    std::cout << code;
+  } else {
+    std::ofstream out(out_path);
+    APA_CHECK_MSG(out.good(), "cannot open " << out_path);
+    out << code;
+    std::printf("wrote %zu bytes to %s\n", code.size(), out_path.c_str());
+  }
+  return 0;
+}

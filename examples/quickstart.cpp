@@ -1,0 +1,59 @@
+// Quickstart: multiply two matrices with an APA algorithm and compare time
+// and accuracy against the classical baseline.
+//
+//   ./quickstart [--algo=fast444] [--dim=1536]
+
+#include <cstdio>
+
+#include "core/fastmm.h"
+#include "support/cli.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace apa;
+  const CliArgs args(argc, argv);
+  const std::string algo = args.get("algo", "fast444");
+  const index_t dim = args.get_int("dim", 1536);
+
+  // Random single-precision inputs.
+  Rng rng(42);
+  Matrix<float> a(dim, dim), b(dim, dim), c_fast(dim, dim), c_classical(dim, dim);
+  fill_random_uniform<float>(a.view(), rng, -1.0f, 1.0f);
+  fill_random_uniform<float>(b.view(), rng, -1.0f, 1.0f);
+
+  // The classical baseline: our gemm, the same kernel APA algorithms use for
+  // their sub-multiplications.
+  const core::FastMatmul classical("classical");
+  classical.multiply(a.view().as_const(), b.view().as_const(), c_classical.view());
+  WallTimer classical_timer;
+  classical.multiply(a.view().as_const(), b.view().as_const(), c_classical.view());
+  const double classical_seconds = classical_timer.seconds();
+
+  // The chosen fast/APA algorithm. Lambda defaults to the theoretical optimum
+  // 2^(-d/(sigma+phi)) for single precision.
+  const core::FastMatmul fast(algo);
+  fast.multiply(a.view().as_const(), b.view().as_const(), c_fast.view());  // warmup
+  WallTimer fast_timer;
+  fast.multiply(a.view().as_const(), b.view().as_const(), c_fast.view());
+  const double fast_seconds = fast_timer.seconds();
+
+  const auto& p = fast.params();
+  std::printf("algorithm     : %s  <%ld,%ld,%ld> rank %ld (%s)\n", algo.c_str(),
+              static_cast<long>(p.m), static_cast<long>(p.k), static_cast<long>(p.n),
+              static_cast<long>(p.rank), p.exact ? "exact" : "APA");
+  if (!p.exact) {
+    std::printf("lambda        : %.3e (sigma=%d, phi=%d)\n", fast.lambda(), p.sigma,
+                p.phi);
+  }
+  std::printf("dim           : %ld\n", static_cast<long>(dim));
+  std::printf("classical     : %.4f s  (%.1f effective GFLOPS)\n", classical_seconds,
+              effective_gflops(dim, dim, dim, classical_seconds));
+  std::printf("%-13s : %.4f s  (%.1f effective GFLOPS)\n", algo.c_str(), fast_seconds,
+              effective_gflops(dim, dim, dim, fast_seconds));
+  std::printf("speedup       : %.1f%%\n",
+              100.0 * (classical_seconds / fast_seconds - 1.0));
+  std::printf("rel. error    : %.3e (vs classical result)\n",
+              relative_frobenius_error(c_fast.view(), c_classical.view()));
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Downloads the original MNIST IDX files into data/mnist/ so the accuracy
+# experiments (bench/fig5_mlp_accuracy, examples/mnist_mlp) use the real
+# dataset instead of the synthetic generator. Requires network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p data/mnist
+cd data/mnist
+
+# ossci-datasets mirrors the original yann.lecun.com files.
+BASE="https://ossci-datasets.s3.amazonaws.com/mnist"
+for f in train-images-idx3-ubyte train-labels-idx1-ubyte \
+         t10k-images-idx3-ubyte t10k-labels-idx1-ubyte; do
+  if [ ! -f "$f" ]; then
+    echo "fetching $f"
+    curl -fsSLO "$BASE/$f.gz"
+    gunzip -f "$f.gz"
+  fi
+done
+echo "MNIST ready in data/mnist/"

@@ -1,0 +1,35 @@
+#include "benchutil/harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apa::bench {
+
+TimingResult time_workload(const std::function<void()>& fn, const TimingOptions& options) {
+  for (int i = 0; i < options.warmup; ++i) fn();
+  std::vector<double> times;
+  double total = 0;
+  while (static_cast<int>(times.size()) < options.reps ||
+         (total < options.min_total_seconds &&
+          static_cast<int>(times.size()) < options.max_reps)) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.seconds());
+    total += times.back();
+  }
+  std::sort(times.begin(), times.end());
+  return {times[times.size() / 2], times.front(), times.back(),
+          static_cast<int>(times.size())};
+}
+
+std::vector<long> geometric_sweep(long start, long limit, double ratio) {
+  std::vector<long> out;
+  double value = static_cast<double>(start);
+  while (static_cast<long>(std::llround(value)) <= limit) {
+    out.push_back(static_cast<long>(std::llround(value)));
+    value *= ratio;
+  }
+  return out;
+}
+
+}  // namespace apa::bench

@@ -1,0 +1,38 @@
+#pragma once
+// Shared timing protocol for the figure/table reproduction binaries: warmup +
+// repeated timed runs, median-of-reps reporting, consistent with the paper's
+// methodology of reporting steady-state times.
+
+#include <functional>
+#include <vector>
+
+#include "support/timer.h"
+
+namespace apa::bench {
+
+struct TimingOptions {
+  int warmup = 1;
+  int reps = 3;           ///< minimum timed repetitions
+  int max_reps = 25;      ///< cap when min_total_seconds keeps demanding more
+  /// Keep repeating (up to max_reps) until this much measured time accumulates;
+  /// stabilizes sub-millisecond workloads against scheduler noise.
+  double min_total_seconds = 0.2;
+};
+
+struct TimingResult {
+  double median_seconds = 0;
+  /// Fastest rep — the preferred statistic on shared/noisy hosts, where any
+  /// interference only ever adds time.
+  double min_seconds = 0;
+  double max_seconds = 0;
+  int reps = 0;
+};
+
+/// Times `fn` per the protocol. `fn` must perform one full unit of work.
+[[nodiscard]] TimingResult time_workload(const std::function<void()>& fn,
+                                         const TimingOptions& options = {});
+
+/// Geometric series helper for dimension sweeps: start, start*ratio, ... <= limit.
+[[nodiscard]] std::vector<long> geometric_sweep(long start, long limit, double ratio = 2.0);
+
+}  // namespace apa::bench

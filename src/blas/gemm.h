@@ -1,0 +1,54 @@
+#pragma once
+// Dense GEMM (row-major) built from scratch: packed, cache-blocked, SIMD
+// microkernel, optional OpenMP column-stripe parallelism.
+//
+//   C = alpha * op(A) * op(B) + beta * C
+//
+// This is the substrate that stands in for MKL sgemm in the paper: it is used
+// both as the classical baseline and as the inner multiply of every APA
+// algorithm, so relative speedups are apples-to-apples.
+
+#include "support/matrix.h"
+
+namespace apa::blas {
+
+enum class Trans { kNo, kYes };
+
+/// General matrix multiply, row-major storage.
+///  m, n, k: logical dimensions (op(A) is m x k, op(B) is k x n, C is m x n).
+///  num_threads == 1 performs no OpenMP calls, so it is safe to invoke from
+///  inside an enclosing parallel region (the hybrid strategy relies on this).
+template <class T>
+void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha, const T* a,
+          index_t lda, const T* b, index_t ldb, T beta, T* c, index_t ldc,
+          int num_threads = 1);
+
+/// View-based convenience: c = alpha * a * b + beta * c (no transposes).
+template <class T>
+void gemm(MatrixView<const T> a, MatrixView<const T> b, MatrixView<T> c, T alpha = T{1},
+          T beta = T{0}, int num_threads = 1) {
+  APA_CHECK(a.cols == b.rows && a.rows == c.rows && b.cols == c.cols);
+  gemm(Trans::kNo, Trans::kNo, a.rows, b.cols, a.cols, alpha, a.data, a.ld, b.data, b.ld,
+       beta, c.data, c.ld, num_threads);
+}
+
+/// Naive triple-loop reference implementation (tests and tiny problems).
+template <class T>
+void gemm_reference(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha,
+                    const T* a, index_t lda, const T* b, index_t ldb, T beta, T* c,
+                    index_t ldc);
+
+extern template void gemm<float>(Trans, Trans, index_t, index_t, index_t, float,
+                                 const float*, index_t, const float*, index_t, float,
+                                 float*, index_t, int);
+extern template void gemm<double>(Trans, Trans, index_t, index_t, index_t, double,
+                                  const double*, index_t, const double*, index_t, double,
+                                  double*, index_t, int);
+extern template void gemm_reference<float>(Trans, Trans, index_t, index_t, index_t,
+                                           float, const float*, index_t, const float*,
+                                           index_t, float, float*, index_t);
+extern template void gemm_reference<double>(Trans, Trans, index_t, index_t, index_t,
+                                            double, const double*, index_t, const double*,
+                                            index_t, double, double*, index_t);
+
+}  // namespace apa::blas

@@ -1,0 +1,51 @@
+#pragma once
+// Panel packing for the blocked GEMM. Packs handle transposition and zero-pad
+// partial micropanels so the microkernel always sees full MR/NR tiles.
+
+#include "blas/microkernel.h"
+#include "support/matrix.h"
+
+namespace apa::blas::detail {
+
+/// Packs an mc x kc block of op(A) starting at (row0, col0) of the logical
+/// operand into micropanels of MR rows: panel p holds rows [p*MR, p*MR+MR) with
+/// layout a_packed[p][k][i] (i fastest). `trans` means the stored matrix is the
+/// transpose of the logical operand, i.e. logical (i, k) reads storage (k, i).
+template <class T>
+void pack_a(bool trans, const T* a, index_t lda, index_t row0, index_t col0, index_t mc,
+            index_t kc, T* packed) {
+  constexpr index_t mr = MicroShape<T>::kMr;
+  for (index_t p0 = 0; p0 < mc; p0 += mr) {
+    const index_t rows = std::min(mr, mc - p0);
+    for (index_t k = 0; k < kc; ++k) {
+      for (index_t i = 0; i < rows; ++i) {
+        const index_t r = row0 + p0 + i;
+        const index_t c = col0 + k;
+        *packed++ = trans ? a[c * lda + r] : a[r * lda + c];
+      }
+      for (index_t i = rows; i < mr; ++i) *packed++ = T{0};
+    }
+  }
+}
+
+/// Packs a kc x nc block of op(B) starting at (row0, col0) into micropanels of
+/// NR columns: panel q holds columns [q*NR, q*NR+NR) with layout
+/// b_packed[q][k][j] (j fastest).
+template <class T>
+void pack_b(bool trans, const T* b, index_t ldb, index_t row0, index_t col0, index_t kc,
+            index_t nc, T* packed) {
+  constexpr index_t nr = MicroShape<T>::kNr;
+  for (index_t q0 = 0; q0 < nc; q0 += nr) {
+    const index_t cols = std::min(nr, nc - q0);
+    for (index_t k = 0; k < kc; ++k) {
+      const index_t r = row0 + k;
+      for (index_t j = 0; j < cols; ++j) {
+        const index_t c = col0 + q0 + j;
+        *packed++ = trans ? b[c * ldb + r] : b[r * ldb + c];
+      }
+      for (index_t j = cols; j < nr; ++j) *packed++ = T{0};
+    }
+  }
+}
+
+}  // namespace apa::blas::detail

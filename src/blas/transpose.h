@@ -1,0 +1,25 @@
+#pragma once
+// Blocked out-of-place transpose (used by the NN backward pass to materialize
+// A^T / B^T operands for APA executors, which consume plain row-major inputs).
+
+#include "support/matrix.h"
+
+namespace apa::blas {
+
+/// dst = src^T. dst must be cols x rows.
+template <class T>
+void transpose(MatrixView<const T> src, MatrixView<T> dst) {
+  APA_CHECK(dst.rows == src.cols && dst.cols == src.rows);
+  constexpr index_t kTile = 32;
+  for (index_t i0 = 0; i0 < src.rows; i0 += kTile) {
+    const index_t i1 = std::min(i0 + kTile, src.rows);
+    for (index_t j0 = 0; j0 < src.cols; j0 += kTile) {
+      const index_t j1 = std::min(j0 + kTile, src.cols);
+      for (index_t i = i0; i < i1; ++i) {
+        for (index_t j = j0; j < j1; ++j) dst(j, i) = src(i, j);
+      }
+    }
+  }
+}
+
+}  // namespace apa::blas

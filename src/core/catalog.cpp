@@ -1,0 +1,165 @@
+#include "core/catalog.h"
+
+#include <initializer_list>
+
+namespace apa::core {
+namespace {
+
+/// One addend of a linear combination in a rule table: coeff * lambda^deg * X_rc.
+struct Term {
+  index_t r;
+  index_t c;
+  Rational coeff = 1;
+  int deg = 0;
+};
+
+/// Readable rule assembly: per product l, the A-side and B-side combinations;
+/// then per C entry, the combination of products.
+class RuleBuilder {
+ public:
+  RuleBuilder(std::string name, index_t m, index_t k, index_t n, index_t rank)
+      : rule_(std::move(name), m, k, n, rank) {}
+
+  RuleBuilder& product(std::initializer_list<Term> a_terms,
+                       std::initializer_list<Term> b_terms) {
+    for (const Term& t : a_terms) {
+      rule_.U(t.r, t.c, next_) += LaurentPoly::monomial(t.coeff, t.deg);
+    }
+    for (const Term& t : b_terms) {
+      rule_.V(t.r, t.c, next_) += LaurentPoly::monomial(t.coeff, t.deg);
+    }
+    ++next_;
+    return *this;
+  }
+
+  /// C entry (a, b) = sum of coeff * lambda^deg * M_l; here Term::r is l and
+  /// Term::c is unused (kept 0 by callers).
+  RuleBuilder& output(index_t a, index_t b, std::initializer_list<Term> m_terms) {
+    for (const Term& t : m_terms) {
+      rule_.W(a, b, t.r) += LaurentPoly::monomial(t.coeff, t.deg);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] Rule build() {
+    APA_CHECK_MSG(next_ == rule_.rank, rule_.name << ": defined " << next_
+                                                  << " products, rank is " << rule_.rank);
+    return std::move(rule_);
+  }
+
+ private:
+  Rule rule_;
+  index_t next_ = 0;
+};
+
+}  // namespace
+
+Rule classical(index_t m, index_t k, index_t n) {
+  Rule rule("classical<" + std::to_string(m) + "," + std::to_string(k) + "," +
+                std::to_string(n) + ">",
+            m, k, n, m * k * n);
+  index_t l = 0;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < k; ++j) {
+      for (index_t q = 0; q < n; ++q) {
+        rule.U(i, j, l) = LaurentPoly(1);
+        rule.V(j, q, l) = LaurentPoly(1);
+        rule.W(i, q, l) = LaurentPoly(1);
+        ++l;
+      }
+    }
+  }
+  return rule;
+}
+
+Rule strassen() {
+  // M1 = (A11+A22)(B11+B22)   C11 = M1+M4-M5+M7
+  // M2 = (A21+A22) B11        C12 = M3+M5
+  // M3 = A11 (B12-B22)        C21 = M2+M4
+  // M4 = A22 (B21-B11)        C22 = M1-M2+M3+M6
+  // M5 = (A11+A12) B22
+  // M6 = (A21-A11)(B11+B12)
+  // M7 = (A12-A22)(B21+B22)
+  return RuleBuilder("strassen", 2, 2, 2, 7)
+      .product({{0, 0}, {1, 1}}, {{0, 0}, {1, 1}})
+      .product({{1, 0}, {1, 1}}, {{0, 0}})
+      .product({{0, 0}}, {{0, 1}, {1, 1, -1}})
+      .product({{1, 1}}, {{1, 0}, {0, 0, -1}})
+      .product({{0, 0}, {0, 1}}, {{1, 1}})
+      .product({{1, 0}, {0, 0, -1}}, {{0, 0}, {0, 1}})
+      .product({{0, 1}, {1, 1, -1}}, {{1, 0}, {1, 1}})
+      .output(0, 0, {{0, 0}, {3, 0}, {4, 0, -1}, {6, 0}})
+      .output(0, 1, {{2, 0}, {4, 0}})
+      .output(1, 0, {{1, 0}, {3, 0}})
+      .output(1, 1, {{0, 0}, {1, 0, -1}, {2, 0}, {5, 0}})
+      .build();
+}
+
+Rule winograd() {
+  // Strassen-Winograd variant (15 additions when evaluated with shared
+  // intermediates). Bilinear expansion:
+  //   M1 = A11 B11                         C11 = M1 + M2
+  //   M2 = A12 B21                         C12 = M1 + M3 + M5 + M6
+  //   M3 = (A11+A12-A21-A22) B22           C21 = M1 - M4 + M6 + M7
+  //   M4 = A22 (B11-B12+B22-B21)           C22 = M1 + M5 + M6 + M7
+  //   M5 = (A21+A22)(B12-B11)
+  //   M6 = (A21+A22-A11)(B11-B12+B22)
+  //   M7 = (A11-A21)(B22-B12)
+  return RuleBuilder("winograd", 2, 2, 2, 7)
+      .product({{0, 0}}, {{0, 0}})
+      .product({{0, 1}}, {{1, 0}})
+      .product({{0, 0}, {0, 1}, {1, 0, -1}, {1, 1, -1}}, {{1, 1}})
+      .product({{1, 1}}, {{0, 0}, {0, 1, -1}, {1, 1}, {1, 0, -1}})
+      .product({{1, 0}, {1, 1}}, {{0, 1}, {0, 0, -1}})
+      .product({{1, 0}, {1, 1}, {0, 0, -1}}, {{0, 0}, {0, 1, -1}, {1, 1}})
+      .product({{0, 0}, {1, 0, -1}}, {{1, 1}, {0, 1, -1}})
+      .output(0, 0, {{0, 0}, {1, 0}})
+      .output(0, 1, {{0, 0}, {2, 0}, {4, 0}, {5, 0}})
+      .output(1, 0, {{0, 0}, {3, 0, -1}, {5, 0}, {6, 0}})
+      .output(1, 1, {{0, 0}, {4, 0}, {5, 0}, {6, 0}})
+      .build();
+}
+
+Rule bini322() {
+  // Paper section 2.2 (Bini et al. 1979). Lambda degrees are encoded in the
+  // `deg` field; the output combinations carry the lambda^{-1} factors.
+  // M10's B-side is the corrected (B11 + lambda*B21); see DESIGN.md.
+  const int L = 1;    // lambda^1
+  const int Li = -1;  // lambda^-1
+  return RuleBuilder("bini322", 3, 2, 2, 10)
+      //  M1 = (A11 + A22)(lambda*B11 + B22)
+      .product({{0, 0}, {1, 1}}, {{0, 0, 1, L}, {1, 1}})
+      //  M2 = A22 (-B21 - B22)
+      .product({{1, 1}}, {{1, 0, -1}, {1, 1, -1}})
+      //  M3 = A11 B22
+      .product({{0, 0}}, {{1, 1}})
+      //  M4 = (lambda*A12 + A22)(-lambda*B11 + B21)
+      .product({{0, 1, 1, L}, {1, 1}}, {{0, 0, -1, L}, {1, 0}})
+      //  M5 = (A11 + lambda*A12)(lambda*B12 + B22)
+      .product({{0, 0}, {0, 1, 1, L}}, {{0, 1, 1, L}, {1, 1}})
+      //  M6 = (A21 + A32)(B11 + lambda*B22)
+      .product({{1, 0}, {2, 1}}, {{0, 0}, {1, 1, 1, L}})
+      //  M7 = A21 (-B11 - B12)
+      .product({{1, 0}}, {{0, 0, -1}, {0, 1, -1}})
+      //  M8 = A32 B11
+      .product({{2, 1}}, {{0, 0}})
+      //  M9 = (A21 + lambda*A31)(B12 - lambda*B22)
+      .product({{1, 0}, {2, 0, 1, L}}, {{0, 1}, {1, 1, -1, L}})
+      //  M10 = (lambda*A31 + A32)(B11 + lambda*B21)
+      .product({{2, 0, 1, L}, {2, 1}}, {{0, 0}, {1, 0, 1, L}})
+      //  C11 = lambda^-1 (M1 + M2 - M3 + M4)
+      .output(0, 0, {{0, 0, 1, Li}, {1, 0, 1, Li}, {2, 0, -1, Li}, {3, 0, 1, Li}})
+      //  C12 = lambda^-1 (-M3 + M5)
+      .output(0, 1, {{2, 0, -1, Li}, {4, 0, 1, Li}})
+      //  C21 = M4 + M6 - M10
+      .output(1, 0, {{3, 0}, {5, 0}, {9, 0, -1}})
+      //  C22 = M1 - M5 + M9
+      .output(1, 1, {{0, 0}, {4, 0, -1}, {8, 0}})
+      //  C31 = lambda^-1 (-M8 + M10)
+      .output(2, 0, {{7, 0, -1, Li}, {9, 0, 1, Li}})
+      //  C32 = lambda^-1 (M6 + M7 - M8 + M9)
+      .output(2, 1, {{5, 0, 1, Li}, {6, 0, 1, Li}, {7, 0, -1, Li}, {8, 0, 1, Li}})
+      .build();
+}
+
+}  // namespace apa::core

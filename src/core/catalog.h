@@ -1,0 +1,24 @@
+#pragma once
+// Base rules entered from the literature. Every rule here is validated
+// symbolically in the test suite (Brent equations over exact rationals).
+
+#include "core/rule.h"
+
+namespace apa::core {
+
+/// Classical algorithm for arbitrary dimensions: rank m*k*n, exact.
+[[nodiscard]] Rule classical(index_t m, index_t k, index_t n);
+
+/// Strassen's <2,2,2; 7> exact algorithm (Strassen 1969).
+[[nodiscard]] Rule strassen();
+
+/// Strassen-Winograd <2,2,2; 7> variant with 15 additions (fewest known for
+/// rank 7); used to quantify the addition-overhead sensitivity.
+[[nodiscard]] Rule winograd();
+
+/// Bini-Capovani-Romani-Lotti <3,2,2; 10> APA algorithm (1979), sigma = 1,
+/// phi = 1, exactly as printed in the paper's section 2.2 with the
+/// transcription error in M10 corrected (see DESIGN.md).
+[[nodiscard]] Rule bini322();
+
+}  // namespace apa::core

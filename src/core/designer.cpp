@@ -1,0 +1,112 @@
+#include "core/designer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "core/catalog.h"
+#include "core/transforms.h"
+#include "support/check.h"
+
+namespace apa::core {
+namespace {
+
+using Dims = std::tuple<index_t, index_t, index_t>;
+
+index_t rule_cost_nnz(const Rule& r) { return r.nnz_inputs() + r.nnz_outputs(); }
+
+/// Lexicographic (rank, nnz) comparison; true if `candidate` beats `incumbent`.
+bool better(const Rule& candidate, const std::optional<Rule>& incumbent) {
+  if (!incumbent) return true;
+  if (candidate.rank != incumbent->rank) return candidate.rank < incumbent->rank;
+  return rule_cost_nnz(candidate) < rule_cost_nnz(*incumbent);
+}
+
+class Designer {
+ public:
+  explicit Designer(const DesignOptions& options) : options_(options) {
+    // Base rules in all distinct dimension orderings.
+    for (int perm = 0; perm < 6; ++perm) bases_.push_back(permute_rule(strassen(), perm));
+    if (options_.allow_apa) {
+      for (int perm = 0; perm < 6; ++perm) bases_.push_back(permute_rule(bini322(), perm));
+    }
+  }
+
+  /// Best rule for the exact dimension order (m, k, n).
+  Rule best(index_t m, index_t k, index_t n) {
+    APA_CHECK_MSG(m >= 1 && k >= 1 && n >= 1, "dims must be positive");
+    APA_CHECK_MSG(m * k * n <= options_.max_volume,
+                  "design volume " << m * k * n << " exceeds limit "
+                                   << options_.max_volume);
+    // Canonicalize to sorted-descending dims; realize via a symmetry at the end.
+    index_t d[3] = {m, k, n};
+    std::sort(d, d + 3, std::greater<>());
+    const Rule& canonical = best_canonical(d[0], d[1], d[2]);
+    for (int perm = 0; perm < 6; ++perm) {
+      Rule candidate = permute_rule(canonical, perm);
+      if (candidate.m == m && candidate.k == k && candidate.n == n) return candidate;
+    }
+    APA_CHECK_MSG(false, "no permutation realizes requested dimension order");
+    return canonical;  // unreachable
+  }
+
+ private:
+  const Rule& best_canonical(index_t m, index_t k, index_t n) {
+    const Dims key{m, k, n};
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    std::optional<Rule> incumbent = classical(m, k, n);
+
+    // Direct base matches.
+    for (const Rule& base : bases_) {
+      if (base.m == m && base.k == k && base.n == n && better(base, incumbent)) {
+        incumbent = base;
+      }
+    }
+
+    // Direct-sum splits along each dimension.
+    for (index_t a = 1; a <= m / 2; ++a) {
+      Rule candidate = direct_sum_m(best(a, k, n), best(m - a, k, n));
+      if (better(candidate, incumbent)) incumbent = std::move(candidate);
+    }
+    for (index_t a = 1; a <= k / 2; ++a) {
+      Rule candidate = direct_sum_k(best(m, a, n), best(m, k - a, n));
+      if (better(candidate, incumbent)) incumbent = std::move(candidate);
+    }
+    for (index_t a = 1; a <= n / 2; ++a) {
+      Rule candidate = direct_sum_n(best(m, k, a), best(m, k, n - a));
+      if (better(candidate, incumbent)) incumbent = std::move(candidate);
+    }
+
+    // Tensor factorizations with a base as the inner factor.
+    for (const Rule& base : bases_) {
+      if (base.m >= m && base.k >= k && base.n >= n) continue;  // no progress
+      if (m % base.m != 0 || k % base.k != 0 || n % base.n != 0) continue;
+      Rule candidate =
+          tensor_product(best(m / base.m, k / base.k, n / base.n), base);
+      if (better(candidate, incumbent)) incumbent = std::move(candidate);
+    }
+
+    return memo_.emplace(key, std::move(*incumbent)).first->second;
+  }
+
+  DesignOptions options_;
+  std::vector<Rule> bases_;
+  std::map<Dims, Rule> memo_;
+};
+
+}  // namespace
+
+Rule design(index_t m, index_t k, index_t n, const DesignOptions& options) {
+  Designer designer(options);
+  return designer.best(m, k, n);
+}
+
+DesignSummary design_summary(index_t m, index_t k, index_t n,
+                             const DesignOptions& options) {
+  const Rule rule = design(m, k, n, options);
+  return {rule.rank, rule_cost_nnz(rule), rule.name};
+}
+
+}  // namespace apa::core

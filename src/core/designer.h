@@ -1,0 +1,41 @@
+#pragma once
+// Dynamic-programming rule designer.
+//
+// Builds a concrete bilinear rule for arbitrary <m, k, n> by composing the
+// exactly-published bases (classical, Strassen <2,2,2;7>, Bini <3,2,2;10>)
+// with the combinators of transforms.h:
+//   - the 6 dimension symmetries of each base,
+//   - direct-sum splits along each dimension,
+//   - tensor factorizations with a base as the inner factor.
+// Cost is (rank, nonzero-coefficient count) lexicographic: minimum rank first,
+// fewer additions on ties (paper section 2.4 prefers sparse rules).
+//
+// This module is the offline substitute for the curated Smirnov/Schonhage
+// coefficient tables (see DESIGN.md section 2); `allow_apa = false` restricts
+// to exact rules, producing the Strassen-family "exact fast" baseline.
+
+#include "core/rule.h"
+
+namespace apa::core {
+
+struct DesignOptions {
+  bool allow_apa = true;
+  /// Safety bound on m*k*n to keep the DP cheap.
+  index_t max_volume = 1000;
+};
+
+struct DesignSummary {
+  index_t rank = 0;
+  index_t nnz = 0;
+  std::string recipe;  ///< human-readable construction description
+};
+
+/// Returns the best construction found. Throws if dims exceed max_volume.
+[[nodiscard]] Rule design(index_t m, index_t k, index_t n,
+                          const DesignOptions& options = {});
+
+/// Rank/cost summary without materializing the full rule history.
+[[nodiscard]] DesignSummary design_summary(index_t m, index_t k, index_t n,
+                                           const DesignOptions& options = {});
+
+}  // namespace apa::core

@@ -1,0 +1,52 @@
+#pragma once
+// Numeric form of a Rule at a concrete lambda: sparse per-product input
+// combinations and per-entry output combinations, ready for the executor.
+
+#include <utility>
+#include <vector>
+
+#include "core/rule.h"
+
+namespace apa::core {
+
+struct EvaluatedRule {
+  index_t m = 0, k = 0, n = 0, rank = 0;
+  double lambda = 1.0;
+  /// Per product l: list of (A-entry index, coefficient).
+  std::vector<std::vector<std::pair<index_t, double>>> u_terms;
+  /// Per product l: list of (B-entry index, coefficient).
+  std::vector<std::vector<std::pair<index_t, double>>> v_terms;
+  /// Per C-entry e: list of (product index l, coefficient).
+  std::vector<std::vector<std::pair<index_t, double>>> w_terms;
+
+  static EvaluatedRule from(const Rule& rule, double lambda_value) {
+    EvaluatedRule ev;
+    ev.m = rule.m;
+    ev.k = rule.k;
+    ev.n = rule.n;
+    ev.rank = rule.rank;
+    ev.lambda = lambda_value;
+    ev.u_terms.resize(static_cast<std::size_t>(rule.rank));
+    ev.v_terms.resize(static_cast<std::size_t>(rule.rank));
+    ev.w_terms.resize(static_cast<std::size_t>(rule.m * rule.n));
+    for (index_t l = 0; l < rule.rank; ++l) {
+      for (index_t e = 0; e < rule.m * rule.k; ++e) {
+        const LaurentPoly& p = rule.u[e * rule.rank + l];
+        if (!p.is_zero()) ev.u_terms[l].emplace_back(e, p.evaluate(lambda_value));
+      }
+      for (index_t e = 0; e < rule.k * rule.n; ++e) {
+        const LaurentPoly& p = rule.v[e * rule.rank + l];
+        if (!p.is_zero()) ev.v_terms[l].emplace_back(e, p.evaluate(lambda_value));
+      }
+    }
+    for (index_t e = 0; e < rule.m * rule.n; ++e) {
+      for (index_t l = 0; l < rule.rank; ++l) {
+        const LaurentPoly& p = rule.w[e * rule.rank + l];
+        if (!p.is_zero()) ev.w_terms[e].emplace_back(l, p.evaluate(lambda_value));
+      }
+    }
+    return ev;
+  }
+};
+
+}  // namespace apa::core

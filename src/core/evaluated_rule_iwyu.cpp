@@ -1,0 +1,2 @@
+// Ensures core/evaluated_rule.h is self-contained.
+#include "core/evaluated_rule.h"

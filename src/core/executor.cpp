@@ -1,0 +1,266 @@
+#include "core/executor.h"
+
+#include <omp.h>
+
+#include <vector>
+
+#include "blas/combine.h"
+#include "blas/gemm.h"
+#include "core/params.h"
+#include "support/aligned.h"
+#include "support/pool.h"
+
+namespace apa::core {
+namespace {
+
+using Levels = std::span<const EvaluatedRule* const>;
+
+template <class T>
+void run_chain(Levels levels, MatrixView<const T> a, MatrixView<const T> b,
+               MatrixView<T> c, Strategy strategy, int num_threads);
+
+template <class T>
+MatrixView<const T> input_block(MatrixView<const T> mat, index_t entry, index_t grid_cols,
+                                index_t block_rows, index_t block_cols) {
+  const index_t r = entry / grid_cols;
+  const index_t c = entry % grid_cols;
+  return mat.block(r * block_rows, c * block_cols, block_rows, block_cols);
+}
+
+/// Per-level execution context: owns the product buffers and geometry.
+template <class T>
+class LevelRunner {
+ public:
+  LevelRunner(Levels levels, MatrixView<const T> a, MatrixView<const T> b,
+              MatrixView<T> c, Strategy strategy, int num_threads)
+      : levels_(levels),
+        rule_(*levels.front()),
+        a_(a),
+        b_(b),
+        c_(c),
+        strategy_(strategy),
+        threads_(std::max(1, num_threads)),
+        bm_(a.rows / rule_.m),
+        bk_(a.cols / rule_.k),
+        bn_(b.cols / rule_.n),
+        products_(rule_.rank * bm_, bn_) {}
+
+  void run() {
+    switch (strategy_) {
+      case Strategy::kSequential:
+        for (index_t l = 0; l < rule_.rank; ++l) compute_product(l, 1);
+        combine_outputs(1);
+        break;
+      case Strategy::kDfs:
+        for (index_t l = 0; l < rule_.rank; ++l) compute_product(l, threads_);
+        combine_outputs(threads_);
+        break;
+      case Strategy::kBfs: {
+        const index_t r = rule_.rank;
+#pragma omp parallel for schedule(static) num_threads(threads_)
+        for (index_t l = 0; l < r; ++l) compute_product(l, 1);
+        combine_outputs(threads_);
+        break;
+      }
+      case Strategy::kHybrid: {
+        // Paper Fig 2: q products per thread single-threaded, then the
+        // remainder with the whole team.
+        const index_t p = threads_;
+        const index_t q = rule_.rank / p;
+        const index_t first_remainder = q * p;
+        if (q > 0) {
+#pragma omp parallel num_threads(threads_)
+          {
+            const index_t tid = omp_get_thread_num();
+            for (index_t idx = tid * q; idx < (tid + 1) * q; ++idx) {
+              compute_product(idx, 1);
+            }
+          }
+        }
+        for (index_t l = first_remainder; l < rule_.rank; ++l) {
+          compute_product(l, threads_);
+        }
+        combine_outputs(threads_);
+        break;
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] MatrixView<T> product_view(index_t l) {
+    return products_.view().block(l * bm_, 0, bm_, bn_);
+  }
+
+  /// Forms A_l and B_l (skipping the copy when a combination is a single
+  /// unit-coefficient term) and multiplies into M_l.
+  void compute_product(index_t l, int threads) {
+    const auto& ut = rule_.u_terms[static_cast<std::size_t>(l)];
+    const auto& vt = rule_.v_terms[static_cast<std::size_t>(l)];
+
+    PooledMatrix<T> a_temp;
+    MatrixView<const T> a_op;
+    if (ut.size() == 1 && ut[0].second == 1.0) {
+      a_op = input_block(a_, ut[0].first, rule_.k, bm_, bk_);
+    } else {
+      std::vector<blas::Scaled<T>> terms;
+      terms.reserve(ut.size());
+      for (const auto& [entry, coeff] : ut) {
+        terms.push_back({static_cast<T>(coeff), input_block(a_, entry, rule_.k, bm_, bk_)});
+      }
+      a_temp = PooledMatrix<T>(bm_, bk_);
+      blas::linear_combination<T>(terms, a_temp.view(), threads);
+      a_op = a_temp.view();
+    }
+
+    PooledMatrix<T> b_temp;
+    MatrixView<const T> b_op;
+    if (vt.size() == 1 && vt[0].second == 1.0) {
+      b_op = input_block(b_, vt[0].first, rule_.n, bk_, bn_);
+    } else {
+      std::vector<blas::Scaled<T>> terms;
+      terms.reserve(vt.size());
+      for (const auto& [entry, coeff] : vt) {
+        terms.push_back({static_cast<T>(coeff), input_block(b_, entry, rule_.n, bk_, bn_)});
+      }
+      b_temp = PooledMatrix<T>(bk_, bn_);
+      blas::linear_combination<T>(terms, b_temp.view(), threads);
+      b_op = b_temp.view();
+    }
+
+    // Sub-multiplication: descend the chain while levels remain, else gemm.
+    if (levels_.size() > 1) {
+      run_chain<T>(levels_.subspan(1), a_op, b_op, product_view(l),
+                   threads > 1 ? strategy_ : Strategy::kSequential, threads);
+    } else {
+      blas::gemm<T>(a_op, b_op, product_view(l), T{1}, T{0}, threads);
+    }
+  }
+
+  /// C blocks = W-combinations of the products, write-once, rows parallelized
+  /// inside each combination (memory-bandwidth bound, paper section 3.2).
+  void combine_outputs(int threads) {
+    for (index_t e = 0; e < rule_.m * rule_.n; ++e) {
+      const auto& wt = rule_.w_terms[static_cast<std::size_t>(e)];
+      std::vector<blas::Scaled<T>> terms;
+      terms.reserve(wt.size());
+      for (const auto& [l, coeff] : wt) {
+        terms.push_back({static_cast<T>(coeff), product_view(l).as_const()});
+      }
+      const index_t r = e / rule_.n;
+      const index_t col = e % rule_.n;
+      blas::linear_combination<T>(terms, c_.block(r * bm_, col * bn_, bm_, bn_), threads);
+    }
+  }
+
+  Levels levels_;
+  const EvaluatedRule& rule_;
+  MatrixView<const T> a_;
+  MatrixView<const T> b_;
+  MatrixView<T> c_;
+  Strategy strategy_;
+  index_t threads_;
+  index_t bm_, bk_, bn_;
+  PooledMatrix<T> products_;  // rank stacked (bm x bn) blocks
+};
+
+template <class T>
+void run_chain(Levels levels, MatrixView<const T> a, MatrixView<const T> b,
+               MatrixView<T> c, Strategy strategy, int num_threads) {
+  APA_CHECK(a.cols == b.rows && c.rows == a.rows && c.cols == b.cols);
+  if (levels.empty()) {
+    blas::gemm<T>(a, b, c, T{1}, T{0}, num_threads);
+    return;
+  }
+  const EvaluatedRule& rule = *levels.front();
+
+  // Dimensions too small to split: skip this level (and any further ones).
+  if (a.rows < rule.m || a.cols < rule.k || b.cols < rule.n) {
+    blas::gemm<T>(a, b, c, T{1}, T{0}, num_threads);
+    return;
+  }
+
+  // Dynamic padding: round each dimension up to a block multiple, run on the
+  // padded copies, then crop. Padding is per level; deeper levels pad their
+  // own (smaller) operands as needed.
+  if (a.rows % rule.m != 0 || a.cols % rule.k != 0 || b.cols % rule.n != 0) {
+    const index_t pm = (a.rows + rule.m - 1) / rule.m * rule.m;
+    const index_t pk = (a.cols + rule.k - 1) / rule.k * rule.k;
+    const index_t pn = (b.cols + rule.n - 1) / rule.n * rule.n;
+    PooledMatrix<T> a_pad(pm, pk), b_pad(pk, pn), c_pad(pm, pn);
+    a_pad.set_zero();
+    b_pad.set_zero();
+    copy(a, a_pad.view().block(0, 0, a.rows, a.cols));
+    copy(b, b_pad.view().block(0, 0, b.rows, b.cols));
+    run_chain<T>(levels, a_pad.view().as_const(), b_pad.view().as_const(), c_pad.view(),
+                 strategy, num_threads);
+    copy(c_pad.view().block(0, 0, c.rows, c.cols).as_const(), c);
+    return;
+  }
+
+  LevelRunner<T> runner(levels, a, b, c, strategy, num_threads);
+  runner.run();
+}
+
+}  // namespace
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kSequential: return "sequential";
+    case Strategy::kDfs: return "dfs";
+    case Strategy::kBfs: return "bfs";
+    case Strategy::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+template <class T>
+void multiply(const EvaluatedRule& rule, MatrixView<const T> a, MatrixView<const T> b,
+              MatrixView<T> c, int steps, Strategy strategy, int num_threads) {
+  std::vector<const EvaluatedRule*> levels(static_cast<std::size_t>(std::max(0, steps)),
+                                           &rule);
+  run_chain<T>(levels, a, b, c, strategy, num_threads);
+}
+
+template <class T>
+void multiply_nonstationary(std::span<const EvaluatedRule* const> levels,
+                            MatrixView<const T> a, MatrixView<const T> b,
+                            MatrixView<T> c, Strategy strategy, int num_threads) {
+  for (const EvaluatedRule* level : levels) APA_CHECK(level != nullptr);
+  run_chain<T>(levels, a, b, c, strategy, num_threads);
+}
+
+template <class T>
+void multiply(const Rule& rule, MatrixView<const T> a, MatrixView<const T> b,
+              MatrixView<T> c, const ExecOptions& options) {
+  double lambda_value = options.lambda;
+  if (lambda_value == 0.0) {
+    const AlgorithmParams params = analyze(rule);
+    const int bits = std::is_same_v<T, float> ? kPrecisionBitsSingle : kPrecisionBitsDouble;
+    lambda_value = params.optimal_lambda(bits, std::max(1, options.steps));
+  }
+  const EvaluatedRule evaluated = EvaluatedRule::from(rule, lambda_value);
+  multiply<T>(evaluated, a, b, c, options.steps, options.strategy, options.num_threads);
+}
+
+template void multiply<float>(const Rule&, MatrixView<const float>,
+                              MatrixView<const float>, MatrixView<float>,
+                              const ExecOptions&);
+template void multiply<double>(const Rule&, MatrixView<const double>,
+                               MatrixView<const double>, MatrixView<double>,
+                               const ExecOptions&);
+template void multiply<float>(const EvaluatedRule&, MatrixView<const float>,
+                              MatrixView<const float>, MatrixView<float>, int, Strategy,
+                              int);
+template void multiply<double>(const EvaluatedRule&, MatrixView<const double>,
+                               MatrixView<const double>, MatrixView<double>, int,
+                               Strategy, int);
+template void multiply_nonstationary<float>(std::span<const EvaluatedRule* const>,
+                                            MatrixView<const float>,
+                                            MatrixView<const float>, MatrixView<float>,
+                                            Strategy, int);
+template void multiply_nonstationary<double>(std::span<const EvaluatedRule* const>,
+                                             MatrixView<const double>,
+                                             MatrixView<const double>,
+                                             MatrixView<double>, Strategy, int);
+
+}  // namespace apa::core

@@ -1,0 +1,63 @@
+#include "core/fastmm.h"
+
+#include "blas/gemm.h"
+#include "core/registry.h"
+#include "support/check.h"
+
+namespace apa::core {
+
+FastMatmul::FastMatmul(const std::string& algorithm, FastMatmulOptions options)
+    : name_(algorithm), options_(options) {
+  if (algorithm != "classical") {
+    rule_ = rule_by_name(algorithm);
+    finalize();
+  }
+}
+
+FastMatmul::FastMatmul(Rule rule, FastMatmulOptions options)
+    : name_(rule.name), options_(options), rule_(std::move(rule)) {
+  finalize();
+}
+
+void FastMatmul::finalize() {
+  params_ = analyze(*rule_);
+  lambda_ = options_.lambda.value_or(
+      params_->optimal_lambda(options_.precision_bits, std::max(1, options_.steps)));
+  // Paper section 2.2: 0 < lambda <= 1 (lambda = 1 only meaningful for exact
+  // rules, where the coefficients are lambda-free anyway).
+  APA_CHECK_MSG(lambda_ > 0.0 && lambda_ <= 1.0,
+                "lambda must be in (0, 1], got " << lambda_);
+  evaluated_ = EvaluatedRule::from(*rule_, lambda_);
+}
+
+const Rule& FastMatmul::rule() const {
+  APA_CHECK_MSG(rule_.has_value(), "classical backend has no rule");
+  return *rule_;
+}
+
+const AlgorithmParams& FastMatmul::params() const {
+  APA_CHECK_MSG(params_.has_value(), "classical backend has no rule parameters");
+  return *params_;
+}
+
+void FastMatmul::multiply(MatrixView<const float> a, MatrixView<const float> b,
+                          MatrixView<float> c) const {
+  if (!rule_) {
+    blas::gemm<float>(a, b, c, 1.0f, 0.0f, options_.num_threads);
+    return;
+  }
+  core::multiply<float>(*evaluated_, a, b, c, options_.steps, options_.strategy,
+                        options_.num_threads);
+}
+
+void FastMatmul::multiply(MatrixView<const double> a, MatrixView<const double> b,
+                          MatrixView<double> c) const {
+  if (!rule_) {
+    blas::gemm<double>(a, b, c, 1.0, 0.0, options_.num_threads);
+    return;
+  }
+  core::multiply<double>(*evaluated_, a, b, c, options_.steps, options_.strategy,
+                         options_.num_threads);
+}
+
+}  // namespace apa::core

@@ -1,0 +1,64 @@
+#pragma once
+// Public entry point of the library.
+//
+//   apa::core::FastMatmul mm("fast442", {.strategy = Strategy::kHybrid,
+//                                        .num_threads = 6});
+//   mm.multiply(a, b, c);   // c = a*b (approximately, for APA rules)
+//
+// The special name "classical" routes straight to gemm, so the same object can
+// drive baseline and APA runs in benchmarks and the NN backend.
+
+#include <optional>
+#include <string>
+
+#include "core/executor.h"
+#include "core/params.h"
+#include "core/rule.h"
+
+namespace apa::core {
+
+struct FastMatmulOptions {
+  /// Explicit lambda; unset selects the theoretical optimum
+  /// 2^(-precision_bits/(sigma + steps*phi)).
+  std::optional<double> lambda;
+  /// Working precision the auto-lambda targets: 23 (float, the paper's
+  /// setting) or 52 (double). Ignored when lambda is set explicitly.
+  int precision_bits = kPrecisionBitsSingle;
+  int steps = 1;
+  Strategy strategy = Strategy::kSequential;
+  int num_threads = 1;
+};
+
+class FastMatmul {
+ public:
+  /// `algorithm`: "classical" or any registry name (see core/registry.h).
+  explicit FastMatmul(const std::string& algorithm, FastMatmulOptions options = {});
+  /// Wrap an ad-hoc rule (e.g. a designer product) directly.
+  FastMatmul(Rule rule, FastMatmulOptions options = {});
+
+  void multiply(MatrixView<const float> a, MatrixView<const float> b,
+                MatrixView<float> c) const;
+  void multiply(MatrixView<const double> a, MatrixView<const double> b,
+                MatrixView<double> c) const;
+
+  [[nodiscard]] bool is_classical() const { return !rule_.has_value(); }
+  [[nodiscard]] const std::string& algorithm() const { return name_; }
+  /// The wrapped rule; throws for "classical".
+  [[nodiscard]] const Rule& rule() const;
+  /// Rule parameters; throws for "classical".
+  [[nodiscard]] const AlgorithmParams& params() const;
+  [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] const FastMatmulOptions& options() const { return options_; }
+
+ private:
+  void finalize();
+
+  std::string name_;
+  FastMatmulOptions options_;
+  std::optional<Rule> rule_;             // empty for classical
+  std::optional<AlgorithmParams> params_;
+  std::optional<EvaluatedRule> evaluated_;
+  double lambda_ = 1.0;
+};
+
+}  // namespace apa::core

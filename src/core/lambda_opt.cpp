@@ -1,0 +1,61 @@
+#include "core/lambda_opt.h"
+
+#include <cmath>
+
+#include "blas/gemm.h"
+#include "core/executor.h"
+#include "support/rng.h"
+
+namespace apa::core {
+
+double measure_error(const Rule& rule, double lambda_value,
+                     const LambdaSearchOptions& options) {
+  Rng rng(options.seed);
+  const index_t dim = options.dim;
+  Matrix<float> a(dim, dim), b(dim, dim), c(dim, dim);
+  fill_random_uniform<float>(a.view(), rng, -1.0f, 1.0f);
+  fill_random_uniform<float>(b.view(), rng, -1.0f, 1.0f);
+
+  // Double-precision classical reference.
+  Matrix<double> ad(dim, dim), bd(dim, dim), cd(dim, dim);
+  for (index_t i = 0; i < dim * dim; ++i) {
+    ad.data()[i] = static_cast<double>(a.data()[i]);
+    bd.data()[i] = static_cast<double>(b.data()[i]);
+  }
+  blas::gemm<double>(ad.view(), bd.view(), cd.view());
+
+  ExecOptions exec;
+  exec.lambda = lambda_value;
+  exec.steps = options.steps;
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), exec);
+  return relative_frobenius_error(c.view(), cd.view());
+}
+
+LambdaSearchResult optimize_lambda(const Rule& rule, const LambdaSearchOptions& options) {
+  const AlgorithmParams params = analyze(rule);
+  LambdaSearchResult result;
+  if (params.exact) {
+    // Exact rules are lambda-free: report a single probe at lambda = 1.
+    result.best_lambda = 1.0;
+    result.best_error = measure_error(rule, 1.0, options);
+    result.probes = {{1.0, result.best_error}};
+    return result;
+  }
+
+  const double theoretical = params.optimal_lambda(kPrecisionBitsSingle, options.steps);
+  const int center = static_cast<int>(std::lround(std::log2(theoretical)));
+  const int half = options.candidates / 2;
+  result.best_error = std::numeric_limits<double>::infinity();
+  for (int e = center - half; e <= center + half; ++e) {
+    const double lambda_value = std::exp2(e);
+    const double err = measure_error(rule, lambda_value, options);
+    result.probes.emplace_back(lambda_value, err);
+    if (err < result.best_error) {
+      result.best_error = err;
+      result.best_lambda = lambda_value;
+    }
+  }
+  return result;
+}
+
+}  // namespace apa::core

@@ -1,0 +1,38 @@
+#pragma once
+// Lambda selection (paper section 2.3): the Bini-Lotti-Romani theoretical
+// optimum plus the paper's empirical refinement — measure the actual relative
+// Frobenius error at the 5 powers of two nearest the theoretical value and
+// keep the argmin.
+
+#include <vector>
+
+#include "core/params.h"
+#include "core/rule.h"
+
+namespace apa::core {
+
+struct LambdaSearchResult {
+  double best_lambda = 0;
+  double best_error = 0;
+  /// The (lambda, measured error) pairs probed, in probe order.
+  std::vector<std::pair<double, double>> probes;
+};
+
+struct LambdaSearchOptions {
+  index_t dim = 256;        ///< square test-problem size
+  int steps = 1;            ///< recursion depth the lambda must serve
+  int candidates = 5;       ///< powers of two probed (centered on theoretical)
+  std::uint64_t seed = 42;  ///< RNG seed for the uniform random inputs
+};
+
+/// Measured relative Frobenius error of `rule` at a given lambda on uniform
+/// random single-precision inputs, against a double-precision classical
+/// reference (the paper's Fig 1 protocol).
+[[nodiscard]] double measure_error(const Rule& rule, double lambda_value,
+                                   const LambdaSearchOptions& options = {});
+
+/// Empirical refinement around the theoretical optimum.
+[[nodiscard]] LambdaSearchResult optimize_lambda(const Rule& rule,
+                                                 const LambdaSearchOptions& options = {});
+
+}  // namespace apa::core

@@ -1,0 +1,93 @@
+#include "core/laurent.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace apa::core {
+
+int LaurentPoly::min_degree() const {
+  APA_CHECK_MSG(!terms_.empty(), "min_degree of zero polynomial");
+  return terms_.begin()->first;
+}
+
+int LaurentPoly::max_degree() const {
+  APA_CHECK_MSG(!terms_.empty(), "max_degree of zero polynomial");
+  return terms_.rbegin()->first;
+}
+
+double LaurentPoly::evaluate(double lambda_value) const {
+  double acc = 0;
+  for (const auto& [deg, coeff] : terms_) {
+    acc += coeff.to_double() * std::pow(lambda_value, deg);
+  }
+  return acc;
+}
+
+LaurentPoly operator+(const LaurentPoly& a, const LaurentPoly& b) {
+  LaurentPoly out = a;
+  for (const auto& [deg, coeff] : b.terms_) {
+    out.terms_[deg] += coeff;
+    out.prune(deg);
+  }
+  return out;
+}
+
+LaurentPoly operator-(const LaurentPoly& a, const LaurentPoly& b) {
+  LaurentPoly out = a;
+  for (const auto& [deg, coeff] : b.terms_) {
+    out.terms_[deg] -= coeff;
+    out.prune(deg);
+  }
+  return out;
+}
+
+LaurentPoly operator*(const LaurentPoly& a, const LaurentPoly& b) {
+  LaurentPoly out;
+  for (const auto& [da, ca] : a.terms_) {
+    for (const auto& [db, cb] : b.terms_) {
+      out.terms_[da + db] += ca * cb;
+      out.prune(da + db);
+    }
+  }
+  return out;
+}
+
+LaurentPoly LaurentPoly::operator-() const {
+  LaurentPoly out;
+  for (const auto& [deg, coeff] : terms_) out.terms_[deg] = -coeff;
+  return out;
+}
+
+LaurentPoly LaurentPoly::shifted(int shift) const {
+  LaurentPoly out;
+  for (const auto& [deg, coeff] : terms_) out.terms_[deg + shift] = coeff;
+  return out;
+}
+
+std::string LaurentPoly::to_string() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [deg, coeff] : terms_) {
+    const bool negative = coeff < Rational(0);
+    const Rational mag = negative ? -coeff : coeff;
+    if (first) {
+      if (negative) os << "-";
+      first = false;
+    } else {
+      os << (negative ? " - " : " + ");
+    }
+    const bool unit = mag.is_one() && deg != 0;
+    if (!unit) os << mag.to_string();
+    if (deg != 0) {
+      if (!unit) os << "*";
+      os << "L";
+      if (deg != 1) os << "^" << deg;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace apa::core

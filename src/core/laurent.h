@@ -1,0 +1,77 @@
+#pragma once
+// Laurent polynomials in the degeneration parameter lambda with exact rational
+// coefficients. These are the coefficient entries of APA bilinear rules
+// (paper section 2.2): monomials with both positive and negative powers of
+// lambda, e.g. the lambda^{-1} factors in Bini's output combinations.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/rational.h"
+
+namespace apa::core {
+
+class LaurentPoly {
+ public:
+  LaurentPoly() = default;
+  /// Constant polynomial.
+  LaurentPoly(Rational c) {  // NOLINT(google-explicit-constructor)
+    if (!c.is_zero()) terms_[0] = c;
+  }
+  LaurentPoly(std::int64_t c) : LaurentPoly(Rational(c)) {}  // NOLINT
+
+  /// Monomial c * lambda^degree.
+  static LaurentPoly monomial(Rational c, int degree) {
+    LaurentPoly p;
+    if (!c.is_zero()) p.terms_[degree] = c;
+    return p;
+  }
+  /// Shorthand for lambda^degree.
+  static LaurentPoly lambda(int degree = 1) { return monomial(Rational(1), degree); }
+
+  [[nodiscard]] bool is_zero() const { return terms_.empty(); }
+  [[nodiscard]] bool is_constant() const {
+    return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first == 0);
+  }
+  /// Coefficient of lambda^degree (zero if absent).
+  [[nodiscard]] Rational coefficient(int degree) const {
+    const auto it = terms_.find(degree);
+    return it == terms_.end() ? Rational(0) : it->second;
+  }
+  [[nodiscard]] Rational constant_term() const { return coefficient(0); }
+  /// Lowest/highest degree with nonzero coefficient; requires !is_zero().
+  [[nodiscard]] int min_degree() const;
+  [[nodiscard]] int max_degree() const;
+  [[nodiscard]] std::size_t term_count() const { return terms_.size(); }
+  [[nodiscard]] const std::map<int, Rational>& terms() const { return terms_; }
+
+  /// Numeric evaluation at a concrete lambda.
+  [[nodiscard]] double evaluate(double lambda_value) const;
+
+  friend LaurentPoly operator+(const LaurentPoly& a, const LaurentPoly& b);
+  friend LaurentPoly operator-(const LaurentPoly& a, const LaurentPoly& b);
+  friend LaurentPoly operator*(const LaurentPoly& a, const LaurentPoly& b);
+  LaurentPoly operator-() const;
+  LaurentPoly& operator+=(const LaurentPoly& b) { return *this = *this + b; }
+  LaurentPoly& operator-=(const LaurentPoly& b) { return *this = *this - b; }
+  LaurentPoly& operator*=(const LaurentPoly& b) { return *this = *this * b; }
+  friend bool operator==(const LaurentPoly& a, const LaurentPoly& b) {
+    return a.terms_ == b.terms_;
+  }
+
+  /// Multiply by lambda^shift (degree shift).
+  [[nodiscard]] LaurentPoly shifted(int shift) const;
+
+  /// Human-readable form, e.g. "1 - 2*L^-1 + 1/2*L^2" (L = lambda).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void prune(int degree) {
+    const auto it = terms_.find(degree);
+    if (it != terms_.end() && it->second.is_zero()) terms_.erase(it);
+  }
+  std::map<int, Rational> terms_;  // degree -> coefficient, nonzero only
+};
+
+}  // namespace apa::core

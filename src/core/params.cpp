@@ -1,0 +1,40 @@
+#include "core/params.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace apa::core {
+
+double AlgorithmParams::optimal_lambda(int precision_bits, int steps) const {
+  if (exact) return 1.0;
+  APA_CHECK(sigma >= 1 && steps >= 1);
+  return std::exp2(-static_cast<double>(precision_bits) /
+                   (sigma + static_cast<double>(steps) * phi));
+}
+
+double AlgorithmParams::predicted_error(int precision_bits, int steps) const {
+  if (exact) return std::exp2(-precision_bits);
+  APA_CHECK(sigma >= 1 && steps >= 1);
+  return std::exp2(-static_cast<double>(precision_bits) * sigma /
+                   (sigma + static_cast<double>(steps) * phi));
+}
+
+AlgorithmParams analyze(const Rule& rule) {
+  const Validation v = validate(rule);
+  APA_CHECK_MSG(v.valid, rule.name << ": " << v.message);
+  AlgorithmParams p;
+  p.m = rule.m;
+  p.k = rule.k;
+  p.n = rule.n;
+  p.rank = rule.rank;
+  p.exact = v.exact;
+  p.sigma = v.sigma;
+  p.phi = compute_phi(rule);
+  p.speedup = rule.theoretical_speedup();
+  p.nnz_inputs = rule.nnz_inputs();
+  p.nnz_outputs = rule.nnz_outputs();
+  return p;
+}
+
+}  // namespace apa::core

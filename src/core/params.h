@@ -1,0 +1,34 @@
+#pragma once
+// Numerical-error model of APA algorithms (paper section 2.3): sigma, phi,
+// the Bini-Lotti-Romani optimal lambda and the resulting error bound.
+
+#include "core/rule.h"
+
+namespace apa::core {
+
+/// Fractional-precision bits d of the working format (2^-d = unit roundoff).
+inline constexpr int kPrecisionBitsSingle = 23;
+inline constexpr int kPrecisionBitsDouble = 52;
+
+struct AlgorithmParams {
+  index_t m = 0, k = 0, n = 0, rank = 0;
+  bool exact = false;
+  int sigma = 0;             ///< leading error exponent (0 for exact rules)
+  int phi = 0;               ///< largest summed negative exponent
+  double speedup = 0;        ///< theoretical one-step speedup (m*k*n/r - 1)
+  index_t nnz_inputs = 0;    ///< addition-overhead proxies (section 2.4)
+  index_t nnz_outputs = 0;
+
+  /// Optimal lambda for `steps` recursive levels: 2^(-d / (sigma + steps*phi)).
+  /// Exact rules have no lambda dependence; returns 1 for them.
+  [[nodiscard]] double optimal_lambda(int precision_bits, int steps = 1) const;
+
+  /// Predicted relative error bound 2^(-d*sigma / (sigma + steps*phi));
+  /// for exact rules this is the working precision 2^-d itself.
+  [[nodiscard]] double predicted_error(int precision_bits, int steps = 1) const;
+};
+
+/// Computes all parameters; requires a validated rule (sigma from validation).
+[[nodiscard]] AlgorithmParams analyze(const Rule& rule);
+
+}  // namespace apa::core

@@ -1,0 +1,116 @@
+#include "core/registry.h"
+
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "core/catalog.h"
+#include "core/designer.h"
+#include "core/transforms.h"
+#include "support/check.h"
+
+namespace apa::core {
+namespace {
+
+struct Entry {
+  AlgorithmInfo info;
+  std::function<Rule()> make;
+};
+
+std::vector<Entry> build_entries() {
+  std::vector<Entry> entries;
+  const auto add = [&](std::string name, index_t m, index_t k, index_t n, index_t rank,
+                       int paper_rank, std::string construction,
+                       std::function<Rule()> make) {
+    entries.push_back(
+        {{std::move(name), m, k, n, rank, paper_rank, std::move(construction)},
+         std::move(make)});
+  };
+
+  add("strassen", 2, 2, 2, 7, -1, "Strassen 1969 (exact)", [] { return strassen(); });
+  add("winograd", 2, 2, 2, 7, -1, "Strassen-Winograd variant (exact)",
+      [] { return winograd(); });
+  add("bini322", 3, 2, 2, 10, 10, "Bini et al. 1979, paper section 2.2",
+      [] { return bini322(); });
+  add("apa422", 4, 2, 2, 14, 13, "bini322 (+)_m classical<1,2,2>",
+      [] { return direct_sum_m(bini322(), classical(1, 2, 2)); });
+  add("apa332", 3, 3, 2, 16, 14, "bini322 (+)_k classical<3,1,2>",
+      [] { return direct_sum_k(bini322(), classical(3, 1, 2)); });
+  add("apa522", 5, 2, 2, 17, 16, "bini322 (+)_m strassen",
+      [] { return direct_sum_m(bini322(), strassen()); });
+  add("apa722", 7, 2, 2, 24, 22, "bini322 (+)_m (bini322 (+)_m classical<1,2,2>)", [] {
+    return direct_sum_m(bini322(), direct_sum_m(bini322(), classical(1, 2, 2)));
+  });
+  add("apa333", 3, 3, 3, 25, 21, "(bini322 (+)_k cls<3,1,2>) (+)_n classical<3,3,1>",
+      [] {
+        return direct_sum_n(direct_sum_k(bini322(), classical(3, 1, 2)),
+                            classical(3, 3, 1));
+      });
+  add("fast442", 4, 4, 2, 28, 24, "strassen (x) classical<2,2,1> (exact)",
+      [] { return tensor_product(strassen(), classical(2, 2, 1)); });
+  add("apa433", 4, 3, 3, 32, 27, "DP designer over bini/strassen direct sums",
+      [] { return design(4, 3, 3); });
+  add("apa552", 5, 5, 2, 43, 37, "DP designer over bini/strassen direct sums",
+      [] { return design(5, 5, 2); });
+  add("fast444", 4, 4, 4, 49, 46, "strassen (x) strassen (exact)",
+      [] { return tensor_product(strassen(), strassen()); });
+  add("apa644", 6, 4, 4, 70, -1, "bini322 (x) strassen",
+      [] { return tensor_product(bini322(), strassen()); });
+  add("apa664", 6, 6, 4, 100, -1, "bini322 (x) bini322<2,3,2> (phi = 2)",
+      [] { return tensor_product(bini322(), permute_rule(bini322(), 2)); });
+  add("apa555", 5, 5, 5, 110, 90, "DP designer over bini/strassen direct sums",
+      [] { return design(5, 5, 5); });
+  return entries;
+}
+
+const std::vector<Entry>& entries() {
+  static const std::vector<Entry> instance = build_entries();
+  return instance;
+}
+
+}  // namespace
+
+bool has_algorithm(const std::string& name) {
+  for (const Entry& e : entries()) {
+    if (e.info.name == name) return true;
+  }
+  return false;
+}
+
+const Rule& rule_by_name(const std::string& name) {
+  static std::map<std::string, Rule> cache;
+  static std::mutex mutex;
+  std::scoped_lock lock(mutex);
+  if (const auto it = cache.find(name); it != cache.end()) return it->second;
+  for (const Entry& e : entries()) {
+    if (e.info.name == name) {
+      Rule rule = e.make();
+      APA_CHECK_MSG(rule.rank == e.info.rank,
+                    name << ": built rank " << rule.rank << ", registry says "
+                         << e.info.rank);
+      rule.name = name;  // stable public name instead of the construction trace
+      return cache.emplace(name, std::move(rule)).first->second;
+    }
+  }
+  APA_CHECK_MSG(false, "unknown algorithm '" << name << "'");
+  throw std::logic_error("unreachable");
+}
+
+const std::vector<AlgorithmInfo>& list_algorithms() {
+  static const std::vector<AlgorithmInfo> infos = [] {
+    std::vector<AlgorithmInfo> out;
+    out.reserve(entries().size());
+    for (const Entry& e : entries()) out.push_back(e.info);
+    return out;
+  }();
+  return infos;
+}
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> names;
+  names.reserve(list_algorithms().size());
+  for (const auto& info : list_algorithms()) names.push_back(info.name);
+  return names;
+}
+
+}  // namespace apa::core

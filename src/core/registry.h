@@ -1,0 +1,36 @@
+#pragma once
+// Named algorithm registry: the reproduction's analog of the paper's Table 1
+// catalog. Every entry is constructed from the exactly-published bases (see
+// DESIGN.md for the per-algorithm substitution notes and paper ranks).
+
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+
+namespace apa::core {
+
+struct AlgorithmInfo {
+  std::string name;
+  index_t m = 0, k = 0, n = 0;
+  index_t rank = 0;
+  /// Rank of the original published algorithm for these dims (Table 1);
+  /// -1 when the paper has no entry for this shape.
+  int paper_rank = -1;
+  std::string construction;  ///< how the rule is built here
+};
+
+/// True if `name` is a registered fast/APA algorithm.
+[[nodiscard]] bool has_algorithm(const std::string& name);
+
+/// The rule for a registered algorithm; throws for unknown names.
+/// Returned reference is to a lazily built, process-lifetime cache.
+[[nodiscard]] const Rule& rule_by_name(const std::string& name);
+
+/// Metadata for every registered algorithm, in catalog order.
+[[nodiscard]] const std::vector<AlgorithmInfo>& list_algorithms();
+
+/// Names only, in catalog order (convenience for CLI parsing).
+[[nodiscard]] std::vector<std::string> algorithm_names();
+
+}  // namespace apa::core

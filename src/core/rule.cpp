@@ -1,0 +1,136 @@
+#include "core/rule.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace apa::core {
+
+bool Rule::is_lambda_free() const {
+  const auto lambda_free = [](const std::vector<LaurentPoly>& coeffs) {
+    return std::all_of(coeffs.begin(), coeffs.end(),
+                       [](const LaurentPoly& p) { return p.is_constant(); });
+  };
+  return lambda_free(u) && lambda_free(v) && lambda_free(w);
+}
+
+index_t Rule::nnz_inputs() const {
+  index_t count = 0;
+  for (const auto& p : u) count += !p.is_zero();
+  for (const auto& p : v) count += !p.is_zero();
+  return count;
+}
+
+index_t Rule::nnz_outputs() const {
+  index_t count = 0;
+  for (const auto& p : w) count += !p.is_zero();
+  return count;
+}
+
+Validation validate(const Rule& rule) {
+  Validation result;
+  int min_positive_residual = std::numeric_limits<int>::max();
+  bool any_residual = false;
+
+  for (index_t i = 0; i < rule.m; ++i) {
+    for (index_t j = 0; j < rule.k; ++j) {
+      for (index_t p = 0; p < rule.k; ++p) {
+        for (index_t q = 0; q < rule.n; ++q) {
+          for (index_t a = 0; a < rule.m; ++a) {
+            for (index_t b = 0; b < rule.n; ++b) {
+              LaurentPoly f;
+              for (index_t l = 0; l < rule.rank; ++l) {
+                f += rule.U(i, j, l) * rule.V(p, q, l) * rule.W(a, b, l);
+              }
+              const Rational expected((j == p && i == a && q == b) ? 1 : 0);
+              const LaurentPoly residual = f - LaurentPoly(expected);
+              if (residual.is_zero()) continue;
+              any_residual = true;
+              if (residual.min_degree() <= 0) {
+                std::ostringstream os;
+                os << "Brent equation violated at A(" << i << "," << j << ") B(" << p
+                   << "," << q << ") C(" << a << "," << b
+                   << "): residual = " << residual.to_string();
+                result.message = os.str();
+                return result;  // valid=false
+              }
+              min_positive_residual = std::min(min_positive_residual, residual.min_degree());
+            }
+          }
+        }
+      }
+    }
+  }
+
+  result.valid = true;
+  result.exact = !any_residual;
+  result.sigma = result.exact ? 0 : min_positive_residual;
+  return result;
+}
+
+std::string describe(const Rule& rule) {
+  std::ostringstream os;
+  os << rule.name << ": <" << rule.m << "," << rule.k << "," << rule.n << "> rank "
+     << rule.rank << "\n\n";
+  const auto combo = [&](auto getter, index_t rows, index_t cols, index_t l,
+                         char symbol) {
+    std::string out;
+    for (index_t r = 0; r < rows; ++r) {
+      for (index_t c = 0; c < cols; ++c) {
+        const LaurentPoly& p = getter(r, c, l);
+        if (p.is_zero()) continue;
+        if (!out.empty()) out += " + ";
+        out += "(" + p.to_string() + ")*" + symbol + std::to_string(r + 1) +
+               std::to_string(c + 1);
+      }
+    }
+    return out;
+  };
+  for (index_t l = 0; l < rule.rank; ++l) {
+    os << "M" << l + 1 << " = ["
+       << combo([&](index_t r, index_t c, index_t ll) -> const LaurentPoly& {
+            return rule.U(r, c, ll);
+          }, rule.m, rule.k, l, 'A')
+       << "] * ["
+       << combo([&](index_t r, index_t c, index_t ll) -> const LaurentPoly& {
+            return rule.V(r, c, ll);
+          }, rule.k, rule.n, l, 'B')
+       << "]\n";
+  }
+  os << "\n";
+  for (index_t a = 0; a < rule.m; ++a) {
+    for (index_t b = 0; b < rule.n; ++b) {
+      std::string out;
+      for (index_t l = 0; l < rule.rank; ++l) {
+        const LaurentPoly& p = rule.W(a, b, l);
+        if (p.is_zero()) continue;
+        if (!out.empty()) out += " + ";
+        out += "(" + p.to_string() + ")*M" + std::to_string(l + 1);
+      }
+      os << "C" << a + 1 << b + 1 << " = " << out << "\n";
+    }
+  }
+  return os.str();
+}
+
+int compute_phi(const Rule& rule) {
+  int phi = 0;
+  const auto column_min_degree = [&](const std::vector<LaurentPoly>& coeffs,
+                                     index_t entries, index_t l) {
+    int lowest = 0;
+    for (index_t e = 0; e < entries; ++e) {
+      const LaurentPoly& p = coeffs[e * rule.rank + l];
+      if (!p.is_zero()) lowest = std::min(lowest, p.min_degree());
+    }
+    return lowest;
+  };
+  for (index_t l = 0; l < rule.rank; ++l) {
+    const int neg_u = -column_min_degree(rule.u, rule.m * rule.k, l);
+    const int neg_v = -column_min_degree(rule.v, rule.k * rule.n, l);
+    const int neg_w = -column_min_degree(rule.w, rule.m * rule.n, l);
+    phi = std::max(phi, neg_u + neg_v + neg_w);
+  }
+  return phi;
+}
+
+}  // namespace apa::core

@@ -1,0 +1,90 @@
+#pragma once
+// Bilinear matrix-multiplication rules (paper section 2.2).
+//
+// A rule for dimensions <m, k, n> (A: m x k, B: k x n, C: m x n) with rank r is
+// a triplet of coefficient matrices (U, V, W) of Laurent polynomials in lambda:
+//
+//   M_l   = (sum_{i,j} U[(i,j),l] * A_ij) * (sum_{p,q} V[(p,q),l] * B_pq)
+//   C_ab  =  sum_l W[(a,b),l] * M_l
+//
+// The rule is *exact* if the Brent equations hold identically in lambda, and
+// APA with approximation order sigma if they hold up to O(lambda^sigma) with no
+// negative powers in the residual.
+
+#include <string>
+#include <vector>
+
+#include "core/laurent.h"
+#include "support/matrix.h"
+
+namespace apa::core {
+
+struct Rule {
+  std::string name;
+  index_t m = 0;  ///< rows of A and C
+  index_t k = 0;  ///< cols of A / rows of B
+  index_t n = 0;  ///< cols of B and C
+  index_t rank = 0;
+
+  /// Coefficient matrices, stored entry-major: u[entry * rank + l].
+  /// Entry indices: A (i,j) -> i*k + j;  B (p,q) -> p*n + q;  C (a,b) -> a*n + b.
+  std::vector<LaurentPoly> u;  ///< (m*k) x rank
+  std::vector<LaurentPoly> v;  ///< (k*n) x rank
+  std::vector<LaurentPoly> w;  ///< (m*n) x rank
+
+  Rule() = default;
+  Rule(std::string name_, index_t m_, index_t k_, index_t n_, index_t rank_)
+      : name(std::move(name_)), m(m_), k(k_), n(n_), rank(rank_) {
+    u.assign(static_cast<std::size_t>(m * k * rank), {});
+    v.assign(static_cast<std::size_t>(k * n * rank), {});
+    w.assign(static_cast<std::size_t>(m * n * rank), {});
+  }
+
+  LaurentPoly& U(index_t i, index_t j, index_t l) { return u[(i * k + j) * rank + l]; }
+  LaurentPoly& V(index_t p, index_t q, index_t l) { return v[(p * n + q) * rank + l]; }
+  LaurentPoly& W(index_t a, index_t b, index_t l) { return w[(a * n + b) * rank + l]; }
+  [[nodiscard]] const LaurentPoly& U(index_t i, index_t j, index_t l) const {
+    return u[(i * k + j) * rank + l];
+  }
+  [[nodiscard]] const LaurentPoly& V(index_t p, index_t q, index_t l) const {
+    return v[(p * n + q) * rank + l];
+  }
+  [[nodiscard]] const LaurentPoly& W(index_t a, index_t b, index_t l) const {
+    return w[(a * n + b) * rank + l];
+  }
+
+  /// True if every coefficient is lambda-free (a classical-style exact rule
+  /// may still be exact with lambda terms; this is a cheap structural check).
+  [[nodiscard]] bool is_lambda_free() const;
+
+  /// Total nonzero coefficients in U+V (linear-combination work on inputs) and
+  /// W (output combinations); proxies for the addition overhead (section 2.4).
+  [[nodiscard]] index_t nnz_inputs() const;
+  [[nodiscard]] index_t nnz_outputs() const;
+
+  /// Theoretical one-step speedup over classical: m*k*n / rank - 1 (Table 1).
+  [[nodiscard]] double theoretical_speedup() const {
+    return static_cast<double>(m * k * n) / static_cast<double>(rank) - 1.0;
+  }
+};
+
+/// Result of checking the Brent equations symbolically in lambda.
+struct Validation {
+  bool valid = false;     ///< constant term matches <m,k,n> tensor, no negative powers
+  bool exact = false;     ///< residual identically zero
+  int sigma = 0;          ///< smallest positive residual degree (0 when exact)
+  std::string message;    ///< first violation, for diagnostics
+};
+
+/// Symbolically verify the rule against the matrix-multiplication tensor.
+[[nodiscard]] Validation validate(const Rule& rule);
+
+/// phi: max over multiplications l of the summed magnitudes of the most
+/// negative exponents in U column l, V column l, W column l (paper section 2.3).
+[[nodiscard]] int compute_phi(const Rule& rule);
+
+/// Human-readable listing of the rule in the paper's M_l / C_ab notation,
+/// e.g. "M1 = [(1)*A11 + (1)*A22] * [(L)*B11 + (1)*B22]" (L = lambda).
+[[nodiscard]] std::string describe(const Rule& rule);
+
+}  // namespace apa::core

@@ -1,0 +1,48 @@
+#include "core/select.h"
+
+#include <algorithm>
+
+#include "core/params.h"
+#include "core/registry.h"
+
+namespace apa::core {
+
+std::string select_algorithm(index_t m, index_t k, index_t n,
+                             const SelectOptions& options) {
+  const index_t smallest = std::min({m, k, n});
+  if (smallest < options.min_dim) return "classical";
+
+  // Score: theoretical speedup, discounted by the addition overhead proxy
+  // (nnz per output element) and by how badly the rule's aspect ratio
+  // mismatches the problem's after the best orientation.
+  double best_score = 0;  // classical scores 0
+  std::string best = "classical";
+  const double problem_skew =
+      static_cast<double>(std::max({m, k, n})) / static_cast<double>(smallest);
+
+  for (const AlgorithmInfo& info : list_algorithms()) {
+    const AlgorithmParams p = analyze(rule_by_name(info.name));
+    if (options.exact_only && !p.exact) continue;
+    // Rules with blocks bigger than the problem can't run a full step.
+    if (info.m > m || info.k > k || info.n > n) continue;
+
+    const double rule_skew =
+        static_cast<double>(std::max({info.m, info.k, info.n})) /
+        static_cast<double>(std::min({info.m, info.k, info.n}));
+    // Skew match bonus: a <4,4,2>-shaped rule suits a skewed problem better
+    // than <4,4,4>; for square problems the opposite.
+    const double skew_penalty =
+        std::abs(std::min(rule_skew, 3.0) - std::min(problem_skew, 3.0)) * 0.02;
+    const double addition_penalty =
+        0.004 * static_cast<double>(p.nnz_inputs + p.nnz_outputs) /
+        static_cast<double>(p.m * p.n);
+    const double score = p.speedup - addition_penalty - skew_penalty;
+    if (score > best_score) {
+      best_score = score;
+      best = info.name;
+    }
+  }
+  return best;
+}
+
+}  // namespace apa::core

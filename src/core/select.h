@@ -1,0 +1,25 @@
+#pragma once
+// Shape-based algorithm selection: the registry pick a downstream user should
+// make for a given multiplication, combining the paper's guidance (section 6:
+// match the rule's aspect ratio to the problem's; section 3: larger problems
+// tolerate more aggressive rules) into one helper.
+
+#include <string>
+
+#include "support/matrix.h"
+
+namespace apa::core {
+
+struct SelectOptions {
+  /// Below this min-dimension just use classical gemm.
+  index_t min_dim = 128;
+  /// Prefer exact rules (no approximation error) over APA.
+  bool exact_only = false;
+};
+
+/// Returns a registry algorithm name (already orientation-matched dims-wise)
+/// or "classical" when no fast step is advisable.
+[[nodiscard]] std::string select_algorithm(index_t m, index_t k, index_t n,
+                                           const SelectOptions& options = {});
+
+}  // namespace apa::core

@@ -1,0 +1,139 @@
+#include "core/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace apa::core {
+namespace {
+
+std::string coeff_to_string(const Rational& r) {
+  return r.den() == 1 ? std::to_string(r.num())
+                      : std::to_string(r.num()) + "/" + std::to_string(r.den());
+}
+
+Rational parse_coeff(const std::string& token) {
+  const auto slash = token.find('/');
+  if (slash == std::string::npos) {
+    return Rational(std::stoll(token));
+  }
+  return Rational(std::stoll(token.substr(0, slash)),
+                  std::stoll(token.substr(slash + 1)));
+}
+
+void write_block(std::ostream& out, const char* tag,
+                 const std::vector<LaurentPoly>& coeffs, index_t rows, index_t cols,
+                 index_t rank) {
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      for (index_t l = 0; l < rank; ++l) {
+        const LaurentPoly& p = coeffs[(r * cols + c) * rank + l];
+        for (const auto& [degree, coeff] : p.terms()) {
+          out << tag << " " << r << " " << c << " " << l << " "
+              << coeff_to_string(coeff) << " " << degree << "\n";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void write_rule(std::ostream& out, const Rule& rule) {
+  out << "apamm-rule 1\n";
+  out << "name " << (rule.name.empty() ? "unnamed" : rule.name) << "\n";
+  out << "dims " << rule.m << " " << rule.k << " " << rule.n << "\n";
+  out << "rank " << rule.rank << "\n";
+  write_block(out, "U", rule.u, rule.m, rule.k, rule.rank);
+  write_block(out, "V", rule.v, rule.k, rule.n, rule.rank);
+  write_block(out, "W", rule.w, rule.m, rule.n, rule.rank);
+}
+
+void write_rule_file(const std::string& path, const Rule& rule) {
+  std::ofstream out(path);
+  APA_CHECK_MSG(out.good(), "cannot open " << path);
+  write_rule(out, rule);
+}
+
+Rule read_rule(std::istream& in, bool validate_brent) {
+  std::string line;
+  std::string name = "unnamed";
+  index_t m = 0, k = 0, n = 0, rank = 0;
+  bool got_magic = false, got_dims = false, got_rank = false;
+  Rule rule;
+  bool rule_ready = false;
+  int line_number = 0;
+
+  const auto ensure_ready = [&] {
+    APA_CHECK_MSG(got_dims && got_rank, "coefficients before dims/rank header");
+    if (!rule_ready) {
+      rule = Rule(name, m, k, n, rank);
+      rule_ready = true;
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;  // blank/comment line
+
+    if (tag == "apamm-rule") {
+      int version = 0;
+      APA_CHECK_MSG(ls >> version && version == 1,
+                    "line " << line_number << ": unsupported format version");
+      got_magic = true;
+    } else if (tag == "name") {
+      APA_CHECK_MSG(static_cast<bool>(ls >> name), "line " << line_number << ": bad name");
+    } else if (tag == "dims") {
+      APA_CHECK_MSG((ls >> m >> k >> n) && m > 0 && k > 0 && n > 0,
+                    "line " << line_number << ": bad dims");
+      got_dims = true;
+    } else if (tag == "rank") {
+      APA_CHECK_MSG((ls >> rank) && rank > 0, "line " << line_number << ": bad rank");
+      got_rank = true;
+    } else if (tag == "U" || tag == "V" || tag == "W") {
+      ensure_ready();
+      index_t row = 0, col = 0, product = 0;
+      std::string coeff_token;
+      int degree = 0;
+      APA_CHECK_MSG((ls >> row >> col >> product >> coeff_token >> degree),
+                    "line " << line_number << ": malformed coefficient line");
+      const index_t rows = tag == "U" ? rule.m : (tag == "V" ? rule.k : rule.m);
+      const index_t cols = tag == "U" ? rule.k : rule.n;
+      APA_CHECK_MSG(row >= 0 && row < rows && col >= 0 && col < cols && product >= 0 &&
+                        product < rule.rank,
+                    "line " << line_number << ": index out of bounds");
+      const LaurentPoly monomial = LaurentPoly::monomial(parse_coeff(coeff_token), degree);
+      if (tag == "U") {
+        rule.U(row, col, product) += monomial;
+      } else if (tag == "V") {
+        rule.V(row, col, product) += monomial;
+      } else {
+        rule.W(row, col, product) += monomial;
+      }
+    } else {
+      APA_CHECK_MSG(false, "line " << line_number << ": unknown tag '" << tag << "'");
+    }
+  }
+
+  APA_CHECK_MSG(got_magic, "missing 'apamm-rule' magic line");
+  ensure_ready();
+  rule.name = name;
+  if (validate_brent) {
+    const Validation v = validate(rule);
+    APA_CHECK_MSG(v.valid, "loaded rule fails Brent equations: " << v.message);
+  }
+  return rule;
+}
+
+Rule read_rule_file(const std::string& path, bool validate_brent) {
+  std::ifstream in(path);
+  APA_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_rule(in, validate_brent);
+}
+
+}  // namespace apa::core

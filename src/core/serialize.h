@@ -1,0 +1,41 @@
+#pragma once
+// Text serialization of bilinear rules.
+//
+// The registry substitutes designer-built rules for the published
+// Smirnov/Schonhage/Alekseev coefficient tables that are not shipped here
+// (DESIGN.md section 2). This format closes that gap operationally: anyone
+// holding the original tables can write them in this format and load them as
+// first-class algorithms (validated on load against the Brent equations).
+//
+// Format (line oriented, '#' comments allowed):
+//
+//   apamm-rule 1            # magic + format version
+//   name bini322
+//   dims 3 2 2
+//   rank 10
+//   U <row> <col> <product> <coeff> <degree>   # one line per monomial
+//   V ...
+//   W ...
+//
+// Coefficients are rationals ("1", "-1/2"); degree is the lambda exponent.
+// Polynomial coefficients are expressed as multiple lines for the same
+// (row, col, product) triple, which accumulate.
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/rule.h"
+
+namespace apa::core {
+
+void write_rule(std::ostream& out, const Rule& rule);
+void write_rule_file(const std::string& path, const Rule& rule);
+
+/// Parses and structurally checks a rule (dims/rank/entry bounds). Set
+/// `validate_brent` to also run the symbolic Brent-equation validation
+/// (recommended; costs O((mkn)^2 * rank) polynomial products).
+[[nodiscard]] Rule read_rule(std::istream& in, bool validate_brent = true);
+[[nodiscard]] Rule read_rule_file(const std::string& path, bool validate_brent = true);
+
+}  // namespace apa::core

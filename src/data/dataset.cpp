@@ -1,0 +1,24 @@
+#include "data/dataset.h"
+
+#include <utility>
+
+namespace apa::data {
+
+void shuffle(Dataset& dataset, Rng& rng) {
+  const index_t n = dataset.size();
+  const index_t f = dataset.features();
+  std::vector<float> row(static_cast<std::size_t>(f));
+  for (index_t i = n - 1; i > 0; --i) {
+    const index_t j = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(i + 1)));
+    if (i == j) continue;
+    float* ri = &dataset.images(i, 0);
+    float* rj = &dataset.images(j, 0);
+    std::copy(ri, ri + f, row.begin());
+    std::copy(rj, rj + f, ri);
+    std::copy(row.begin(), row.end(), rj);
+    std::swap(dataset.labels[static_cast<std::size_t>(i)],
+              dataset.labels[static_cast<std::size_t>(j)]);
+  }
+}
+
+}  // namespace apa::data

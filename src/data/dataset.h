@@ -1,0 +1,31 @@
+#pragma once
+// Supervised image-classification dataset container and batching helpers.
+
+#include <vector>
+
+#include "support/matrix.h"
+#include "support/rng.h"
+
+namespace apa::data {
+
+struct Dataset {
+  Matrix<float> images;     ///< samples x features, row-major
+  std::vector<int> labels;  ///< size == samples
+
+  [[nodiscard]] index_t size() const { return images.rows(); }
+  [[nodiscard]] index_t features() const { return images.cols(); }
+
+  /// View of rows [first, first + count).
+  [[nodiscard]] MatrixView<const float> batch_images(index_t first,
+                                                     index_t count) const {
+    return images.view().block(first, 0, count, features()).as_const();
+  }
+  [[nodiscard]] std::vector<int> batch_labels(index_t first, index_t count) const {
+    return {labels.begin() + first, labels.begin() + first + count};
+  }
+};
+
+/// In-place deterministic row shuffle (images and labels together).
+void shuffle(Dataset& dataset, Rng& rng);
+
+}  // namespace apa::data

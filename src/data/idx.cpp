@@ -1,0 +1,118 @@
+#include "data/idx.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "support/check.h"
+
+namespace apa::data {
+namespace {
+
+constexpr std::uint32_t kImagesMagic = 0x00000803;  // u8, 3 dimensions
+constexpr std::uint32_t kLabelsMagic = 0x00000801;  // u8, 1 dimension
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  APA_CHECK_MSG(in.good(), "IDX: truncated header");
+  return (std::uint32_t{bytes[0]} << 24) | (std::uint32_t{bytes[1]} << 16) |
+         (std::uint32_t{bytes[2]} << 8) | std::uint32_t{bytes[3]};
+}
+
+void write_be32(std::ostream& out, std::uint32_t value) {
+  const unsigned char bytes[4] = {
+      static_cast<unsigned char>(value >> 24), static_cast<unsigned char>(value >> 16),
+      static_cast<unsigned char>(value >> 8), static_cast<unsigned char>(value)};
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+}  // namespace
+
+Matrix<float> read_idx_images(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  APA_CHECK_MSG(in.good(), "cannot open " << path);
+  APA_CHECK_MSG(read_be32(in) == kImagesMagic, path << ": not an IDX3 image file");
+  const auto count = static_cast<index_t>(read_be32(in));
+  const auto rows = static_cast<index_t>(read_be32(in));
+  const auto cols = static_cast<index_t>(read_be32(in));
+  Matrix<float> images(count, rows * cols);
+  std::vector<unsigned char> buffer(static_cast<std::size_t>(rows * cols));
+  for (index_t s = 0; s < count; ++s) {
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+    APA_CHECK_MSG(in.good(), path << ": truncated image data at sample " << s);
+    float* row = &images(s, 0);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      row[i] = static_cast<float>(buffer[i]) / 255.0f;
+    }
+  }
+  return images;
+}
+
+std::vector<int> read_idx_labels(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  APA_CHECK_MSG(in.good(), "cannot open " << path);
+  APA_CHECK_MSG(read_be32(in) == kLabelsMagic, path << ": not an IDX1 label file");
+  const auto count = read_be32(in);
+  std::vector<unsigned char> buffer(count);
+  in.read(reinterpret_cast<char*>(buffer.data()), static_cast<std::streamsize>(count));
+  APA_CHECK_MSG(in.good(), path << ": truncated label data");
+  std::vector<int> labels(count);
+  std::transform(buffer.begin(), buffer.end(), labels.begin(),
+                 [](unsigned char b) { return static_cast<int>(b); });
+  return labels;
+}
+
+void write_idx_images(const std::string& path, MatrixView<const float> images,
+                      index_t rows, index_t cols) {
+  APA_CHECK(rows * cols == images.cols);
+  std::ofstream out(path, std::ios::binary);
+  APA_CHECK_MSG(out.good(), "cannot open " << path);
+  write_be32(out, kImagesMagic);
+  write_be32(out, static_cast<std::uint32_t>(images.rows));
+  write_be32(out, static_cast<std::uint32_t>(rows));
+  write_be32(out, static_cast<std::uint32_t>(cols));
+  std::vector<unsigned char> buffer(static_cast<std::size_t>(images.cols));
+  for (index_t s = 0; s < images.rows; ++s) {
+    for (index_t i = 0; i < images.cols; ++i) {
+      const float v = std::clamp(images(s, i), 0.0f, 1.0f);
+      buffer[static_cast<std::size_t>(i)] =
+          static_cast<unsigned char>(std::lround(v * 255.0f));
+    }
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+  }
+}
+
+void write_idx_labels(const std::string& path, const std::vector<int>& labels) {
+  std::ofstream out(path, std::ios::binary);
+  APA_CHECK_MSG(out.good(), "cannot open " << path);
+  write_be32(out, kLabelsMagic);
+  write_be32(out, static_cast<std::uint32_t>(labels.size()));
+  for (int label : labels) {
+    const auto byte = static_cast<unsigned char>(label);
+    out.write(reinterpret_cast<const char*>(&byte), 1);
+  }
+}
+
+std::optional<MnistFiles> try_load_mnist(const std::string& directory) {
+  namespace fs = std::filesystem;
+  const fs::path dir(directory);
+  const auto train_images = dir / "train-images-idx3-ubyte";
+  const auto train_labels = dir / "train-labels-idx1-ubyte";
+  const auto test_images = dir / "t10k-images-idx3-ubyte";
+  const auto test_labels = dir / "t10k-labels-idx1-ubyte";
+  for (const auto& p : {train_images, train_labels, test_images, test_labels}) {
+    if (!fs::exists(p)) return std::nullopt;
+  }
+  MnistFiles files;
+  files.train.images = read_idx_images(train_images.string());
+  files.train.labels = read_idx_labels(train_labels.string());
+  files.test.images = read_idx_images(test_images.string());
+  files.test.labels = read_idx_labels(test_labels.string());
+  return files;
+}
+
+}  // namespace apa::data

@@ -1,0 +1,34 @@
+#pragma once
+// Reader/writer for the IDX format used by the original MNIST distribution
+// (LeCun et al.). When real MNIST files are present on disk the experiments
+// use them; otherwise they fall back to the synthetic generator.
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace apa::data {
+
+/// Loads an IDX3 image file (u8 pixels, scaled to [0, 1]) into samples x
+/// (rows*cols). Throws on malformed files.
+[[nodiscard]] Matrix<float> read_idx_images(const std::string& path);
+
+/// Loads an IDX1 label file.
+[[nodiscard]] std::vector<int> read_idx_labels(const std::string& path);
+
+/// Writes images (values clamped to [0,1], stored as u8) / labels; used by the
+/// round-trip tests and to materialize synthetic data for other tools.
+void write_idx_images(const std::string& path, MatrixView<const float> images,
+                      index_t rows, index_t cols);
+void write_idx_labels(const std::string& path, const std::vector<int>& labels);
+
+/// Loads train/test splits from a directory containing the four canonical
+/// MNIST file names; std::nullopt when any file is missing.
+struct MnistFiles {
+  Dataset train;
+  Dataset test;
+};
+[[nodiscard]] std::optional<MnistFiles> try_load_mnist(const std::string& directory);
+
+}  // namespace apa::data

@@ -1,0 +1,107 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <array>
+
+#include "support/check.h"
+
+namespace apa::data {
+namespace {
+
+// Seven-segment layout on the 28x28 canvas (margins of 6 px):
+// segments: 0 top, 1 top-left, 2 top-right, 3 middle, 4 bottom-left,
+//           5 bottom-right, 6 bottom.
+constexpr std::array<std::array<bool, 7>, 10> kSegments = {{
+    {true, true, true, false, true, true, true},      // 0
+    {false, false, true, false, false, true, false},  // 1
+    {true, false, true, true, true, false, true},     // 2
+    {true, false, true, true, false, true, true},     // 3
+    {false, true, true, true, false, true, false},    // 4
+    {true, true, false, true, false, true, true},     // 5
+    {true, true, false, true, true, true, true},      // 6
+    {true, false, true, false, false, true, false},   // 7
+    {true, true, true, true, true, true, true},       // 8
+    {true, true, true, true, false, true, true},      // 9
+}};
+
+constexpr index_t kLeft = 8, kRight = 19, kTop = 4, kMid = 13, kBottom = 23;
+constexpr index_t kThickness = 3;
+
+void draw_horizontal(MatrixView<float> canvas, index_t row) {
+  for (index_t t = 0; t < kThickness; ++t) {
+    for (index_t c = kLeft; c <= kRight; ++c) canvas(row + t, c) = 1.0f;
+  }
+}
+
+void draw_vertical(MatrixView<float> canvas, index_t col, index_t row0, index_t row1) {
+  for (index_t t = 0; t < kThickness; ++t) {
+    for (index_t r = row0; r <= row1; ++r) canvas(r, col + t) = 1.0f;
+  }
+}
+
+}  // namespace
+
+void render_digit(int digit, MatrixView<float> canvas) {
+  APA_CHECK(digit >= 0 && digit < kNumClasses);
+  APA_CHECK(canvas.rows == kImageSide && canvas.cols == kImageSide);
+  for (index_t i = 0; i < kImageSide; ++i) {
+    for (index_t j = 0; j < kImageSide; ++j) canvas(i, j) = 0.0f;
+  }
+  const auto& segs = kSegments[static_cast<std::size_t>(digit)];
+  if (segs[0]) draw_horizontal(canvas, kTop);
+  if (segs[3]) draw_horizontal(canvas, kMid);
+  if (segs[6]) draw_horizontal(canvas, kBottom);
+  if (segs[1]) draw_vertical(canvas, kLeft, kTop, kMid + kThickness - 1);
+  if (segs[2]) draw_vertical(canvas, kRight, kTop, kMid + kThickness - 1);
+  if (segs[4]) draw_vertical(canvas, kLeft, kMid, kBottom + kThickness - 1);
+  if (segs[5]) draw_vertical(canvas, kRight, kMid, kBottom + kThickness - 1);
+}
+
+namespace {
+
+Dataset generate(index_t count, const SyntheticMnistOptions& options, Rng& rng) {
+  Dataset out;
+  out.images = Matrix<float>(count, kImagePixels);
+  out.labels.resize(static_cast<std::size_t>(count));
+  Matrix<float> glyph(kImageSide, kImageSide);
+
+  for (index_t s = 0; s < count; ++s) {
+    const int digit = static_cast<int>(rng.next_below(kNumClasses));
+    out.labels[static_cast<std::size_t>(s)] = digit;
+    render_digit(digit, glyph.view());
+
+    const int span = 2 * options.max_shift + 1;
+    const int dr = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(span))) -
+                   options.max_shift;
+    const int dc = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(span))) -
+                   options.max_shift;
+    const float intensity = static_cast<float>(rng.uniform(0.7, 1.0));
+
+    float* row = &out.images(s, 0);
+    for (index_t i = 0; i < kImageSide; ++i) {
+      for (index_t j = 0; j < kImageSide; ++j) {
+        const index_t si = i - dr;
+        const index_t sj = j - dc;
+        float value = 0.0f;
+        if (si >= 0 && si < kImageSide && sj >= 0 && sj < kImageSide) {
+          value = glyph(si, sj) * intensity;
+        }
+        value += static_cast<float>(options.noise_stddev * rng.normal());
+        row[i * kImageSide + j] = std::clamp(value, 0.0f, 1.0f);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MnistSplits make_synthetic_mnist(const SyntheticMnistOptions& options) {
+  Rng rng(options.seed);
+  MnistSplits splits;
+  splits.train = generate(options.train_size, options, rng);
+  splits.test = generate(options.test_size, options, rng);
+  return splits;
+}
+
+}  // namespace apa::data

@@ -1,0 +1,27 @@
+#pragma once
+// Kernels emitted by the code generator (examples/codegen_tool) and committed
+// so the build continuously proves the generated code compiles and computes
+// the same products as the runtime executor (tests/core/generated_test.cpp).
+// Each performs ONE recursive step of its rule; operand dims must be block
+// multiples. Lambda is baked in at generation time (see each .cpp header).
+//
+// Regenerate with:
+//   ./build/examples/codegen_tool --algo=<name> --out=src/generated/<name>_generated.cpp
+
+#include "support/matrix.h"
+
+namespace apa::generated {
+
+/// Strassen <2,2,2; 7>, exact.
+void strassen_multiply(MatrixView<const float> a, MatrixView<const float> b,
+                       MatrixView<float> c, int num_threads);
+
+/// Bini <3,2,2; 10> APA at lambda = 2^-11.5 (the single-precision optimum).
+void bini322_multiply(MatrixView<const float> a, MatrixView<const float> b,
+                      MatrixView<float> c, int num_threads);
+
+/// Strassen (x) classical<2,2,1> = <4,4,2; 28>, exact.
+void fast442_multiply(MatrixView<const float> a, MatrixView<const float> b,
+                      MatrixView<float> c, int num_threads);
+
+}  // namespace apa::generated

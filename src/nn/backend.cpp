@@ -1,0 +1,164 @@
+#include "nn/backend.h"
+
+#include <algorithm>
+
+#include "blas/gemm.h"
+#include "blas/transpose.h"
+#include "core/cost_model.h"
+#include "core/registry.h"
+#include "core/transforms.h"
+#include "support/check.h"
+
+namespace apa::nn {
+namespace {
+
+std::shared_ptr<const std::vector<core::FastMatmul>> build_orientations(
+    const std::string& algorithm, const BackendOptions& options) {
+  if (algorithm == "classical") return nullptr;
+  const core::Rule& base = core::rule_by_name(algorithm);
+  auto out = std::make_shared<std::vector<core::FastMatmul>>();
+  for (int perm = 0; perm < 6; ++perm) {
+    core::Rule candidate = core::permute_rule(base, perm);
+    const bool seen = std::any_of(
+        out->begin(), out->end(), [&](const core::FastMatmul& mm) {
+          return mm.params().m == candidate.m && mm.params().k == candidate.k &&
+                 mm.params().n == candidate.n;
+        });
+    if (!seen) out->emplace_back(std::move(candidate), options.matmul);
+    if (!options.auto_orient) break;  // keep only the native orientation
+  }
+  return out;
+}
+
+}  // namespace
+
+MatmulBackend::MatmulBackend(const std::string& algorithm, BackendOptions options)
+    : name_(algorithm),
+      options_(options),
+      shared_orientations_(build_orientations(algorithm, options)) {
+  if (shared_orientations_) {
+    orientations_.reserve(shared_orientations_->size());
+    for (const auto& mm : *shared_orientations_) orientations_.push_back(&mm);
+  }
+}
+
+MatmulBackend::MatmulBackend(const std::string& algorithm,
+                             core::FastMatmulOptions matmul_options)
+    : MatmulBackend(algorithm, BackendOptions{.matmul = matmul_options}) {}
+
+const core::FastMatmul* MatmulBackend::dispatch_for(index_t m, index_t k,
+                                                    index_t n) const {
+  if (orientations_.empty()) return nullptr;
+  if (std::min({m, k, n}) < options_.min_dim_for_fast) return nullptr;
+  if (!options_.auto_orient) return orientations_.front();
+
+  const index_t problem[3] = {m, k, n};
+  int order[3] = {0, 1, 2};
+  std::stable_sort(order, order + 3,
+                   [&](int a, int b) { return problem[a] > problem[b]; });
+  const core::FastMatmul* chosen = orientations_.front();
+  for (const core::FastMatmul* mm : orientations_) {
+    const index_t dims[3] = {mm->params().m, mm->params().k, mm->params().n};
+    if (dims[order[0]] >= dims[order[1]] && dims[order[1]] >= dims[order[2]]) {
+      chosen = mm;
+      break;
+    }
+  }
+
+  if (options_.cost_aware) {
+    // One-step profitability estimate (core/cost_model.h): saved multiply time
+    // vs the memory-bound addition traffic.
+    const auto& params = chosen->params();
+    const auto round_up = [](index_t value, index_t block) {
+      return (value + block - 1) / block * block;
+    };
+    const index_t pm = round_up(m, params.m);
+    const index_t pk = round_up(k, params.k);
+    const index_t pn = round_up(n, params.n);
+    const double flops = 2.0 * static_cast<double>(pm) * pk * pn;
+    const double saved_fraction =
+        1.0 - static_cast<double>(params.rank) /
+                  static_cast<double>(params.m * params.k * params.n);
+    const double saved_seconds =
+        flops * saved_fraction / (options_.assumed_gemm_gflops * 1e9);
+    const double add_seconds =
+        core::addition_traffic_bytes(chosen->rule(), pm, pk, pn) /
+        options_.assumed_add_bandwidth;
+    if (saved_seconds <= add_seconds) return nullptr;
+  }
+  return chosen;
+}
+
+void MatmulBackend::matmul(MatrixView<const float> a, MatrixView<const float> b,
+                           MatrixView<float> c, bool transpose_a,
+                           bool transpose_b) const {
+  const index_t m = transpose_a ? a.cols : a.rows;
+  const index_t k = transpose_a ? a.rows : a.cols;
+  const index_t kb = transpose_b ? b.cols : b.rows;
+  const index_t n = transpose_b ? b.rows : b.cols;
+  APA_CHECK_MSG(k == kb && c.rows == m && c.cols == n, "matmul shape mismatch");
+
+  const core::FastMatmul* fast = dispatch_for(m, k, n);
+  if (fast == nullptr) {
+    blas::gemm<float>(transpose_a ? blas::Trans::kYes : blas::Trans::kNo,
+                      transpose_b ? blas::Trans::kYes : blas::Trans::kNo, m, n, k, 1.0f,
+                      a.data, a.ld, b.data, b.ld, 0.0f, c.data, c.ld,
+                      options_.matmul.num_threads);
+    return;
+  }
+
+  // APA executors need plain row-major operands, so transposed ones must be
+  // materialized. Two equivalent evaluations differ only in transpose traffic:
+  //   direct:  C = op(A) op(B)        copies op-transposed inputs;
+  //   swapped: C^T = op(B)^T op(A)^T  copies the *un*-transposed inputs plus C.
+  // Pick the cheaper one — e.g. dx = dy W^T on VGG-19 would otherwise copy the
+  // 25088 x 4096 weight matrix every backward pass.
+  const double direct_cost = (transpose_a ? static_cast<double>(m) * k : 0.0) +
+                             (transpose_b ? static_cast<double>(k) * n : 0.0);
+  const double swapped_cost = (transpose_a ? 0.0 : static_cast<double>(m) * k) +
+                              (transpose_b ? 0.0 : static_cast<double>(k) * n) +
+                              static_cast<double>(m) * n;
+
+  Matrix<float> at, bt;
+  if (direct_cost <= swapped_cost) {
+    MatrixView<const float> a_op = a;
+    MatrixView<const float> b_op = b;
+    if (transpose_a) {
+      at = Matrix<float>(a.cols, a.rows);
+      blas::transpose<float>(a, at.view());
+      a_op = at.view();
+    }
+    if (transpose_b) {
+      bt = Matrix<float>(b.cols, b.rows);
+      blas::transpose<float>(b, bt.view());
+      b_op = bt.view();
+    }
+    fast->multiply(a_op, b_op, c);
+    return;
+  }
+
+  // Swapped: the rule orientation for the (n, k, m) product.
+  const core::FastMatmul* fast_swapped = dispatch_for(n, k, m);
+  MatrixView<const float> left = b;   // op(B)^T as stored
+  MatrixView<const float> right = a;  // op(A)^T as stored
+  if (!transpose_b) {
+    bt = Matrix<float>(b.cols, b.rows);
+    blas::transpose<float>(b, bt.view());
+    left = bt.view();
+  }
+  if (!transpose_a) {
+    at = Matrix<float>(a.cols, a.rows);
+    blas::transpose<float>(a, at.view());
+    right = at.view();
+  }
+  Matrix<float> c_t(n, m);
+  if (fast_swapped != nullptr) {
+    fast_swapped->multiply(left, right, c_t.view());
+  } else {
+    blas::gemm<float>(left, right, c_t.view(), 1.0f, 0.0f,
+                      options_.matmul.num_threads);
+  }
+  blas::transpose<float>(c_t.view().as_const(), c);
+}
+
+}  // namespace apa::nn

@@ -1,0 +1,75 @@
+#pragma once
+// Pluggable matrix-multiplication backend for the NN layers — the analog of
+// the paper's custom TensorFlow operators: a "classical" backend that calls
+// gemm directly (their fair baseline, which beat TF's built-in op) and APA
+// backends wrapping any registry rule.
+//
+// Two practical behaviours the paper's framework relies on are built in:
+//   * orientation matching (paper section 6): the rule is permuted per call so
+//     its largest dimension splits the problem's largest dimension — without
+//     this, backward-pass multiplications like dW = x^T dy (inner dim = batch)
+//     get their smallest dimension shattered and run far slower than gemm;
+//   * a minimum-dimension cutoff: problems with any dimension below the
+//     cutoff fall back to classical gemm, where one recursive step cannot pay.
+//
+// APA executors consume plain row-major operands, so transposed operands are
+// materialized; the classical backend uses gemm's native transpose support.
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/fastmm.h"
+
+namespace apa::nn {
+
+struct BackendOptions {
+  core::FastMatmulOptions matmul;
+  /// Fall back to classical gemm when min(m, k, n) is below this.
+  index_t min_dim_for_fast = 128;
+  /// Permute the rule to match the problem's aspect ratio per call.
+  bool auto_orient = true;
+  /// Profitability-aware dispatch (extension of paper section 2.4): estimate
+  /// the flops saved by the rule against its addition traffic using the cost
+  /// model, and fall back to classical gemm when the step cannot pay — e.g.
+  /// skinny problems whose shared operand blocks dwarf the flop savings.
+  bool cost_aware = false;
+  /// Machine constants for the cost-aware estimate; override after measuring
+  /// (core::measure_add_bandwidth and a gemm timing) for tighter dispatch.
+  double assumed_gemm_gflops = 45.0;
+  double assumed_add_bandwidth = 8e9;  // bytes/second
+};
+
+class MatmulBackend {
+ public:
+  /// `algorithm`: "classical" or a registry name.
+  explicit MatmulBackend(const std::string& algorithm, BackendOptions options = {});
+  /// Convenience: wrap existing FastMatmul options with default backend policy.
+  MatmulBackend(const std::string& algorithm, core::FastMatmulOptions matmul_options);
+
+  /// c = op(a) * op(b), where op transposes the stored row-major matrix.
+  void matmul(MatrixView<const float> a, MatrixView<const float> b,
+              MatrixView<float> c, bool transpose_a = false,
+              bool transpose_b = false) const;
+
+  [[nodiscard]] const std::string& algorithm() const { return name_; }
+  [[nodiscard]] bool is_classical() const { return orientations_.empty(); }
+  [[nodiscard]] int num_threads() const { return options_.matmul.num_threads; }
+  [[nodiscard]] const BackendOptions& options() const { return options_; }
+
+  /// The FastMatmul instance that a problem of logical shape (m, k, n) would
+  /// dispatch to; nullptr when it would use classical gemm. Exposed for tests
+  /// and instrumentation.
+  [[nodiscard]] const core::FastMatmul* dispatch_for(index_t m, index_t k,
+                                                     index_t n) const;
+
+ private:
+  std::string name_;
+  BackendOptions options_;
+  /// Distinct orientations of the rule (deduplicated by dims), shared across
+  /// copies of the backend. Empty for the classical backend.
+  std::shared_ptr<const std::vector<core::FastMatmul>> shared_orientations_;
+  std::vector<const core::FastMatmul*> orientations_;  // raw view for dispatch
+};
+
+}  // namespace apa::nn

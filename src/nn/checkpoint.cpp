@@ -1,0 +1,79 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "support/check.h"
+
+namespace apa::nn {
+namespace {
+
+constexpr char kMagic[10] = {'A', 'P', 'A', 'M', 'M', '_', 'M', 'L', 'P', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  APA_CHECK_MSG(in.good(), "checkpoint truncated");
+  return value;
+}
+
+void write_matrix(std::ostream& out, const Matrix<float>& m) {
+  write_u64(out, static_cast<std::uint64_t>(m.rows()));
+  write_u64(out, static_cast<std::uint64_t>(m.cols()));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+void read_matrix_into(std::istream& in, Matrix<float>& m) {
+  const auto rows = static_cast<index_t>(read_u64(in));
+  const auto cols = static_cast<index_t>(read_u64(in));
+  APA_CHECK_MSG(rows == m.rows() && cols == m.cols(),
+                "checkpoint shape " << rows << "x" << cols << " does not match model "
+                                    << m.rows() << "x" << m.cols());
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  APA_CHECK_MSG(in.good(), "checkpoint truncated in tensor data");
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, Mlp& mlp) {
+  std::ofstream out(path, std::ios::binary);
+  APA_CHECK_MSG(out.good(), "cannot open " << path);
+  out.write(kMagic, sizeof(kMagic));
+  write_u64(out, static_cast<std::uint64_t>(mlp.num_dense_layers()));
+  for (index_t i = 0; i < mlp.num_dense_layers(); ++i) {
+    write_matrix(out, mlp.layer(i).weights());
+    // Bias is 1 x out; reuse the matrix writer via a copy-free const view.
+    const Matrix<float>& bias = mlp.layer(i).bias();
+    write_u64(out, static_cast<std::uint64_t>(bias.rows()));
+    write_u64(out, static_cast<std::uint64_t>(bias.cols()));
+    out.write(reinterpret_cast<const char*>(bias.data()),
+              static_cast<std::streamsize>(bias.size() * sizeof(float)));
+  }
+  APA_CHECK_MSG(out.good(), "write failed for " << path);
+}
+
+void load_checkpoint(const std::string& path, Mlp& mlp) {
+  std::ifstream in(path, std::ios::binary);
+  APA_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  APA_CHECK_MSG(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic),
+                path << ": not an apamm MLP checkpoint");
+  const auto layers = static_cast<index_t>(read_u64(in));
+  APA_CHECK_MSG(layers == mlp.num_dense_layers(),
+                "checkpoint has " << layers << " layers, model has "
+                                  << mlp.num_dense_layers());
+  for (index_t i = 0; i < layers; ++i) {
+    read_matrix_into(in, mlp.layer(i).weights());
+    Matrix<float>& bias = mlp.layer(i).mutable_bias();
+    read_matrix_into(in, bias);
+  }
+}
+
+}  // namespace apa::nn

@@ -1,0 +1,18 @@
+#pragma once
+// MLP weight checkpointing: a minimal binary format (little-endian host
+// floats) so trained models survive process restarts and experiments can
+// resume. Topology is stored and verified on load.
+
+#include <string>
+
+#include "nn/mlp.h"
+
+namespace apa::nn {
+
+/// Writes every dense layer's weights and biases.
+void save_checkpoint(const std::string& path, Mlp& mlp);
+
+/// Loads into an Mlp of identical topology; throws on mismatch or corruption.
+void load_checkpoint(const std::string& path, Mlp& mlp);
+
+}  // namespace apa::nn

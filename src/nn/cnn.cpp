@@ -1,0 +1,106 @@
+#include "nn/cnn.h"
+
+namespace apa::nn {
+namespace {
+
+ConvShape make_conv_shape(const CnnConfig& config) {
+  ConvShape s;
+  s.in_channels = 1;
+  s.in_height = config.image_side;
+  s.in_width = config.image_side;
+  s.out_channels = config.conv_channels;
+  s.kernel = 3;
+  s.stride = 1;
+  s.padding = 1;
+  return s;
+}
+
+PoolShape make_pool_shape(const ConvShape& conv) {
+  PoolShape s;
+  s.channels = conv.out_channels;
+  s.in_height = conv.out_height();
+  s.in_width = conv.out_width();
+  return s;
+}
+
+}  // namespace
+
+Cnn::Cnn(const CnnConfig& config, MatmulBackend fast, MatmulBackend classical)
+    : config_(config),
+      fast_(std::move(fast)),
+      classical_(std::move(classical)),
+      rng_(config.seed),
+      conv_shape_(make_conv_shape(config)),
+      pool_shape_(make_pool_shape(conv_shape_)),
+      conv_(conv_shape_, rng_),
+      pool_(pool_shape_),
+      dense1_(pool_shape_.out_size(), config.hidden, rng_),
+      dense2_(config.hidden, config.classes, rng_) {}
+
+double Cnn::train_step(MatrixView<const float> x, const std::vector<int>& labels) {
+  const index_t batch = x.rows;
+  APA_CHECK(x.cols == input_size());
+
+  // Forward.
+  Matrix<float> conv_out(batch, conv_shape_.out_size());
+  conv_.forward(x, conv_out.view(), fast_);
+  Matrix<float> conv_act(batch, conv_shape_.out_size());
+  ReluLayer::forward(conv_out.view(), conv_act.view());
+  Matrix<float> pooled(batch, pool_shape_.out_size());
+  pool_.forward(conv_act.view().as_const(), pooled.view());
+  Matrix<float> hidden_pre(batch, config_.hidden);
+  dense1_.forward(pooled.view().as_const(), hidden_pre.view(), fast_);
+  Matrix<float> hidden_act(batch, config_.hidden);
+  ReluLayer::forward(hidden_pre.view(), hidden_act.view());
+  Matrix<float> logits(batch, config_.classes);
+  dense2_.forward(hidden_act.view().as_const(), logits.view(), classical_);
+
+  // Loss.
+  Matrix<float> dlogits(batch, config_.classes);
+  const double loss =
+      SoftmaxCrossEntropy::loss_and_grad(logits.view().as_const(), labels,
+                                         dlogits.view());
+
+  // Backward.
+  const SgdOptions sgd{.learning_rate = config_.learning_rate,
+                       .momentum = config_.momentum};
+  Matrix<float> dhidden_act(batch, config_.hidden);
+  MatrixView<float> dhidden_act_view = dhidden_act.view();
+  dense2_.backward(hidden_act.view().as_const(), dlogits.view().as_const(),
+                   &dhidden_act_view, classical_);
+  dense2_.apply_sgd(sgd);
+
+  Matrix<float> dhidden_pre(batch, config_.hidden);
+  ReluLayer::backward(hidden_pre.view().as_const(), dhidden_act.view().as_const(),
+                      dhidden_pre.view());
+  Matrix<float> dpooled(batch, pool_shape_.out_size());
+  MatrixView<float> dpooled_view = dpooled.view();
+  dense1_.backward(pooled.view().as_const(), dhidden_pre.view().as_const(),
+                   &dpooled_view, fast_);
+  dense1_.apply_sgd(sgd);
+
+  Matrix<float> dconv_act(batch, conv_shape_.out_size());
+  pool_.backward(dpooled.view().as_const(), dconv_act.view());
+  Matrix<float> dconv_out(batch, conv_shape_.out_size());
+  ReluLayer::backward(conv_out.view().as_const(), dconv_act.view().as_const(),
+                      dconv_out.view());
+  conv_.backward(x, dconv_out.view().as_const(), nullptr, fast_);
+  conv_.apply_sgd(sgd);
+
+  return loss;
+}
+
+void Cnn::predict(MatrixView<const float> x, MatrixView<float> logits) {
+  const index_t batch = x.rows;
+  Matrix<float> conv_out(batch, conv_shape_.out_size());
+  conv_.forward(x, conv_out.view(), fast_);
+  ReluLayer::forward(conv_out.view(), conv_out.view());
+  Matrix<float> pooled(batch, pool_shape_.out_size());
+  pool_.forward(conv_out.view().as_const(), pooled.view());
+  Matrix<float> hidden(batch, config_.hidden);
+  dense1_.forward(pooled.view().as_const(), hidden.view(), fast_);
+  ReluLayer::forward(hidden.view(), hidden.view());
+  dense2_.forward(hidden.view().as_const(), logits, classical_);
+}
+
+}  // namespace apa::nn

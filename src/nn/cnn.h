@@ -1,0 +1,50 @@
+#pragma once
+// A small convolutional classifier (conv -> ReLU -> maxpool -> dense -> ReLU
+// -> dense) over 28x28 images: the minimal end-to-end network exercising the
+// conv-as-gemm path (paper intro refs [9,11]) under APA backends, alongside
+// the paper's MLPs.
+
+#include "nn/conv.h"
+#include "nn/layers.h"
+#include "nn/pooling.h"
+
+namespace apa::nn {
+
+struct CnnConfig {
+  index_t image_side = 28;
+  index_t conv_channels = 8;
+  index_t hidden = 128;
+  index_t classes = 10;
+  float learning_rate = 0.05f;
+  float momentum = 0.0f;
+  std::uint64_t seed = 19;
+};
+
+class Cnn {
+ public:
+  /// `fast` drives the conv and hidden-dense matmuls; input-adjacent and
+  /// output layers use `classical`, mirroring the paper's MLP convention.
+  Cnn(const CnnConfig& config, MatmulBackend fast, MatmulBackend classical);
+
+  /// One SGD step; x is (batch, image_side^2), returns mean loss.
+  double train_step(MatrixView<const float> x, const std::vector<int>& labels);
+  void predict(MatrixView<const float> x, MatrixView<float> logits);
+
+  [[nodiscard]] index_t input_size() const { return config_.image_side * config_.image_side; }
+  [[nodiscard]] index_t output_size() const { return config_.classes; }
+  [[nodiscard]] const ConvLayer& conv() const { return conv_; }
+
+ private:
+  CnnConfig config_;
+  MatmulBackend fast_;
+  MatmulBackend classical_;
+  Rng rng_;
+  ConvShape conv_shape_;
+  PoolShape pool_shape_;
+  ConvLayer conv_;
+  MaxPoolLayer pool_;
+  DenseLayer dense1_;
+  DenseLayer dense2_;
+};
+
+}  // namespace apa::nn

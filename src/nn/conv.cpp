@@ -1,0 +1,163 @@
+#include "nn/conv.h"
+
+#include <cmath>
+
+#include "blas/transpose.h"
+#include "support/check.h"
+
+namespace apa::nn {
+
+void im2col(const ConvShape& shape, MatrixView<const float> sample,
+            MatrixView<float> patches) {
+  APA_CHECK(sample.rows == 1 && sample.cols == shape.in_size());
+  const index_t out_h = shape.out_height();
+  const index_t out_w = shape.out_width();
+  APA_CHECK(patches.rows == out_h * out_w && patches.cols == shape.patch_size());
+
+  const float* input = sample.data;
+  for (index_t oy = 0; oy < out_h; ++oy) {
+    for (index_t ox = 0; ox < out_w; ++ox) {
+      float* row = &patches(oy * out_w + ox, 0);
+      index_t col = 0;
+      for (index_t c = 0; c < shape.in_channels; ++c) {
+        const float* plane = input + c * shape.in_height * shape.in_width;
+        for (index_t ky = 0; ky < shape.kernel; ++ky) {
+          const index_t iy = oy * shape.stride + ky - shape.padding;
+          for (index_t kx = 0; kx < shape.kernel; ++kx) {
+            const index_t ix = ox * shape.stride + kx - shape.padding;
+            const bool inside = iy >= 0 && iy < shape.in_height && ix >= 0 &&
+                                ix < shape.in_width;
+            row[col++] = inside ? plane[iy * shape.in_width + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvShape& shape, MatrixView<const float> patches,
+            MatrixView<float> dinput) {
+  APA_CHECK(dinput.rows == 1 && dinput.cols == shape.in_size());
+  const index_t out_h = shape.out_height();
+  const index_t out_w = shape.out_width();
+  APA_CHECK(patches.rows == out_h * out_w && patches.cols == shape.patch_size());
+
+  float* input = dinput.data;
+  for (index_t oy = 0; oy < out_h; ++oy) {
+    for (index_t ox = 0; ox < out_w; ++ox) {
+      const float* row = &patches(oy * out_w + ox, 0);
+      index_t col = 0;
+      for (index_t c = 0; c < shape.in_channels; ++c) {
+        float* plane = input + c * shape.in_height * shape.in_width;
+        for (index_t ky = 0; ky < shape.kernel; ++ky) {
+          const index_t iy = oy * shape.stride + ky - shape.padding;
+          for (index_t kx = 0; kx < shape.kernel; ++kx) {
+            const index_t ix = ox * shape.stride + kx - shape.padding;
+            if (iy >= 0 && iy < shape.in_height && ix >= 0 && ix < shape.in_width) {
+              plane[iy * shape.in_width + ix] += row[col];
+            }
+            ++col;
+          }
+        }
+      }
+    }
+  }
+}
+
+ConvLayer::ConvLayer(const ConvShape& shape, Rng& rng)
+    : shape_(shape),
+      filters_(shape.patch_size(), shape.out_channels),
+      bias_(1, shape.out_channels),
+      dfilters_(shape.patch_size(), shape.out_channels),
+      dbias_(1, shape.out_channels) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(shape.patch_size()));
+  rng.fill_normal<float>(filters_.span(), 0.0f, stddev);
+  bias_.set_zero();
+  dfilters_.set_zero();
+  dbias_.set_zero();
+}
+
+void ConvLayer::forward(MatrixView<const float> x, MatrixView<float> y,
+                        const MatmulBackend& backend) const {
+  const index_t batch = x.rows;
+  APA_CHECK(x.cols == shape_.in_size() && y.rows == batch &&
+            y.cols == shape_.out_size());
+  const index_t positions = shape_.out_height() * shape_.out_width();
+
+  // Monolithic lowering: stack every sample's patch matrix, one big gemm.
+  Matrix<float> patches(batch * positions, shape_.patch_size());
+  for (index_t s = 0; s < batch; ++s) {
+    im2col(shape_, x.block(s, 0, 1, x.cols),
+           patches.view().block(s * positions, 0, positions, shape_.patch_size()));
+  }
+  Matrix<float> product(batch * positions, shape_.out_channels);
+  backend.matmul(patches.view().as_const(), filters_.view(), product.view());
+
+  // (positions, channels) -> NCHW per sample, adding the channel bias.
+  for (index_t s = 0; s < batch; ++s) {
+    auto sample = product.view().block(s * positions, 0, positions,
+                                       shape_.out_channels);
+    MatrixView<float> out(&y(s, 0), shape_.out_channels, positions, positions);
+    blas::transpose<float>(sample.as_const(), out);
+    for (index_t c = 0; c < shape_.out_channels; ++c) {
+      float* row = &out(c, 0);
+      const float b = bias_(0, c);
+      for (index_t p = 0; p < positions; ++p) row[p] += b;
+    }
+  }
+}
+
+void ConvLayer::backward(MatrixView<const float> x, MatrixView<const float> dy,
+                         MatrixView<float>* dx, const MatmulBackend& backend) {
+  const index_t batch = x.rows;
+  APA_CHECK(x.cols == shape_.in_size() && dy.rows == batch &&
+            dy.cols == shape_.out_size());
+  const index_t positions = shape_.out_height() * shape_.out_width();
+
+  // Recompute the stacked patch matrix (standard im2col backward) and restack
+  // dy from NCHW to (positions, channels).
+  Matrix<float> patches(batch * positions, shape_.patch_size());
+  Matrix<float> dy_mat(batch * positions, shape_.out_channels);
+  for (index_t s = 0; s < batch; ++s) {
+    im2col(shape_, x.block(s, 0, 1, x.cols),
+           patches.view().block(s * positions, 0, positions, shape_.patch_size()));
+    MatrixView<const float> grad(&dy(s, 0), shape_.out_channels, positions, positions);
+    blas::transpose<float>(
+        grad, dy_mat.view().block(s * positions, 0, positions, shape_.out_channels));
+  }
+
+  // dW = patches^T dy_mat; dbias = column sums of dy_mat.
+  backend.matmul(patches.view().as_const(), dy_mat.view().as_const(), dfilters_.view(),
+                 /*transpose_a=*/true);
+  dbias_.set_zero();
+  for (index_t r = 0; r < dy_mat.rows(); ++r) {
+    const float* row = &dy_mat(r, 0);
+    float* acc = dbias_.data();
+    for (index_t c = 0; c < shape_.out_channels; ++c) acc[c] += row[c];
+  }
+
+  if (dx != nullptr) {
+    APA_CHECK(dx->rows == batch && dx->cols == shape_.in_size());
+    Matrix<float> dpatches(batch * positions, shape_.patch_size());
+    backend.matmul(dy_mat.view().as_const(), filters_.view(), dpatches.view(),
+                   /*transpose_a=*/false, /*transpose_b=*/true);
+    for (index_t s = 0; s < batch; ++s) {
+      auto drow = dx->block(s, 0, 1, dx->cols);
+      for (index_t j = 0; j < dx->cols; ++j) drow(0, j) = 0.0f;
+      col2im(shape_,
+             dpatches.view()
+                 .block(s * positions, 0, positions, shape_.patch_size())
+                 .as_const(),
+             drow);
+    }
+  }
+}
+
+void ConvLayer::apply_sgd(const SgdOptions& options) {
+  filter_state_.update(filters_.view(), dfilters_.view().as_const(), options);
+  SgdOptions bias_options = options;
+  bias_options.weight_decay = 0.0f;
+  bias_state_.update(bias_.view(), dbias_.view().as_const(), bias_options);
+}
+
+}  // namespace apa::nn

@@ -1,0 +1,86 @@
+#pragma once
+// Convolution lowered to matrix multiplication (im2col/col2im), the standard
+// reduction the paper cites ([9] cuDNN, [11]) when noting that convolutional
+// layers are also bottlenecked by matmul. This lets the APA backends
+// accelerate conv layers exactly as they do fully connected ones: the batch's
+// im2col matrix times the filter matrix is one monolithic gemm.
+//
+// Layout: activations are NCHW flattened row-major per sample, i.e. a batch is
+// a (batch, channels*height*width) Matrix. Filters are stored as a
+// (channels*kernel_h*kernel_w, out_channels) matrix.
+
+#include "nn/backend.h"
+#include "nn/optimizer.h"
+#include "support/matrix.h"
+#include "support/rng.h"
+
+namespace apa::nn {
+
+struct ConvShape {
+  index_t in_channels = 0;
+  index_t in_height = 0;
+  index_t in_width = 0;
+  index_t out_channels = 0;
+  index_t kernel = 3;   ///< square kernels (VGG-style)
+  index_t stride = 1;
+  index_t padding = 1;  ///< zero padding on each border
+
+  [[nodiscard]] index_t out_height() const {
+    return (in_height + 2 * padding - kernel) / stride + 1;
+  }
+  [[nodiscard]] index_t out_width() const {
+    return (in_width + 2 * padding - kernel) / stride + 1;
+  }
+  [[nodiscard]] index_t patch_size() const { return in_channels * kernel * kernel; }
+  [[nodiscard]] index_t in_size() const { return in_channels * in_height * in_width; }
+  [[nodiscard]] index_t out_size() const {
+    return out_channels * out_height() * out_width();
+  }
+};
+
+/// Expands one sample (in_channels x H x W, flattened) into the patch matrix:
+/// row (oy * out_w + ox) holds the receptive field of output pixel (oy, ox),
+/// ordered channel-major then kernel-row then kernel-column. Out-of-image
+/// positions contribute zeros.
+void im2col(const ConvShape& shape, MatrixView<const float> sample,
+            MatrixView<float> patches);
+
+/// Adjoint of im2col: scatters patch-matrix gradients back into an input
+/// gradient (accumulating overlaps). `dinput` must be pre-zeroed by the caller
+/// if accumulation across calls is not intended.
+void col2im(const ConvShape& shape, MatrixView<const float> patches,
+            MatrixView<float> dinput);
+
+/// Convolutional layer with pluggable matmul backend; gradients are batch
+/// sums scaled by whatever scale dy carries (the loss provides 1/batch).
+class ConvLayer {
+ public:
+  ConvLayer(const ConvShape& shape, Rng& rng);
+
+  /// x: (batch, in_size), y: (batch, out_size).
+  void forward(MatrixView<const float> x, MatrixView<float> y,
+               const MatmulBackend& backend) const;
+  /// Computes filter/bias gradients; when dx is non-null also the input grad.
+  void backward(MatrixView<const float> x, MatrixView<const float> dy,
+                MatrixView<float>* dx, const MatmulBackend& backend);
+  void apply_sgd(float learning_rate) { apply_sgd({.learning_rate = learning_rate}); }
+  void apply_sgd(const SgdOptions& options);
+
+  [[nodiscard]] const ConvShape& shape() const { return shape_; }
+  [[nodiscard]] Matrix<float>& filters() { return filters_; }
+  [[nodiscard]] const Matrix<float>& filters() const { return filters_; }
+  [[nodiscard]] const Matrix<float>& filter_grad() const { return dfilters_; }
+  [[nodiscard]] const Matrix<float>& bias() const { return bias_; }
+  [[nodiscard]] const Matrix<float>& bias_grad() const { return dbias_; }
+
+ private:
+  ConvShape shape_;
+  Matrix<float> filters_;   // patch_size x out_channels
+  Matrix<float> bias_;      // 1 x out_channels
+  Matrix<float> dfilters_;
+  Matrix<float> dbias_;
+  SgdState filter_state_;
+  SgdState bias_state_;
+};
+
+}  // namespace apa::nn

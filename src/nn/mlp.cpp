@@ -1,0 +1,93 @@
+#include "nn/mlp.h"
+
+#include "support/check.h"
+
+namespace apa::nn {
+
+Mlp::Mlp(MlpConfig config, MatmulBackend fast, MatmulBackend classical)
+    : config_(std::move(config)), fast_(std::move(fast)), classical_(std::move(classical)) {
+  APA_CHECK_MSG(config_.layer_sizes.size() >= 2, "need at least input and output sizes");
+  const std::size_t num_layers = config_.layer_sizes.size() - 1;
+
+  if (config_.fast_layer_mask.empty()) {
+    // Paper default: fast backend on hidden layers only.
+    mask_.assign(num_layers, true);
+    mask_.front() = false;
+    mask_.back() = false;
+  } else {
+    APA_CHECK_MSG(config_.fast_layer_mask.size() == num_layers,
+                  "mask size must equal dense layer count");
+    mask_ = config_.fast_layer_mask;
+  }
+
+  Rng rng(config_.seed);
+  layers_.reserve(num_layers);
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    layers_.emplace_back(config_.layer_sizes[i], config_.layer_sizes[i + 1], rng);
+  }
+}
+
+double Mlp::train_step(MatrixView<const float> x, const std::vector<int>& labels) {
+  const index_t batch = x.rows;
+  const std::size_t num_layers = layers_.size();
+
+  // Forward: z[i] = pre-activation of layer i, act[i] = post-ReLU input of
+  // layer i (act[0] is the batch itself; the last layer emits raw logits).
+  std::vector<Matrix<float>> z(num_layers);
+  std::vector<Matrix<float>> act(num_layers);  // act[i] consumed by layer i, i >= 1
+  MatrixView<const float> current = x;
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    z[i] = Matrix<float>(batch, layers_[i].out_features());
+    layers_[i].forward(current, z[i].view(), backend_for(i));
+    if (i + 1 < num_layers) {
+      act[i] = Matrix<float>(batch, layers_[i].out_features());
+      ReluLayer::forward(z[i].view(), act[i].view());
+      current = act[i].view().as_const();
+    }
+  }
+
+  Matrix<float> delta(batch, output_size());
+  const double loss =
+      SoftmaxCrossEntropy::loss_and_grad(z.back().view(), labels, delta.view());
+
+  // Backward + SGD, output layer inward.
+  for (std::size_t idx = num_layers; idx-- > 0;) {
+    const MatrixView<const float> input =
+        idx == 0 ? x : act[idx - 1].view().as_const();
+    if (idx == 0) {
+      layers_[0].backward(input, delta.view().as_const(), nullptr, backend_for(0));
+    } else {
+      Matrix<float> dact(batch, layers_[idx].in_features());
+      MatrixView<float> dact_view = dact.view();
+      layers_[idx].backward(input, delta.view().as_const(), &dact_view,
+                            backend_for(idx));
+      // ReLU gate against the pre-activation of the previous layer.
+      delta = Matrix<float>(batch, layers_[idx].in_features());
+      ReluLayer::backward(z[idx - 1].view(), dact.view(), delta.view());
+    }
+    layers_[idx].apply_sgd(SgdOptions{.learning_rate = config_.learning_rate,
+                                      .momentum = config_.momentum,
+                                      .weight_decay = config_.weight_decay});
+  }
+  return loss;
+}
+
+void Mlp::predict(MatrixView<const float> x, MatrixView<float> logits) const {
+  const index_t batch = x.rows;
+  const std::size_t num_layers = layers_.size();
+  Matrix<float> buffer;
+  MatrixView<const float> current = x;
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    if (i + 1 == num_layers) {
+      layers_[i].forward(current, logits, backend_for(i));
+      return;
+    }
+    Matrix<float> next(batch, layers_[i].out_features());
+    layers_[i].forward(current, next.view(), backend_for(i));
+    ReluLayer::forward(next.view(), next.view());
+    buffer = std::move(next);
+    current = buffer.view().as_const();
+  }
+}
+
+}  // namespace apa::nn

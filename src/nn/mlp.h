@@ -1,0 +1,60 @@
+#pragma once
+// Multi-Layer Perceptron with per-layer matmul backend selection
+// (paper section 4): hidden layers can run on an APA backend while the input
+// and output layers use the classical one, exactly as in the paper's
+// accuracy and throughput experiments.
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace apa::nn {
+
+struct MlpConfig {
+  /// Layer widths including input and output, e.g. {784, 300, 300, 10}.
+  std::vector<index_t> layer_sizes;
+  float learning_rate = 0.1f;
+  float momentum = 0.0f;      ///< 0 = the paper's plain SGD
+  float weight_decay = 0.0f;
+  std::uint64_t seed = 7;
+  /// Per dense layer: use the fast backend? Empty selects the paper's default
+  /// (hidden layers only — every dense layer except the first and last).
+  std::vector<bool> fast_layer_mask;
+};
+
+class Mlp {
+ public:
+  /// `fast` handles masked layers, `classical` the rest. A "classical" fast
+  /// backend reproduces the baseline network exactly.
+  Mlp(MlpConfig config, MatmulBackend fast, MatmulBackend classical);
+
+  /// One SGD step on a batch; returns the mean cross-entropy loss.
+  double train_step(MatrixView<const float> x, const std::vector<int>& labels);
+
+  /// Forward pass only; logits must be (batch, output_size).
+  void predict(MatrixView<const float> x, MatrixView<float> logits) const;
+
+  [[nodiscard]] index_t input_size() const { return config_.layer_sizes.front(); }
+  [[nodiscard]] index_t output_size() const { return config_.layer_sizes.back(); }
+  [[nodiscard]] index_t num_dense_layers() const {
+    return static_cast<index_t>(layers_.size());
+  }
+  [[nodiscard]] bool layer_uses_fast(index_t layer) const {
+    return mask_[static_cast<std::size_t>(layer)];
+  }
+  [[nodiscard]] DenseLayer& layer(index_t i) { return layers_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const MlpConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] const MatmulBackend& backend_for(std::size_t layer) const {
+    return mask_[layer] ? fast_ : classical_;
+  }
+
+  MlpConfig config_;
+  MatmulBackend fast_;
+  MatmulBackend classical_;
+  std::vector<DenseLayer> layers_;
+  std::vector<bool> mask_;
+};
+
+}  // namespace apa::nn

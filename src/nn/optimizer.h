@@ -1,0 +1,53 @@
+#pragma once
+// SGD parameter updates. The paper trains with plain batched SGD; momentum and
+// weight decay are provided as the standard extensions a downstream user needs
+// (they change only the update rule, never the matmul path under test).
+
+#include "support/matrix.h"
+
+namespace apa::nn {
+
+struct SgdOptions {
+  float learning_rate = 0.1f;
+  float momentum = 0.0f;      ///< 0 = the paper's plain SGD
+  float weight_decay = 0.0f;  ///< L2 coefficient applied to weights (not biases)
+};
+
+/// One parameter tensor's SGD state; velocity is allocated lazily on the first
+/// update with momentum enabled.
+class SgdState {
+ public:
+  /// params -= lr * (grad + weight_decay * params) with optional momentum:
+  ///   v = momentum * v + (grad + weight_decay * params); params -= lr * v.
+  void update(MatrixView<float> params, MatrixView<const float> grad,
+              const SgdOptions& options) {
+    APA_CHECK(params.rows == grad.rows && params.cols == grad.cols);
+    const bool use_momentum = options.momentum != 0.0f;
+    if (use_momentum &&
+        (velocity_.rows() != params.rows || velocity_.cols() != params.cols)) {
+      velocity_ = Matrix<float>(params.rows, params.cols);
+      velocity_.set_zero();
+    }
+    for (index_t i = 0; i < params.rows; ++i) {
+      float* p = &params(i, 0);
+      const float* g = &grad(i, 0);
+      float* v = use_momentum ? &velocity_(i, 0) : nullptr;
+      for (index_t j = 0; j < params.cols; ++j) {
+        const float effective = g[j] + options.weight_decay * p[j];
+        if (use_momentum) {
+          v[j] = options.momentum * v[j] + effective;
+          p[j] -= options.learning_rate * v[j];
+        } else {
+          p[j] -= options.learning_rate * effective;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool has_velocity() const { return velocity_.size() > 0; }
+
+ private:
+  Matrix<float> velocity_;
+};
+
+}  // namespace apa::nn

@@ -1,0 +1,61 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace apa::nn {
+
+void MaxPoolLayer::forward(MatrixView<const float> x, MatrixView<float> y) {
+  const index_t batch = x.rows;
+  APA_CHECK(x.cols == shape_.in_size() && y.rows == batch &&
+            y.cols == shape_.out_size());
+  const index_t out_h = shape_.out_height();
+  const index_t out_w = shape_.out_width();
+  last_batch_ = batch;
+  argmax_.assign(static_cast<std::size_t>(batch * shape_.out_size()), 0);
+
+  for (index_t s = 0; s < batch; ++s) {
+    const float* input = &x(s, 0);
+    float* output = &y(s, 0);
+    index_t* marks = argmax_.data() + s * shape_.out_size();
+    for (index_t c = 0; c < shape_.channels; ++c) {
+      const float* plane = input + c * shape_.in_height * shape_.in_width;
+      for (index_t oy = 0; oy < out_h; ++oy) {
+        for (index_t ox = 0; ox < out_w; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          index_t best_index = 0;
+          for (index_t wy = 0; wy < shape_.window; ++wy) {
+            for (index_t wx = 0; wx < shape_.window; ++wx) {
+              const index_t iy = oy * shape_.stride + wy;
+              const index_t ix = ox * shape_.stride + wx;
+              const index_t flat = iy * shape_.in_width + ix;
+              if (plane[flat] > best) {
+                best = plane[flat];
+                best_index = c * shape_.in_height * shape_.in_width + flat;
+              }
+            }
+          }
+          const index_t out_index = (c * out_h + oy) * out_w + ox;
+          output[out_index] = best;
+          marks[out_index] = best_index;
+        }
+      }
+    }
+  }
+}
+
+void MaxPoolLayer::backward(MatrixView<const float> dy, MatrixView<float> dx) const {
+  APA_CHECK_MSG(last_batch_ == dy.rows, "backward without matching forward");
+  APA_CHECK(dy.cols == shape_.out_size() && dx.rows == dy.rows &&
+            dx.cols == shape_.in_size());
+  for (index_t s = 0; s < dy.rows; ++s) {
+    float* grad_in = &dx(s, 0);
+    for (index_t j = 0; j < shape_.in_size(); ++j) grad_in[j] = 0.0f;
+    const float* grad_out = &dy(s, 0);
+    const index_t* marks = argmax_.data() + s * shape_.out_size();
+    for (index_t j = 0; j < shape_.out_size(); ++j) {
+      grad_in[marks[j]] += grad_out[j];
+    }
+  }
+}
+
+}  // namespace apa::nn

@@ -1,0 +1,50 @@
+#pragma once
+// 2D max pooling over NCHW activations (flattened per sample, as in nn/conv.h).
+// Standard companion to the im2col conv layer; no matmul content, but required
+// to train a real convolutional network end-to-end.
+
+#include <vector>
+
+#include "support/matrix.h"
+
+namespace apa::nn {
+
+struct PoolShape {
+  index_t channels = 0;
+  index_t in_height = 0;
+  index_t in_width = 0;
+  index_t window = 2;
+  index_t stride = 2;
+
+  [[nodiscard]] index_t out_height() const { return (in_height - window) / stride + 1; }
+  [[nodiscard]] index_t out_width() const { return (in_width - window) / stride + 1; }
+  [[nodiscard]] index_t in_size() const { return channels * in_height * in_width; }
+  [[nodiscard]] index_t out_size() const {
+    return channels * out_height() * out_width();
+  }
+};
+
+class MaxPoolLayer {
+ public:
+  explicit MaxPoolLayer(const PoolShape& shape) : shape_(shape) {
+    APA_CHECK(shape.window >= 1 && shape.stride >= 1 &&
+              shape.in_height >= shape.window && shape.in_width >= shape.window);
+  }
+
+  /// x: (batch, in_size), y: (batch, out_size). Records argmax indices for the
+  /// backward pass.
+  void forward(MatrixView<const float> x, MatrixView<float> y);
+
+  /// dx: (batch, in_size), zero-filled here; gradients route to the argmax.
+  /// Requires a preceding forward on the same batch.
+  void backward(MatrixView<const float> dy, MatrixView<float> dx) const;
+
+  [[nodiscard]] const PoolShape& shape() const { return shape_; }
+
+ private:
+  PoolShape shape_;
+  index_t last_batch_ = 0;
+  std::vector<index_t> argmax_;  // per (sample, out element): flat input index
+};
+
+}  // namespace apa::nn

@@ -1,0 +1,40 @@
+#include "nn/trainer.h"
+
+#include "support/timer.h"
+
+namespace apa::nn {
+
+EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng) {
+  if (rng != nullptr) data::shuffle(dataset, *rng);
+  EpochStats stats;
+  double loss_acc = 0;
+  for (index_t first = 0; first + batch <= dataset.size(); first += batch) {
+    const auto x = dataset.batch_images(first, batch);
+    const auto labels = dataset.batch_labels(first, batch);
+    WallTimer timer;
+    loss_acc += mlp.train_step(x, labels);
+    stats.seconds += timer.seconds();
+    ++stats.steps;
+  }
+  stats.mean_loss = stats.steps > 0 ? loss_acc / static_cast<double>(stats.steps) : 0;
+  return stats;
+}
+
+double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset, index_t batch) {
+  index_t correct_weighted = 0;
+  index_t total = 0;
+  Matrix<float> logits;
+  for (index_t first = 0; first < dataset.size(); first += batch) {
+    const index_t count = std::min(batch, dataset.size() - first);
+    logits = Matrix<float>(count, mlp.output_size());
+    mlp.predict(dataset.batch_images(first, count), logits.view());
+    const double acc =
+        SoftmaxCrossEntropy::accuracy(logits.view(), dataset.batch_labels(first, count));
+    correct_weighted += static_cast<index_t>(acc * static_cast<double>(count) + 0.5);
+    total += count;
+  }
+  return total > 0 ? static_cast<double>(correct_weighted) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace apa::nn

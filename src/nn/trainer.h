@@ -1,0 +1,25 @@
+#pragma once
+// Epoch-level training loop and evaluation over Datasets, with the timing
+// hooks the throughput experiments (paper Figs 6 and 7) rely on.
+
+#include "data/dataset.h"
+#include "nn/mlp.h"
+
+namespace apa::nn {
+
+struct EpochStats {
+  double mean_loss = 0;
+  double seconds = 0;      ///< wall time spent in train_step calls
+  index_t steps = 0;
+};
+
+/// One pass over `dataset` in batches of `batch` (trailing partial batch is
+/// dropped, as in the paper's fixed-batch methodology). Shuffles first when
+/// `rng` is non-null.
+EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng);
+
+/// Classification accuracy over the dataset, evaluated in batches.
+[[nodiscard]] double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset,
+                                       index_t batch = 512);
+
+}  // namespace apa::nn

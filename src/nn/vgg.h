@@ -1,0 +1,30 @@
+#pragma once
+// The fully connected head of VGG-19 (paper section 5): three dense layers of
+// 25088, 4096, and 1000 outputs fed by the flattened conv features. The paper
+// replaces the matmuls of these layers with the <4,4,2> algorithm and times
+// training per batch; this module builds that exact configuration.
+
+#include "nn/mlp.h"
+
+namespace apa::nn {
+
+struct VggFcConfig {
+  index_t conv_features = 25088;  ///< 7 x 7 x 512 flattened conv output
+  index_t fc_width = 4096;
+  index_t num_classes = 1000;
+  float learning_rate = 0.01f;
+  std::uint64_t seed = 11;
+};
+
+/// MLP over {conv_features, fc_width, fc_width, num_classes} with the fast
+/// backend applied to ALL three dense layers (unlike the MLP default, the
+/// paper accelerates every FC layer of VGG-19).
+[[nodiscard]] Mlp make_vgg_fc_head(const VggFcConfig& config, MatmulBackend fast,
+                                   MatmulBackend classical);
+
+/// Seconds per training step (forward + backward + update) on a random batch,
+/// fastest of `reps` timed repetitions after one warmup.
+[[nodiscard]] double time_vgg_fc_step(Mlp& head, index_t batch, int reps = 3,
+                                      std::uint64_t seed = 5);
+
+}  // namespace apa::nn

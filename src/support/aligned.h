@@ -1,0 +1,68 @@
+#pragma once
+// Cache-line / SIMD aligned owning buffer.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace apa {
+
+inline constexpr std::size_t kSimdAlignment = 64;  // AVX-512 friendly
+
+namespace detail {
+struct FreeDeleter {
+  void operator()(void* p) const noexcept { std::free(p); }
+};
+}  // namespace detail
+
+/// Owning, 64-byte aligned, uninitialized numeric buffer.
+template <class T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t count) { resize(count); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : ptr_(std::move(other.ptr_)), size_(std::exchange(other.size_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    ptr_ = std::move(other.ptr_);
+    size_ = std::exchange(other.size_, 0);
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  void resize(std::size_t count) {
+    if (count == 0) {
+      ptr_.reset();
+      size_ = 0;
+      return;
+    }
+    const std::size_t bytes = (count * sizeof(T) + kSimdAlignment - 1) /
+                              kSimdAlignment * kSimdAlignment;
+    void* raw = std::aligned_alloc(kSimdAlignment, bytes);
+    if (raw == nullptr) throw std::bad_alloc();
+    ptr_.reset(raw);
+    size_ = count;
+  }
+
+  [[nodiscard]] T* data() { return static_cast<T*>(ptr_.get()); }
+  [[nodiscard]] const T* data() const { return static_cast<const T*>(ptr_.get()); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::span<T> span() { return {data(), size_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data(), size_}; }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+ private:
+  std::unique_ptr<void, detail::FreeDeleter> ptr_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace apa

@@ -1,0 +1,30 @@
+#pragma once
+// Precondition / invariant checking that stays on in release builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apa::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+}  // namespace apa::detail
+
+#define APA_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) ::apa::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define APA_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream apa_check_os_;                                 \
+      apa_check_os_ << msg;                                             \
+      ::apa::detail::check_failed(#expr, __FILE__, __LINE__, apa_check_os_.str()); \
+    }                                                                   \
+  } while (false)

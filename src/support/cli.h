@@ -1,0 +1,34 @@
+#pragma once
+// Minimal command-line flag parsing for bench/example binaries.
+// Accepted forms: --key=value, --key value, --flag (boolean true).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apa {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback = false) const;
+  /// Comma-separated integer list, e.g. --dims=256,512,1024.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& key, const std::vector<std::int64_t>& fallback) const;
+  /// Comma-separated string list.
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& key, const std::vector<std::string>& fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace apa

@@ -1,0 +1,141 @@
+#pragma once
+// Row-major dense matrix container + non-owning view, plus numeric helpers
+// (Frobenius norms, comparisons, random fills) shared by blas/core/nn/tests.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "support/aligned.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace apa {
+
+using index_t = std::ptrdiff_t;
+
+/// Non-owning view of a row-major matrix with leading dimension `ld`.
+template <class T>
+struct MatrixView {
+  T* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;
+
+  MatrixView() = default;
+  MatrixView(T* data_, index_t rows_, index_t cols_, index_t ld_)
+      : data(data_), rows(rows_), cols(cols_), ld(ld_) {
+    APA_CHECK(ld >= cols && rows >= 0 && cols >= 0);
+  }
+
+  T& operator()(index_t i, index_t j) const { return data[i * ld + j]; }
+
+  /// Sub-block of size r x c starting at (i0, j0); shares storage.
+  [[nodiscard]] MatrixView block(index_t i0, index_t j0, index_t r, index_t c) const {
+    APA_CHECK(i0 >= 0 && j0 >= 0 && i0 + r <= rows && j0 + c <= cols);
+    return MatrixView(data + i0 * ld + j0, r, c, ld);
+  }
+
+  [[nodiscard]] MatrixView<const T> as_const() const {
+    return MatrixView<const T>(data, rows, cols, ld);
+  }
+  operator MatrixView<const T>() const {  // NOLINT(google-explicit-constructor)
+    return as_const();
+  }
+};
+
+/// Owning row-major matrix with 64-byte aligned storage and ld == cols.
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    APA_CHECK(rows >= 0 && cols >= 0);
+    storage_.resize(static_cast<std::size_t>(rows * cols));
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t ld() const { return cols_; }
+  [[nodiscard]] index_t size() const { return rows_ * cols_; }
+  [[nodiscard]] T* data() { return storage_.data(); }
+  [[nodiscard]] const T* data() const { return storage_.data(); }
+  T& operator()(index_t i, index_t j) { return data()[i * cols_ + j]; }
+  const T& operator()(index_t i, index_t j) const { return data()[i * cols_ + j]; }
+
+  [[nodiscard]] MatrixView<T> view() { return {data(), rows_, cols_, cols_}; }
+  [[nodiscard]] MatrixView<const T> view() const { return {data(), rows_, cols_, cols_}; }
+  [[nodiscard]] std::span<T> span() { return {data(), static_cast<std::size_t>(size())}; }
+  [[nodiscard]] std::span<const T> span() const {
+    return {data(), static_cast<std::size_t>(size())};
+  }
+
+  void set_zero() {
+    for (auto& x : span()) x = T{0};
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  AlignedBuffer<T> storage_;
+};
+
+template <class T>
+void fill_random_uniform(MatrixView<T> m, Rng& rng, T lo = T{-1}, T hi = T{1}) {
+  for (index_t i = 0; i < m.rows; ++i) {
+    for (index_t j = 0; j < m.cols; ++j) m(i, j) = static_cast<T>(rng.uniform(lo, hi));
+  }
+}
+
+template <class T>
+[[nodiscard]] double frobenius_norm(MatrixView<T> m) {
+  double acc = 0;
+  for (index_t i = 0; i < m.rows; ++i) {
+    for (index_t j = 0; j < m.cols; ++j) {
+      const double v = static_cast<double>(m(i, j));
+      acc += v * v;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+/// ||A - B||_F / ||B||_F  (B is the reference).
+template <class T, class U>
+[[nodiscard]] double relative_frobenius_error(MatrixView<T> a, MatrixView<U> ref) {
+  APA_CHECK(a.rows == ref.rows && a.cols == ref.cols);
+  double diff = 0, norm = 0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t j = 0; j < a.cols; ++j) {
+      const double r = static_cast<double>(ref(i, j));
+      const double d = static_cast<double>(a(i, j)) - r;
+      diff += d * d;
+      norm += r * r;
+    }
+  }
+  return norm == 0 ? std::sqrt(diff) : std::sqrt(diff / norm);
+}
+
+template <class T, class U>
+[[nodiscard]] double max_abs_diff(MatrixView<T> a, MatrixView<U> b) {
+  APA_CHECK(a.rows == b.rows && a.cols == b.cols);
+  double worst = 0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t j = 0; j < a.cols; ++j) {
+      worst = std::max(worst, std::abs(static_cast<double>(a(i, j)) -
+                                       static_cast<double>(b(i, j))));
+    }
+  }
+  return worst;
+}
+
+/// Copy possibly-strided src into dst (shapes must match).
+template <class T, class U>
+void copy(MatrixView<U> src, MatrixView<T> dst) {
+  APA_CHECK(src.rows == dst.rows && src.cols == dst.cols);
+  for (index_t i = 0; i < src.rows; ++i) {
+    for (index_t j = 0; j < src.cols; ++j) dst(i, j) = src(i, j);
+  }
+}
+
+}  // namespace apa

@@ -1,0 +1,111 @@
+#pragma once
+// Thread-safe recycling pool for aligned numeric buffers.
+//
+// The APA executor allocates O(rank) temporaries per multiplication; inside a
+// training loop the same sizes recur every step, so recycling turns those
+// mallocs (large enough to be mmap-backed, i.e. page-fault heavy) into
+// free-list pops. Buffers are keyed by exact element count.
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "support/aligned.h"
+#include "support/matrix.h"
+
+namespace apa {
+
+template <class T>
+class BufferPool {
+ public:
+  static BufferPool& instance() {
+    static BufferPool pool;
+    return pool;
+  }
+
+  /// A buffer with at least `count` elements (exactly `count` when newly
+  /// allocated). Return it with release() to enable reuse.
+  [[nodiscard]] AlignedBuffer<T> acquire(std::size_t count) {
+    if (count == 0) return {};
+    {
+      std::scoped_lock lock(mutex_);
+      auto it = free_.find(count);
+      if (it != free_.end() && !it->second.empty()) {
+        AlignedBuffer<T> buf = std::move(it->second.back());
+        it->second.pop_back();
+        --cached_count_;
+        return buf;
+      }
+    }
+    return AlignedBuffer<T>(count);
+  }
+
+  void release(AlignedBuffer<T>&& buffer) {
+    if (buffer.empty()) return;
+    std::scoped_lock lock(mutex_);
+    if (cached_count_ >= kMaxCached) return;  // drop: destructor frees
+    ++cached_count_;
+    free_[buffer.size()].push_back(std::move(buffer));
+  }
+
+  /// Drops all cached buffers (tests / memory-pressure handling).
+  void clear() {
+    std::scoped_lock lock(mutex_);
+    free_.clear();
+    cached_count_ = 0;
+  }
+
+  [[nodiscard]] std::size_t cached() const {
+    std::scoped_lock lock(mutex_);
+    return cached_count_;
+  }
+
+ private:
+  static constexpr std::size_t kMaxCached = 256;
+  mutable std::mutex mutex_;
+  std::map<std::size_t, std::vector<AlignedBuffer<T>>> free_;
+  std::size_t cached_count_ = 0;
+};
+
+/// RAII lease of a pool buffer exposed as a row-major matrix view.
+template <class T>
+class PooledMatrix {
+ public:
+  PooledMatrix() = default;
+  PooledMatrix(index_t rows, index_t cols)
+      : rows_(rows),
+        cols_(cols),
+        buffer_(BufferPool<T>::instance().acquire(
+            static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols))) {}
+  ~PooledMatrix() { BufferPool<T>::instance().release(std::move(buffer_)); }
+  PooledMatrix(PooledMatrix&&) noexcept = default;
+  PooledMatrix& operator=(PooledMatrix&& other) noexcept {
+    if (this != &other) {
+      BufferPool<T>::instance().release(std::move(buffer_));
+      buffer_ = std::move(other.buffer_);
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+    }
+    return *this;
+  }
+  PooledMatrix(const PooledMatrix&) = delete;
+  PooledMatrix& operator=(const PooledMatrix&) = delete;
+
+  [[nodiscard]] MatrixView<T> view() { return {buffer_.data(), rows_, cols_, cols_}; }
+  /// Pool buffers are recycled dirty; call before use when zeros matter.
+  void set_zero() {
+    T* data = buffer_.data();
+    for (index_t i = 0; i < rows_ * cols_; ++i) data[i] = T{0};
+  }
+  [[nodiscard]] MatrixView<const T> cview() const {
+    return {buffer_.data(), rows_, cols_, cols_};
+  }
+  [[nodiscard]] bool empty() const { return buffer_.empty(); }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  AlignedBuffer<T> buffer_;
+};
+
+}  // namespace apa

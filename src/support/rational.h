@@ -1,0 +1,101 @@
+#pragma once
+// Exact rational arithmetic for symbolic validation of bilinear rules.
+//
+// Coefficients of practical fast-matmul rules are tiny (|num|, |den| well under
+// a few hundred even after tensor products), so a normalized int64 fraction
+// with overflow checks is exact and fast.
+
+#include <cstdint>
+#include <compare>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace apa {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t value) : num_(value) {}  // NOLINT(google-explicit-constructor)
+  constexpr Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    normalize();
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+  [[nodiscard]] constexpr bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] constexpr bool is_one() const { return num_ == 1 && den_ == 1; }
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  [[nodiscard]] std::string to_string() const {
+    return den_ == 1 ? std::to_string(num_)
+                     : std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+  friend constexpr Rational operator+(const Rational& a, const Rational& b) {
+    return Rational(checked_add(checked_mul(a.num_, b.den_), checked_mul(b.num_, a.den_)),
+                    checked_mul(a.den_, b.den_));
+  }
+  friend constexpr Rational operator-(const Rational& a, const Rational& b) {
+    return a + (-b);
+  }
+  friend constexpr Rational operator*(const Rational& a, const Rational& b) {
+    return Rational(checked_mul(a.num_, b.num_), checked_mul(a.den_, b.den_));
+  }
+  friend constexpr Rational operator/(const Rational& a, const Rational& b) {
+    if (b.num_ == 0) throw std::domain_error("Rational: division by zero");
+    return Rational(checked_mul(a.num_, b.den_), checked_mul(a.den_, b.num_));
+  }
+  constexpr Rational operator-() const {
+    Rational r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+  }
+  Rational& operator+=(const Rational& b) { return *this = *this + b; }
+  Rational& operator-=(const Rational& b) { return *this = *this - b; }
+  Rational& operator*=(const Rational& b) { return *this = *this * b; }
+  Rational& operator/=(const Rational& b) { return *this = *this / b; }
+
+  friend constexpr bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend constexpr std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+    return checked_mul(a.num_, b.den_) <=> checked_mul(b.num_, a.den_);
+  }
+
+ private:
+  static constexpr std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+    std::int64_t out = 0;
+    if (__builtin_mul_overflow(a, b, &out)) {
+      throw std::overflow_error("Rational: multiplication overflow");
+    }
+    return out;
+  }
+  static constexpr std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+    std::int64_t out = 0;
+    if (__builtin_add_overflow(a, b, &out)) {
+      throw std::overflow_error("Rational: addition overflow");
+    }
+    return out;
+  }
+  constexpr void normalize() {
+    if (den_ == 0) throw std::domain_error("Rational: zero denominator");
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace apa

@@ -1,0 +1,39 @@
+#pragma once
+// Column-aligned console tables + CSV emission for the benchmark harnesses.
+// Every figure/table reproduction prints through this so outputs share one
+// machine-parsable format.
+
+#include <string>
+#include <vector>
+
+namespace apa {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 4);
+
+  /// Render as an aligned console table.
+  [[nodiscard]] std::string to_string() const;
+  /// Render as CSV (header + rows).
+  [[nodiscard]] std::string to_csv() const;
+  /// Print the aligned table to stdout.
+  void print() const;
+  /// Write CSV to the path; no-op on empty path.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers used across benches.
+std::string format_double(double value, int precision = 4);
+std::string format_sci(double value, int precision = 2);
+
+}  // namespace apa

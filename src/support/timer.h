@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing helpers for benchmarks and harnesses.
+
+#include <chrono>
+
+namespace apa {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Effective GFLOPS at classical operation count 2*m*k*n (paper's Fig 3 metric:
+/// APA algorithms perform fewer flops, so this compares *time*, not hardware rate).
+inline double effective_gflops(double m, double k, double n, double seconds) {
+  return 1e-9 * 2.0 * m * k * n / seconds;
+}
+
+}  // namespace apa

@@ -1,0 +1,75 @@
+// Randomized GEMM fuzzing: random shapes, transposes, scalars, thread counts
+// and embedded (strided) operands against the reference implementation.
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.h"
+#include "support/matrix.h"
+#include "support/rng.h"
+
+namespace apa::blas {
+namespace {
+
+TEST(GemmFuzz, RandomShapesAndScalars) {
+  Rng rng(20260705);
+  for (int trial = 0; trial < 40; ++trial) {
+    const index_t m = 1 + static_cast<index_t>(rng.next_below(200));
+    const index_t n = 1 + static_cast<index_t>(rng.next_below(200));
+    const index_t k = 1 + static_cast<index_t>(rng.next_below(300));
+    const Trans ta = rng.next_below(2) ? Trans::kYes : Trans::kNo;
+    const Trans tb = rng.next_below(2) ? Trans::kYes : Trans::kNo;
+    const float alpha = static_cast<float>(rng.uniform(-2, 2));
+    const float beta = rng.next_below(2) ? 0.0f : static_cast<float>(rng.uniform(-1, 1));
+    const int threads = 1 + static_cast<int>(rng.next_below(4));
+
+    const index_t a_rows = ta == Trans::kYes ? k : m;
+    const index_t a_cols = ta == Trans::kYes ? m : k;
+    const index_t b_rows = tb == Trans::kYes ? n : k;
+    const index_t b_cols = tb == Trans::kYes ? k : n;
+    Matrix<float> a(a_rows, a_cols), b(b_rows, b_cols), c(m, n), ref(m, n);
+    fill_random_uniform<float>(a.view(), rng);
+    fill_random_uniform<float>(b.view(), rng);
+    fill_random_uniform<float>(c.view(), rng);
+    copy(c.view(), ref.view());
+
+    gemm<float>(ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(), beta,
+                c.data(), c.ld(), threads);
+    gemm_reference<float>(ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+                          beta, ref.data(), ref.ld());
+    ASSERT_LT(relative_frobenius_error(c.view(), ref.view()), 1e-4)
+        << "trial " << trial << ": m=" << m << " n=" << n << " k=" << k
+        << " ta=" << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes)
+        << " alpha=" << alpha << " beta=" << beta << " threads=" << threads;
+  }
+}
+
+TEST(GemmFuzz, EmbeddedBlocksWithRandomOffsets) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const index_t big = 180;
+    Matrix<float> storage_a(big, big), storage_b(big, big), storage_c(big, big);
+    fill_random_uniform<float>(storage_a.view(), rng);
+    fill_random_uniform<float>(storage_b.view(), rng);
+    storage_c.set_zero();
+
+    const index_t m = 1 + static_cast<index_t>(rng.next_below(60));
+    const index_t k = 1 + static_cast<index_t>(rng.next_below(60));
+    const index_t n = 1 + static_cast<index_t>(rng.next_below(60));
+    const index_t oa = rng.next_below(big - std::max(m, k));
+    const index_t ob = rng.next_below(big - std::max(k, n));
+    const index_t oc = rng.next_below(big - std::max(m, n));
+
+    auto a_blk = storage_a.view().block(oa, oa, m, k);
+    auto b_blk = storage_b.view().block(ob, ob, k, n);
+    auto c_blk = storage_c.view().block(oc, oc, m, n);
+    gemm<float>(a_blk.as_const(), b_blk.as_const(), c_blk);
+
+    Matrix<float> ref(m, n);
+    gemm_reference<float>(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a_blk.data, a_blk.ld,
+                          b_blk.data, b_blk.ld, 0.0f, ref.data(), ref.ld());
+    ASSERT_LT(relative_frobenius_error(c_blk, ref.view()), 1e-4) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace apa::blas

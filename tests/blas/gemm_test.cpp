@@ -1,0 +1,149 @@
+#include "blas/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "support/matrix.h"
+#include "support/rng.h"
+
+namespace apa::blas {
+namespace {
+
+template <class T>
+void run_case(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha, T beta,
+              int threads, double tol) {
+  Rng rng(static_cast<std::uint64_t>(m * 131 + n * 17 + k + threads));
+  // Allocate storage in stored orientation.
+  const index_t a_rows = (ta == Trans::kYes) ? k : m;
+  const index_t a_cols = (ta == Trans::kYes) ? m : k;
+  const index_t b_rows = (tb == Trans::kYes) ? n : k;
+  const index_t b_cols = (tb == Trans::kYes) ? k : n;
+  Matrix<T> a(a_rows, a_cols), b(b_rows, b_cols), c(m, n), c_ref(m, n);
+  fill_random_uniform<T>(a.view(), rng);
+  fill_random_uniform<T>(b.view(), rng);
+  fill_random_uniform<T>(c.view(), rng);
+  copy<T>(c.view(), c_ref.view());
+
+  gemm<T>(ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(), beta, c.data(),
+          c.ld(), threads);
+  gemm_reference<T>(ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(), beta,
+                    c_ref.data(), c_ref.ld());
+  EXPECT_LT(relative_frobenius_error(c.view().as_const(), c_ref.view().as_const()), tol)
+      << "m=" << m << " n=" << n << " k=" << k << " ta=" << (ta == Trans::kYes)
+      << " tb=" << (tb == Trans::kYes) << " threads=" << threads;
+}
+
+using ShapeCase = std::tuple<int, int, int>;
+
+class GemmShapes : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(GemmShapes, FloatMatchesReferenceAllTransposeCombos) {
+  const auto [m, n, k] = GetParam();
+  for (Trans ta : {Trans::kNo, Trans::kYes}) {
+    for (Trans tb : {Trans::kNo, Trans::kYes}) {
+      run_case<float>(ta, tb, m, n, k, 1.0f, 0.0f, 1, 2e-5);
+    }
+  }
+}
+
+TEST_P(GemmShapes, DoubleMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  run_case<double>(Trans::kNo, Trans::kNo, m, n, k, 1.0, 0.0, 1, 1e-13);
+  run_case<double>(Trans::kYes, Trans::kNo, m, n, k, 1.0, 0.0, 1, 1e-13);
+}
+
+TEST_P(GemmShapes, AlphaBetaUpdate) {
+  const auto [m, n, k] = GetParam();
+  run_case<float>(Trans::kNo, Trans::kNo, m, n, k, 2.5f, -0.5f, 1, 2e-5);
+  run_case<double>(Trans::kNo, Trans::kNo, m, n, k, -1.0, 2.0, 1, 1e-13);
+}
+
+TEST_P(GemmShapes, MultithreadedMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  run_case<float>(Trans::kNo, Trans::kNo, m, n, k, 1.0f, 0.0f, 4, 2e-5);
+  run_case<float>(Trans::kYes, Trans::kYes, m, n, k, 1.0f, 1.0f, 3, 2e-5);
+}
+
+// Shapes chosen to hit: tiny, below one microtile, exact tile multiples,
+// ragged edges in every dimension, skinny and fat aspect ratios, and sizes
+// that cross the KC/MC/NC cache-blocking boundaries.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(
+        ShapeCase{1, 1, 1}, ShapeCase{2, 3, 4}, ShapeCase{5, 7, 3},
+        ShapeCase{6, 16, 8}, ShapeCase{12, 32, 16}, ShapeCase{7, 17, 9},
+        ShapeCase{13, 29, 31}, ShapeCase{48, 48, 48}, ShapeCase{64, 64, 64},
+        ShapeCase{100, 100, 100}, ShapeCase{121, 130, 259}, ShapeCase{128, 2048 + 16, 64},
+        ShapeCase{130, 70, 300}, ShapeCase{1, 256, 256}, ShapeCase{256, 1, 256},
+        ShapeCase{256, 256, 1}, ShapeCase{311, 97, 151}));
+
+TEST(Gemm, ZeroSizeIsNoop) {
+  float c = 42.0f;
+  gemm<float>(Trans::kNo, Trans::kNo, 0, 0, 0, 1.0f, nullptr, 1, nullptr, 1, 0.0f, &c, 1);
+  EXPECT_EQ(c, 42.0f);
+}
+
+TEST(Gemm, KZeroScalesCByBeta) {
+  Matrix<float> c(2, 2);
+  c(0, 0) = 1;
+  c(0, 1) = 2;
+  c(1, 0) = 3;
+  c(1, 1) = 4;
+  gemm<float>(Trans::kNo, Trans::kNo, 2, 2, 0, 1.0f, nullptr, 1, nullptr, 1, 0.5f,
+              c.data(), c.ld());
+  EXPECT_EQ(c(1, 1), 2.0f);
+}
+
+TEST(Gemm, AlphaZeroBetaZeroClearsCEvenIfCHasNans) {
+  Matrix<float> a(2, 2), b(2, 2), c(2, 2);
+  a.set_zero();
+  b.set_zero();
+  for (auto& x : c.span()) x = std::numeric_limits<float>::quiet_NaN();
+  gemm<float>(Trans::kNo, Trans::kNo, 2, 2, 2, 0.0f, a.data(), 2, b.data(), 2, 0.0f,
+              c.data(), 2);
+  for (auto x : c.span()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Gemm, StridedViewsRespectLeadingDimension) {
+  // Multiply sub-blocks embedded in larger matrices.
+  Rng rng(5);
+  Matrix<float> big_a(40, 40), big_b(40, 40), big_c(40, 40), ref(16, 12);
+  fill_random_uniform<float>(big_a.view(), rng);
+  fill_random_uniform<float>(big_b.view(), rng);
+  big_c.set_zero();
+  auto a_blk = big_a.view().block(2, 3, 16, 20);
+  auto b_blk = big_b.view().block(1, 5, 20, 12);
+  auto c_blk = big_c.view().block(4, 6, 16, 12);
+  gemm<float>(a_blk.as_const(), b_blk.as_const(), c_blk);
+  gemm_reference<float>(Trans::kNo, Trans::kNo, 16, 12, 20, 1.0f, a_blk.data, a_blk.ld,
+                        b_blk.data, b_blk.ld, 0.0f, ref.data(), ref.ld());
+  EXPECT_LT(relative_frobenius_error(c_blk.as_const(), ref.view().as_const()), 2e-5);
+  // Ensure nothing outside the C block was touched.
+  EXPECT_EQ(big_c(0, 0), 0.0f);
+  EXPECT_EQ(big_c(30, 30), 0.0f);
+}
+
+TEST(Gemm, IdentityTimesMatrixIsMatrix) {
+  const index_t n = 65;
+  Matrix<float> eye(n, n), b(n, n), c(n, n);
+  eye.set_zero();
+  for (index_t i = 0; i < n; ++i) eye(i, i) = 1.0f;
+  Rng rng(21);
+  fill_random_uniform<float>(b.view(), rng);
+  gemm<float>(eye.view(), b.view(), c.view());
+  EXPECT_LT(max_abs_diff(c.view(), b.view()), 1e-6);
+}
+
+TEST(Gemm, AccumulationAcrossKBlocks) {
+  // k larger than KC forces multiple packed passes with beta=1 accumulation.
+  run_case<float>(Trans::kNo, Trans::kNo, 33, 47, 700, 1.0f, 0.0f, 1, 5e-5);
+  run_case<double>(Trans::kNo, Trans::kNo, 33, 47, 700, 1.0, 0.0, 1, 1e-12);
+}
+
+TEST(Gemm, ManyThreadsOnSmallMatrixStillCorrect) {
+  run_case<float>(Trans::kNo, Trans::kNo, 8, 8, 8, 1.0f, 0.0f, 16, 2e-5);
+}
+
+}  // namespace
+}  // namespace apa::blas

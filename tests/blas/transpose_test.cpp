@@ -1,0 +1,47 @@
+#include "blas/transpose.h"
+
+#include <gtest/gtest.h>
+
+#include "support/matrix.h"
+#include "support/rng.h"
+
+namespace apa::blas {
+namespace {
+
+class TransposeShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TransposeShapes, RoundTripIsIdentity) {
+  const auto [r, c] = GetParam();
+  Rng rng(r * 100 + c);
+  Matrix<float> m(r, c), t(c, r), back(r, c);
+  fill_random_uniform<float>(m.view(), rng);
+  transpose<float>(m.view(), t.view());
+  transpose<float>(t.view(), back.view());
+  EXPECT_EQ(max_abs_diff(m.view(), back.view()), 0.0);
+}
+
+TEST_P(TransposeShapes, ElementsMapped) {
+  const auto [r, c] = GetParam();
+  Matrix<double> m(r, c), t(c, r);
+  for (index_t i = 0; i < r; ++i) {
+    for (index_t j = 0; j < c; ++j) m(i, j) = i * 1000.0 + j;
+  }
+  transpose<double>(m.view(), t.view());
+  for (index_t i = 0; i < r; ++i) {
+    for (index_t j = 0; j < c; ++j) EXPECT_EQ(t(j, i), m(i, j));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TransposeShapes,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 7},
+                                           std::pair{7, 1}, std::pair{31, 33},
+                                           std::pair{32, 32}, std::pair{64, 33},
+                                           std::pair{100, 300}));
+
+TEST(Transpose, WrongShapeThrows) {
+  Matrix<float> m(3, 4), t(3, 4);
+  EXPECT_THROW(transpose<float>(m.view(), t.view()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apa::blas

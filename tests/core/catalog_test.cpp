@@ -1,0 +1,92 @@
+#include "core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+
+namespace apa::core {
+namespace {
+
+TEST(Catalog, StrassenIsExactRankSeven) {
+  const Rule rule = strassen();
+  EXPECT_EQ(rule.rank, 7);
+  const Validation v = validate(rule);
+  ASSERT_TRUE(v.valid) << v.message;
+  EXPECT_TRUE(v.exact);
+}
+
+TEST(Catalog, WinogradIsExactRankSeven) {
+  const Rule rule = winograd();
+  EXPECT_EQ(rule.rank, 7);
+  const Validation v = validate(rule);
+  ASSERT_TRUE(v.valid) << v.message;
+  EXPECT_TRUE(v.exact);
+}
+
+TEST(Catalog, WinogradHasFewerOutputNonzerosThanStrassenInputs) {
+  // The Winograd variant trades U/V structure for fewer total additions;
+  // structural sanity: both rank 7, different nonzero profile.
+  EXPECT_NE(winograd().nnz_inputs() + winograd().nnz_outputs(),
+            strassen().nnz_inputs() + strassen().nnz_outputs());
+}
+
+TEST(Catalog, Bini322IsValidApaSigmaOne) {
+  const Rule rule = bini322();
+  EXPECT_EQ(rule.m, 3);
+  EXPECT_EQ(rule.k, 2);
+  EXPECT_EQ(rule.n, 2);
+  EXPECT_EQ(rule.rank, 10);
+  const Validation v = validate(rule);
+  ASSERT_TRUE(v.valid) << v.message;
+  EXPECT_FALSE(v.exact);
+  EXPECT_EQ(v.sigma, 1);  // paper Table 1
+  EXPECT_EQ(compute_phi(rule), 1);
+}
+
+TEST(Catalog, Bini322FirstEntryErrorTermMatchesPaper) {
+  // Paper: C11_hat = A11*B11 + A12*B21 - lambda*A12*B11, i.e. the residual of
+  // the Brent product for (A12, B11, C11) is exactly -lambda.
+  const Rule rule = bini322();
+  LaurentPoly f;
+  for (index_t l = 0; l < rule.rank; ++l) {
+    f += rule.U(0, 1, l) * rule.V(0, 0, l) * rule.W(0, 0, l);
+  }
+  EXPECT_EQ(f.coefficient(0), Rational(0));   // no exact contribution
+  EXPECT_EQ(f.coefficient(1), Rational(-1));  // -lambda * A12 * B11
+}
+
+TEST(Catalog, ClassicalMatchesAnalyzedParams) {
+  const AlgorithmParams p = analyze(classical(3, 4, 5));
+  EXPECT_TRUE(p.exact);
+  EXPECT_EQ(p.rank, 60);
+  EXPECT_DOUBLE_EQ(p.speedup, 0.0);
+  EXPECT_EQ(p.phi, 0);
+}
+
+TEST(Catalog, AnalyzeBiniMatchesPaperTable1) {
+  const AlgorithmParams p = analyze(bini322());
+  EXPECT_EQ(p.sigma, 1);
+  EXPECT_EQ(p.phi, 1);
+  EXPECT_NEAR(p.speedup, 0.20, 1e-12);
+  // Table 1 reports error 3.5e-4 for single precision (2^-11.5).
+  EXPECT_NEAR(p.predicted_error(kPrecisionBitsSingle, 1), 3.5e-4, 0.5e-4);
+  // Optimal lambda is 2^-11.5.
+  EXPECT_NEAR(p.optimal_lambda(kPrecisionBitsSingle, 1), std::exp2(-11.5), 1e-6);
+}
+
+TEST(Catalog, PredictedErrorDoubleVsSingle) {
+  const AlgorithmParams p = analyze(bini322());
+  EXPECT_LT(p.predicted_error(kPrecisionBitsDouble, 1),
+            p.predicted_error(kPrecisionBitsSingle, 1));
+}
+
+TEST(Catalog, MoreRecursiveStepsWeakenErrorBound) {
+  const AlgorithmParams p = analyze(bini322());
+  EXPECT_GT(p.predicted_error(kPrecisionBitsSingle, 2),
+            p.predicted_error(kPrecisionBitsSingle, 1));
+  EXPECT_GT(p.optimal_lambda(kPrecisionBitsSingle, 2),
+            p.optimal_lambda(kPrecisionBitsSingle, 1));
+}
+
+}  // namespace
+}  // namespace apa::core

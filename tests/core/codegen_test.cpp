@@ -1,0 +1,70 @@
+#include "core/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+
+namespace apa::core {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(Codegen, EmitsOneGemmPerProduct) {
+  const std::string code = generate_cpp(strassen());
+  EXPECT_EQ(count_occurrences(code, "blas::gemm<float>"), 7u);
+  EXPECT_NE(code.find("void strassen_multiply("), std::string::npos);
+}
+
+TEST(Codegen, EmitsOneOutputCombinationPerCEntry) {
+  const std::string code = generate_cpp(bini322());
+  EXPECT_EQ(count_occurrences(code, "blas::gemm<float>"), 10u);
+  // 6 output entries -> 6 write-once combinations after the products.
+  const auto marker = code.find("Output combinations");
+  ASSERT_NE(marker, std::string::npos);
+  EXPECT_EQ(count_occurrences(code.substr(marker), "linear_combination"), 6u);
+}
+
+TEST(Codegen, LambdaSubstitutedNumerically) {
+  CodegenOptions opts;
+  opts.lambda = 0.5;
+  const std::string code = generate_cpp(bini322(), opts);
+  // C11's lambda^-1 coefficient becomes 2.
+  EXPECT_NE(code.find("{2.0f, mview(0)"), std::string::npos);
+  EXPECT_EQ(code.find("lambda_value"), std::string::npos);  // fully monomorphic
+}
+
+TEST(Codegen, CustomFunctionName) {
+  CodegenOptions opts;
+  opts.function_name = "my_kernel";
+  const std::string code = generate_cpp(strassen(), opts);
+  EXPECT_NE(code.find("void my_kernel("), std::string::npos);
+}
+
+TEST(Codegen, SanitizesRuleNames) {
+  Rule rule = classical(2, 2, 2);  // name contains <,>
+  const std::string code = generate_cpp(rule);
+  EXPECT_NE(code.find("classical_2_2_2__multiply"), std::string::npos);
+}
+
+TEST(Codegen, SingleTermCombinationsSkipTemp) {
+  // Classical products are single-entry; no input linear_combination emitted.
+  const std::string code = generate_cpp(classical(1, 1, 1));
+  const auto marker = code.find("Output combinations");
+  EXPECT_EQ(count_occurrences(code.substr(0, marker), "linear_combination"), 0u);
+}
+
+TEST(Codegen, DivisibilityGuardPresent) {
+  const std::string code = generate_cpp(bini322());
+  EXPECT_NE(code.find("a.rows % 3 == 0"), std::string::npos);
+  EXPECT_NE(code.find("b.cols % 2 == 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apa::core

@@ -1,0 +1,82 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/registry.h"
+
+namespace apa::core {
+namespace {
+
+TEST(CostModel, ClassicalRuleHasOnlyOutputWrites) {
+  // classical<1,1,1>: one product, single unit terms on both sides (free),
+  // one output entry reading one product: (1 + 1) * block elements.
+  const Rule rule = classical(1, 1, 1);
+  const double bytes = addition_traffic_bytes(rule, 64, 64, 64);
+  EXPECT_DOUBLE_EQ(bytes, 2.0 * 64 * 64 * sizeof(float));
+}
+
+TEST(CostModel, StrassenTrafficMatchesHandCount) {
+  // Strassen at block size b = (dim/2)^2 elements:
+  //  inputs: M1,M6,M7 have 2-term U and V; M2,M5 2-term on one side only;
+  //  M3,M4 2-term V only. Multi-term combos: U in {M1,M2,M5->? } count:
+  //  U terms per product: 2,2,1,1,2,2,2 ; V terms: 2,1,2,2,1,2,2.
+  //  U traffic: products with U>1 (5 of them): (2+1)*b each = 15b.
+  //  V traffic: products with V>1 (5): 15b.
+  //  W: entries have 4,2,2,4 terms -> (5+3+3+5) b = 16b.
+  const Rule rule = strassen();
+  const double b = 32.0 * 32.0;  // dim 64
+  EXPECT_DOUBLE_EQ(addition_traffic_bytes(rule, 64, 64, 64),
+                   (15 + 15 + 16) * b * sizeof(float));
+}
+
+TEST(CostModel, TrafficScalesWithBlockArea) {
+  const Rule rule = bini322();
+  const double small = addition_traffic_bytes(rule, 60, 60, 60);
+  const double large = addition_traffic_bytes(rule, 120, 120, 120);
+  EXPECT_NEAR(large / small, 4.0, 1e-9);
+}
+
+TEST(CostModel, DoublePrecisionDoublesTraffic) {
+  const Rule rule = strassen();
+  EXPECT_DOUBLE_EQ(addition_traffic_bytes(rule, 64, 64, 64, sizeof(double)),
+                   2.0 * addition_traffic_bytes(rule, 64, 64, 64, sizeof(float)));
+}
+
+TEST(CostModel, PredictBreakdownComposes) {
+  const Rule& rule = rule_by_name("fast444");
+  CostInputs inputs;
+  inputs.sub_gemm_seconds = 1e-3;
+  inputs.add_bandwidth = 1e10;
+  const auto breakdown = predict_one_step(rule, 1024, 1024, 1024, inputs);
+  EXPECT_DOUBLE_EQ(breakdown.multiply_seconds, 49e-3);
+  EXPECT_GT(breakdown.addition_seconds, 0);
+  EXPECT_DOUBLE_EQ(breakdown.total(),
+                   breakdown.multiply_seconds + breakdown.addition_seconds);
+}
+
+TEST(CostModel, HigherRankMeansMoreMultiplyTime) {
+  CostInputs inputs;
+  inputs.sub_gemm_seconds = 1e-3;
+  inputs.add_bandwidth = 1e10;
+  const auto strassen_cost =
+      predict_one_step(rule_by_name("strassen"), 512, 512, 512, inputs);
+  const auto classical_cost = predict_one_step(classical(2, 2, 2), 512, 512, 512, inputs);
+  EXPECT_LT(strassen_cost.multiply_seconds, classical_cost.multiply_seconds);
+  EXPECT_GT(strassen_cost.addition_seconds, classical_cost.addition_seconds);
+}
+
+TEST(CostModel, InvalidInputsRejected) {
+  const Rule rule = strassen();
+  EXPECT_THROW((void)addition_traffic_bytes(rule, 63, 64, 64), std::logic_error);
+  EXPECT_THROW((void)predict_one_step(rule, 64, 64, 64, {}), std::logic_error);
+}
+
+TEST(CostModel, MeasuredBandwidthPlausible) {
+  const double bw = measure_add_bandwidth(256);
+  EXPECT_GT(bw, 1e8);   // > 0.1 GB/s — anything slower means broken timing
+  EXPECT_LT(bw, 1e13);  // < 10 TB/s — faster means broken math
+}
+
+}  // namespace
+}  // namespace apa::core

@@ -1,0 +1,119 @@
+#include "core/designer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+
+namespace apa::core {
+namespace {
+
+TEST(Designer, TrivialDimsGiveClassical) {
+  const Rule r = design(1, 1, 1);
+  EXPECT_EQ(r.rank, 1);
+  EXPECT_TRUE(validate(r).exact);
+}
+
+TEST(Designer, FindsStrassenFor222) {
+  const Rule r = design(2, 2, 2);
+  EXPECT_EQ(r.rank, 7);
+  EXPECT_TRUE(validate(r).valid);
+}
+
+TEST(Designer, FindsBiniFor322) {
+  const Rule r = design(3, 2, 2);
+  EXPECT_EQ(r.rank, 10);
+  const Validation v = validate(r);
+  EXPECT_TRUE(v.valid);
+  EXPECT_FALSE(v.exact);
+}
+
+TEST(Designer, ExactOnlyExcludesApaBases) {
+  const Rule r = design(3, 2, 2, {.allow_apa = false});
+  EXPECT_TRUE(validate(r).exact);
+  EXPECT_EQ(r.rank, 11);  // strassen (+) classical<1,2,2>
+}
+
+TEST(Designer, TensorPathFindsStrassenSquared) {
+  const Rule r = design(4, 4, 4);
+  EXPECT_EQ(r.rank, 49);
+  EXPECT_TRUE(validate(r).exact);
+}
+
+TEST(Designer, RespectsRequestedDimensionOrder) {
+  const Rule r = design(2, 3, 2);
+  EXPECT_EQ(r.m, 2);
+  EXPECT_EQ(r.k, 3);
+  EXPECT_EQ(r.n, 2);
+  EXPECT_EQ(r.rank, 10);  // permuted Bini
+  EXPECT_TRUE(validate(r).valid);
+}
+
+TEST(Designer, KnownRanksForPaperDims) {
+  // Locked-in DP results; a regression here means the search space or the
+  // cost function changed.
+  EXPECT_EQ(design_summary(4, 2, 2).rank, 14);
+  EXPECT_EQ(design_summary(3, 3, 2).rank, 16);
+  EXPECT_EQ(design_summary(5, 2, 2).rank, 17);
+  EXPECT_EQ(design_summary(3, 3, 3).rank, 25);
+  EXPECT_EQ(design_summary(7, 2, 2).rank, 24);
+  EXPECT_EQ(design_summary(4, 4, 2).rank, 28);
+  EXPECT_EQ(design_summary(4, 3, 3).rank, 32);
+  EXPECT_EQ(design_summary(5, 5, 2).rank, 43);
+  EXPECT_EQ(design_summary(5, 5, 5).rank, 110);
+}
+
+TEST(Designer, ApaNeverWorseThanExact) {
+  for (index_t m = 1; m <= 5; ++m) {
+    for (index_t k = 1; k <= 4; ++k) {
+      for (index_t n = 1; n <= 4; ++n) {
+        const index_t apa_rank = design_summary(m, k, n).rank;
+        const index_t exact_rank = design_summary(m, k, n, {.allow_apa = false}).rank;
+        EXPECT_LE(apa_rank, exact_rank) << m << "," << k << "," << n;
+        EXPECT_LE(apa_rank, m * k * n) << "never worse than classical";
+      }
+    }
+  }
+}
+
+TEST(Designer, AllSmallDesignsAreValidRules) {
+  for (index_t m = 1; m <= 4; ++m) {
+    for (index_t k = 1; k <= 4; ++k) {
+      for (index_t n = 1; n <= 4; ++n) {
+        const Rule r = design(m, k, n);
+        EXPECT_EQ(r.m, m);
+        EXPECT_EQ(r.k, k);
+        EXPECT_EQ(r.n, n);
+        const Validation v = validate(r);
+        EXPECT_TRUE(v.valid) << r.name << ": " << v.message;
+      }
+    }
+  }
+}
+
+TEST(Designer, ExactOnlyDesignsAreExact) {
+  for (index_t d = 1; d <= 6; ++d) {
+    const Rule r = design(d, d, 2, {.allow_apa = false});
+    EXPECT_TRUE(validate(r).exact) << r.name;
+  }
+}
+
+TEST(Designer, LargerDimsStayBelowClassical) {
+  // Beyond Table 1: the search keeps finding sub-classical constructions.
+  EXPECT_EQ(design_summary(6, 6, 6).rank, 160);  // direct sums of bini pieces
+  EXPECT_LT(design_summary(7, 7, 7).rank, 343);
+  EXPECT_LT(design_summary(8, 8, 8).rank, 512);
+  EXPECT_EQ(design_summary(8, 8, 8, {.allow_apa = false}).rank, 343);  // strassen^3
+}
+
+TEST(Designer, VolumeGuardThrows) {
+  EXPECT_THROW((void)design(20, 20, 20, {.max_volume = 100}), std::logic_error);
+}
+
+TEST(Designer, SymmetricDimsShareRank) {
+  EXPECT_EQ(design_summary(3, 2, 2).rank, design_summary(2, 3, 2).rank);
+  EXPECT_EQ(design_summary(2, 3, 2).rank, design_summary(2, 2, 3).rank);
+  EXPECT_EQ(design_summary(4, 3, 3).rank, design_summary(3, 4, 3).rank);
+}
+
+}  // namespace
+}  // namespace apa::core

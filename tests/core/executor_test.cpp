@@ -1,0 +1,259 @@
+#include "core/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "blas/gemm.h"
+#include "core/catalog.h"
+#include "core/params.h"
+#include "core/registry.h"
+#include "support/rng.h"
+
+namespace apa::core {
+namespace {
+
+/// Double-precision classical reference for error measurement.
+template <class T>
+Matrix<double> reference_product(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<double> ad(a.rows(), a.cols()), bd(b.rows(), b.cols()),
+      cd(a.rows(), b.cols());
+  for (index_t i = 0; i < a.size(); ++i) ad.data()[i] = static_cast<double>(a.data()[i]);
+  for (index_t i = 0; i < b.size(); ++i) bd.data()[i] = static_cast<double>(b.data()[i]);
+  blas::gemm<double>(ad.view(), bd.view(), cd.view());
+  return cd;
+}
+
+struct AlgoDims {
+  std::string algo;
+  index_t dim;  // square problem size
+};
+
+void PrintTo(const AlgoDims& p, std::ostream* os) {
+  *os << p.algo << "@" << p.dim;
+}
+
+class ExecutorAccuracy : public ::testing::TestWithParam<AlgoDims> {};
+
+TEST_P(ExecutorAccuracy, FloatErrorWithinPredictedBound) {
+  const auto& [algo, dim] = GetParam();
+  const Rule& rule = rule_by_name(algo);
+  const AlgorithmParams params = analyze(rule);
+
+  Rng rng(dim * 7 + 1);
+  Matrix<float> a(dim, dim), b(dim, dim), c(dim, dim);
+  fill_random_uniform<float>(a.view(), rng, -1.0f, 1.0f);
+  fill_random_uniform<float>(b.view(), rng, -1.0f, 1.0f);
+  const Matrix<double> ref = reference_product(a, b);
+
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), {});
+  const double err = relative_frobenius_error(c.view(), ref.view());
+  // Paper Fig 1: the theoretical bound dominates the empirical error; allow a
+  // small constant slack for the norm-wise aggregation.
+  const double bound = 4.0 * params.predicted_error(kPrecisionBitsSingle, 1);
+  EXPECT_LT(err, std::max(bound, 1e-5)) << "algo=" << algo << " dim=" << dim;
+}
+
+TEST_P(ExecutorAccuracy, DoublePrecisionExactRulesHitMachinePrecision) {
+  const auto& [algo, dim] = GetParam();
+  const Rule& rule = rule_by_name(algo);
+  const AlgorithmParams params = analyze(rule);
+  if (!params.exact) GTEST_SKIP() << "APA rule";
+
+  Rng rng(dim * 13 + 3);
+  Matrix<double> a(dim, dim), b(dim, dim), c(dim, dim), ref(dim, dim);
+  fill_random_uniform<double>(a.view(), rng);
+  fill_random_uniform<double>(b.view(), rng);
+  blas::gemm<double>(a.view(), b.view(), ref.view());
+  multiply<double>(rule, a.view().as_const(), b.view().as_const(), c.view(), {});
+  EXPECT_LT(relative_frobenius_error(c.view(), ref.view()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegistrySweep, ExecutorAccuracy,
+    ::testing::Values(AlgoDims{"strassen", 64}, AlgoDims{"winograd", 64},
+                      AlgoDims{"bini322", 60}, AlgoDims{"apa422", 64},
+                      AlgoDims{"apa332", 66}, AlgoDims{"apa522", 80},
+                      AlgoDims{"apa722", 56}, AlgoDims{"apa333", 81},
+                      AlgoDims{"fast442", 64}, AlgoDims{"apa433", 72},
+                      AlgoDims{"apa552", 100}, AlgoDims{"fast444", 64},
+                      AlgoDims{"apa644", 96}, AlgoDims{"apa664", 72},
+                      AlgoDims{"apa555", 100}));
+
+class ExecutorStrategies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExecutorStrategies, AllStrategiesProduceSameResult) {
+  const Rule& rule = rule_by_name(GetParam());
+  const index_t dim = 48;
+  Rng rng(99);
+  Matrix<float> a(dim, dim), b(dim, dim);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+
+  Matrix<float> c_seq(dim, dim);
+  ExecOptions opts;
+  opts.strategy = Strategy::kSequential;
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c_seq.view(), opts);
+
+  for (Strategy s : {Strategy::kDfs, Strategy::kBfs, Strategy::kHybrid}) {
+    Matrix<float> c(dim, dim);
+    ExecOptions par = opts;
+    par.strategy = s;
+    par.num_threads = 4;
+    multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), par);
+    EXPECT_LT(max_abs_diff(c.view(), c_seq.view()), 1e-5)
+        << "strategy=" << to_string(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ExecutorStrategies,
+                         ::testing::Values("strassen", "bini322", "fast442", "apa333",
+                                           "apa555"));
+
+TEST(Executor, PaddingHandlesAwkwardDimensions) {
+  // 97 x 103 x 89 is divisible by nothing relevant; result must still be right.
+  const Rule& rule = rule_by_name("bini322");
+  Rng rng(7);
+  Matrix<float> a(97, 103), b(103, 89), c(97, 89);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  const Matrix<double> ref = reference_product(a, b);
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), {});
+  EXPECT_LT(relative_frobenius_error(c.view(), ref.view()), 4 * 3.5e-4);
+}
+
+TEST(Executor, RectangularOperands) {
+  // Tall-skinny times small: exercises distinct bm/bk/bn.
+  const Rule& rule = rule_by_name("fast442");  // <4,4,2>
+  Rng rng(17);
+  Matrix<float> a(128, 64), b(64, 32), c(128, 32);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  const Matrix<double> ref = reference_product(a, b);
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), {});
+  EXPECT_LT(relative_frobenius_error(c.view(), ref.view()), 1e-5);
+}
+
+TEST(Executor, TwoRecursiveStepsExact) {
+  const Rule& rule = rule_by_name("strassen");
+  const index_t dim = 64;  // divisible by 2^2
+  Rng rng(23);
+  Matrix<float> a(dim, dim), b(dim, dim), c(dim, dim);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  const Matrix<double> ref = reference_product(a, b);
+  ExecOptions opts;
+  opts.steps = 2;
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), opts);
+  EXPECT_LT(relative_frobenius_error(c.view(), ref.view()), 1e-5);
+}
+
+TEST(Executor, TwoRecursiveStepsApaUsesWeakerBound) {
+  const Rule& rule = rule_by_name("bini322");
+  const AlgorithmParams params = analyze(rule);
+  const index_t dim = 90;  // divisible by 3^2 and 2^2
+  Rng rng(29);
+  Matrix<float> a(dim, dim), b(dim, dim), c(dim, dim);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  const Matrix<double> ref = reference_product(a, b);
+  ExecOptions opts;
+  opts.steps = 2;
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), opts);
+  const double err = relative_frobenius_error(c.view(), ref.view());
+  EXPECT_LT(err, 4.0 * params.predicted_error(kPrecisionBitsSingle, 2));
+}
+
+TEST(Executor, SmallMatrixFallsBackToGemm) {
+  // dims below the rule's block shape: straight gemm, exact result.
+  const Rule& rule = rule_by_name("apa555");
+  Rng rng(31);
+  Matrix<float> a(3, 3), b(3, 3), c(3, 3);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  const Matrix<double> ref = reference_product(a, b);
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), {});
+  EXPECT_LT(relative_frobenius_error(c.view(), ref.view()), 1e-6);
+}
+
+TEST(Executor, ApaErrorScalesLinearlyWithLambdaInDouble) {
+  // In double precision roundoff is negligible at moderate lambda, so the
+  // O(lambda) approximation term dominates: halving lambda halves the error.
+  const Rule& rule = rule_by_name("bini322");
+  const index_t dim = 48;
+  Rng rng(37);
+  Matrix<double> a(dim, dim), b(dim, dim), ref(dim, dim);
+  fill_random_uniform<double>(a.view(), rng);
+  fill_random_uniform<double>(b.view(), rng);
+  blas::gemm<double>(a.view(), b.view(), ref.view());
+
+  auto error_at = [&](double lambda_value) {
+    Matrix<double> c(dim, dim);
+    ExecOptions opts;
+    opts.lambda = lambda_value;
+    multiply<double>(rule, a.view().as_const(), b.view().as_const(), c.view(), opts);
+    return relative_frobenius_error(c.view(), ref.view());
+  };
+  const double e1 = error_at(1e-3);
+  const double e2 = error_at(5e-4);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.2);
+}
+
+TEST(Executor, EvaluatedRuleBiniCoefficients) {
+  const double lambda_value = 0.25;
+  const EvaluatedRule ev = EvaluatedRule::from(bini322(), lambda_value);
+  ASSERT_EQ(ev.u_terms.size(), 10u);
+  // M1 = (A11 + A22)(lambda*B11 + B22): U row has entries 0 (A11) and 3 (A22).
+  ASSERT_EQ(ev.u_terms[0].size(), 2u);
+  EXPECT_EQ(ev.u_terms[0][0].first, 0);
+  EXPECT_DOUBLE_EQ(ev.u_terms[0][0].second, 1.0);
+  EXPECT_DOUBLE_EQ(ev.v_terms[0][0].second, lambda_value);  // lambda * B11
+  // C11 = lambda^-1(M1 + M2 - M3 + M4): first W entry coeff 1/lambda.
+  ASSERT_EQ(ev.w_terms[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(ev.w_terms[0][0].second, 4.0);
+  EXPECT_DOUBLE_EQ(ev.w_terms[0][2].second, -4.0);  // -M3 / lambda
+}
+
+TEST(Executor, StridedViewsEmbeddedInLargerStorage) {
+  // Operands and output living as blocks of bigger matrices: the executor's
+  // block arithmetic must honor leading dimensions throughout.
+  const Rule& rule = rule_by_name("strassen");
+  Rng rng(41);
+  Matrix<float> big_a(100, 100), big_b(100, 100), big_c(100, 100);
+  fill_random_uniform<float>(big_a.view(), rng);
+  fill_random_uniform<float>(big_b.view(), rng);
+  big_c.set_zero();
+  auto a_blk = big_a.view().block(3, 5, 64, 64);
+  auto b_blk = big_b.view().block(7, 2, 64, 64);
+  auto c_blk = big_c.view().block(11, 13, 64, 64);
+  multiply<float>(rule, a_blk.as_const(), b_blk.as_const(), c_blk, {});
+
+  Matrix<float> ref(64, 64);
+  blas::gemm_reference<float>(blas::Trans::kNo, blas::Trans::kNo, 64, 64, 64, 1.0f,
+                              a_blk.data, a_blk.ld, b_blk.data, b_blk.ld, 0.0f,
+                              ref.data(), ref.ld());
+  EXPECT_LT(relative_frobenius_error(c_blk, ref.view()), 1e-4);
+  // Storage outside the C block is untouched.
+  EXPECT_EQ(big_c(0, 0), 0.0f);
+  EXPECT_EQ(big_c(99, 99), 0.0f);
+}
+
+TEST(Rule, DescribeListsProductsAndOutputs) {
+  const std::string text = describe(rule_by_name("bini322"));
+  EXPECT_NE(text.find("M10 = "), std::string::npos);
+  EXPECT_NE(text.find("C32 = "), std::string::npos);
+  EXPECT_NE(text.find("(L)*B11"), std::string::npos);      // lambda*B11 in M1
+  EXPECT_NE(text.find("(L^-1)*M1"), std::string::npos);    // lambda^-1 in C11
+}
+
+TEST(Executor, MismatchedShapesThrow) {
+  const Rule& rule = rule_by_name("strassen");
+  Matrix<float> a(4, 4), b(6, 4), c(4, 4);
+  EXPECT_THROW(multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(),
+                               {}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace apa::core

@@ -1,0 +1,118 @@
+#include "core/fastmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/gemm.h"
+#include "core/catalog.h"
+#include "support/rng.h"
+
+namespace apa::core {
+namespace {
+
+TEST(FastMatmul, ClassicalMatchesGemm) {
+  FastMatmul mm("classical");
+  EXPECT_TRUE(mm.is_classical());
+  Rng rng(1);
+  Matrix<float> a(33, 45), b(45, 27), c(33, 27), ref(33, 27);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  mm.multiply(a.view().as_const(), b.view().as_const(), c.view());
+  blas::gemm<float>(a.view(), b.view(), ref.view());
+  EXPECT_EQ(max_abs_diff(c.view(), ref.view()), 0.0);
+}
+
+TEST(FastMatmul, ClassicalParamsThrow) {
+  FastMatmul mm("classical");
+  EXPECT_THROW((void)mm.params(), std::logic_error);
+}
+
+TEST(FastMatmul, BiniWithinBound) {
+  FastMatmul mm("bini322");
+  EXPECT_FALSE(mm.is_classical());
+  EXPECT_EQ(mm.params().rank, 10);
+  EXPECT_NEAR(mm.lambda(), std::exp2(-11.5), 1e-5);
+
+  Rng rng(2);
+  const index_t dim = 96;
+  Matrix<float> a(dim, dim), b(dim, dim), c(dim, dim);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  Matrix<double> ad(dim, dim), bd(dim, dim), ref(dim, dim);
+  for (index_t i = 0; i < dim * dim; ++i) {
+    ad.data()[i] = a.data()[i];
+    bd.data()[i] = b.data()[i];
+  }
+  blas::gemm<double>(ad.view(), bd.view(), ref.view());
+  mm.multiply(a.view().as_const(), b.view().as_const(), c.view());
+  EXPECT_LT(relative_frobenius_error(c.view(), ref.view()), 1.5e-3);
+}
+
+TEST(FastMatmul, ExplicitLambdaHonored) {
+  FastMatmulOptions opts;
+  opts.lambda = 0.125;
+  FastMatmul mm("bini322", opts);
+  EXPECT_DOUBLE_EQ(mm.lambda(), 0.125);
+}
+
+TEST(FastMatmul, HybridStrategyMatchesSequential) {
+  FastMatmulOptions seq_opts;
+  FastMatmulOptions hyb_opts;
+  hyb_opts.strategy = Strategy::kHybrid;
+  hyb_opts.num_threads = 4;
+  FastMatmul seq("fast444", seq_opts), hyb("fast444", hyb_opts);
+
+  Rng rng(3);
+  Matrix<float> a(64, 64), b(64, 64), c1(64, 64), c2(64, 64);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  seq.multiply(a.view().as_const(), b.view().as_const(), c1.view());
+  hyb.multiply(a.view().as_const(), b.view().as_const(), c2.view());
+  EXPECT_LT(max_abs_diff(c1.view(), c2.view()), 1e-5);
+}
+
+TEST(FastMatmul, AdHocRuleConstructor) {
+  FastMatmul mm(strassen());
+  EXPECT_EQ(mm.algorithm(), "strassen");
+  EXPECT_TRUE(mm.params().exact);
+  EXPECT_DOUBLE_EQ(mm.lambda(), 1.0);
+}
+
+TEST(FastMatmul, DoubleOverload) {
+  FastMatmul mm("strassen");
+  Rng rng(5);
+  Matrix<double> a(32, 32), b(32, 32), c(32, 32), ref(32, 32);
+  fill_random_uniform<double>(a.view(), rng);
+  fill_random_uniform<double>(b.view(), rng);
+  blas::gemm<double>(a.view(), b.view(), ref.view());
+  mm.multiply(a.view().as_const(), b.view().as_const(), c.view());
+  EXPECT_LT(relative_frobenius_error(c.view(), ref.view()), 1e-13);
+}
+
+TEST(FastMatmul, PrecisionBitsSelectLambda) {
+  FastMatmulOptions single_opts;  // default 23 bits
+  FastMatmulOptions double_opts;
+  double_opts.precision_bits = kPrecisionBitsDouble;
+  FastMatmul single_mm("bini322", single_opts), double_mm("bini322", double_opts);
+  EXPECT_NEAR(single_mm.lambda(), std::exp2(-11.5), 1e-6);
+  EXPECT_NEAR(double_mm.lambda(), std::exp2(-26.0), 1e-10);
+  EXPECT_LT(double_mm.lambda(), single_mm.lambda());
+}
+
+TEST(FastMatmul, OutOfRangeLambdaRejected) {
+  FastMatmulOptions opts;
+  opts.lambda = 0.0;
+  EXPECT_THROW(FastMatmul("bini322", opts), std::logic_error);
+  opts.lambda = 2.0;
+  EXPECT_THROW(FastMatmul("bini322", opts), std::logic_error);
+  opts.lambda = -0.5;
+  EXPECT_THROW(FastMatmul("bini322", opts), std::logic_error);
+}
+
+TEST(FastMatmul, UnknownAlgorithmThrows) {
+  EXPECT_THROW(FastMatmul mm("bogus"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apa::core

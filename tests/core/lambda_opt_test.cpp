@@ -1,0 +1,73 @@
+#include "core/lambda_opt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/catalog.h"
+#include "core/registry.h"
+
+namespace apa::core {
+namespace {
+
+LambdaSearchOptions small_problem() {
+  LambdaSearchOptions o;
+  o.dim = 96;
+  return o;
+}
+
+TEST(LambdaOpt, BiniReachesTableOneError) {
+  const auto result = optimize_lambda(bini322(), small_problem());
+  EXPECT_EQ(result.probes.size(), 5u);
+  // Table 1: error 3.5e-4 for <3,2,2;10> in single precision. Empirical error
+  // should land at or below that order.
+  EXPECT_LT(result.best_error, 1e-3);
+  EXPECT_GT(result.best_error, 1e-7);  // APA: cannot reach machine precision
+  // Best lambda within the probed window around 2^-11.5.
+  EXPECT_GE(result.best_lambda, std::exp2(-14));
+  EXPECT_LE(result.best_lambda, std::exp2(-9));
+}
+
+TEST(LambdaOpt, ExactRuleReportsSingleProbe) {
+  const auto result = optimize_lambda(strassen(), small_problem());
+  EXPECT_EQ(result.probes.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.best_lambda, 1.0);
+  EXPECT_LT(result.best_error, 1e-5);
+}
+
+TEST(LambdaOpt, ErrorCurveIsUShaped) {
+  // Far from the optimum in either direction the measured error is worse:
+  // large lambda -> approximation error, small lambda -> roundoff blowup.
+  const Rule rule = bini322();
+  const auto opts = small_problem();
+  const auto result = optimize_lambda(rule, opts);
+  const double at_large = measure_error(rule, 0.25, opts);
+  const double at_small = measure_error(rule, std::exp2(-22), opts);
+  EXPECT_GT(at_large, result.best_error * 3);
+  EXPECT_GT(at_small, result.best_error * 3);
+}
+
+TEST(LambdaOpt, MeasureErrorDeterministicForSeed) {
+  const Rule rule = bini322();
+  const auto opts = small_problem();
+  EXPECT_DOUBLE_EQ(measure_error(rule, 1e-3, opts), measure_error(rule, 1e-3, opts));
+}
+
+TEST(LambdaOpt, HigherPhiMeansLargerBestError) {
+  // apa664 has phi = 2 -> error ~2^(-23/3); bini has phi = 1 -> ~2^(-11.5).
+  LambdaSearchOptions opts;
+  opts.dim = 72;  // divisible by 6 and 4
+  const auto bini = optimize_lambda(rule_by_name("bini322"), opts);
+  const auto apa664 = optimize_lambda(rule_by_name("apa664"), opts);
+  EXPECT_GT(apa664.best_error, bini.best_error);
+}
+
+TEST(LambdaOpt, ProbesAreConsecutivePowersOfTwo) {
+  const auto result = optimize_lambda(bini322(), small_problem());
+  for (std::size_t i = 1; i < result.probes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.probes[i].first / result.probes[i - 1].first, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace apa::core

@@ -1,0 +1,113 @@
+#include "core/laurent.h"
+
+#include <gtest/gtest.h>
+
+namespace apa::core {
+namespace {
+
+TEST(LaurentPoly, DefaultIsZero) {
+  LaurentPoly p;
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_TRUE(p.is_constant());
+  EXPECT_EQ(p.to_string(), "0");
+}
+
+TEST(LaurentPoly, ConstantConstruction) {
+  LaurentPoly p(Rational(3, 2));
+  EXPECT_TRUE(p.is_constant());
+  EXPECT_EQ(p.constant_term(), Rational(3, 2));
+  EXPECT_EQ(p.min_degree(), 0);
+  EXPECT_EQ(p.max_degree(), 0);
+}
+
+TEST(LaurentPoly, ZeroCoefficientMonomialIsZero) {
+  EXPECT_TRUE(LaurentPoly::monomial(Rational(0), 5).is_zero());
+}
+
+TEST(LaurentPoly, MonomialDegrees) {
+  const auto p = LaurentPoly::monomial(Rational(2), -3);
+  EXPECT_EQ(p.min_degree(), -3);
+  EXPECT_EQ(p.max_degree(), -3);
+  EXPECT_EQ(p.coefficient(-3), Rational(2));
+  EXPECT_EQ(p.coefficient(0), Rational(0));
+}
+
+TEST(LaurentPoly, AdditionMergesAndCancels) {
+  const auto a = LaurentPoly::lambda(1) + LaurentPoly(1);
+  const auto b = LaurentPoly::monomial(Rational(-1), 1) + LaurentPoly(2);
+  const auto sum = a + b;
+  EXPECT_TRUE(sum.is_constant());
+  EXPECT_EQ(sum.constant_term(), Rational(3));
+}
+
+TEST(LaurentPoly, SubtractionToZero) {
+  const auto p = LaurentPoly::lambda(2) + LaurentPoly::lambda(-1);
+  EXPECT_TRUE((p - p).is_zero());
+}
+
+TEST(LaurentPoly, MultiplicationAddsDegrees) {
+  // (L + L^-1)^2 = L^2 + 2 + L^-2
+  const auto p = LaurentPoly::lambda(1) + LaurentPoly::lambda(-1);
+  const auto sq = p * p;
+  EXPECT_EQ(sq.coefficient(2), Rational(1));
+  EXPECT_EQ(sq.coefficient(0), Rational(2));
+  EXPECT_EQ(sq.coefficient(-2), Rational(1));
+  EXPECT_EQ(sq.min_degree(), -2);
+  EXPECT_EQ(sq.max_degree(), 2);
+}
+
+TEST(LaurentPoly, MultiplicationCancellation) {
+  // (L - 1)(L + 1) = L^2 - 1
+  const auto a = LaurentPoly::lambda(1) - LaurentPoly(1);
+  const auto b = LaurentPoly::lambda(1) + LaurentPoly(1);
+  const auto prod = a * b;
+  EXPECT_EQ(prod.coefficient(1), Rational(0));
+  EXPECT_EQ(prod.coefficient(2), Rational(1));
+  EXPECT_EQ(prod.coefficient(0), Rational(-1));
+}
+
+TEST(LaurentPoly, EvaluateMatchesHorner) {
+  // p = 2*L^-1 - 3 + L^2 at L = 0.5 -> 4 - 3 + 0.25 = 1.25
+  const auto p = LaurentPoly::monomial(Rational(2), -1) + LaurentPoly(Rational(-3)) +
+                 LaurentPoly::lambda(2);
+  EXPECT_DOUBLE_EQ(p.evaluate(0.5), 1.25);
+}
+
+TEST(LaurentPoly, Shifted) {
+  const auto p = LaurentPoly(1) + LaurentPoly::lambda(1);
+  const auto s = p.shifted(-1);
+  EXPECT_EQ(s.coefficient(-1), Rational(1));
+  EXPECT_EQ(s.coefficient(0), Rational(1));
+}
+
+TEST(LaurentPoly, Negation) {
+  const auto p = LaurentPoly::monomial(Rational(1, 2), 1);
+  EXPECT_EQ((-p).coefficient(1), Rational(-1, 2));
+  EXPECT_TRUE((p + -p).is_zero());
+}
+
+TEST(LaurentPoly, ToStringFormats) {
+  const auto p = LaurentPoly(1) - LaurentPoly::monomial(Rational(2), -1) +
+                 LaurentPoly::monomial(Rational(1, 2), 2);
+  EXPECT_EQ(p.to_string(), "-2*L^-1 + 1 + 1/2*L^2");
+  EXPECT_EQ(LaurentPoly::lambda(1).to_string(), "L");
+}
+
+TEST(LaurentPoly, MinDegreeOfZeroThrows) {
+  LaurentPoly zero;
+  EXPECT_THROW((void)zero.min_degree(), std::logic_error);
+}
+
+TEST(LaurentPoly, CompoundOps) {
+  LaurentPoly p(1);
+  p += LaurentPoly::lambda(1);
+  p *= LaurentPoly::lambda(-1);
+  // (1 + L) * L^-1 = L^-1 + 1
+  EXPECT_EQ(p.coefficient(-1), Rational(1));
+  EXPECT_EQ(p.coefficient(0), Rational(1));
+  p -= LaurentPoly::lambda(-1);
+  EXPECT_TRUE(p.is_constant());
+}
+
+}  // namespace
+}  // namespace apa::core

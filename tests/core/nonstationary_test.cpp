@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "blas/gemm.h"
+#include "core/executor.h"
+#include "core/registry.h"
+#include "support/rng.h"
+
+namespace apa::core {
+namespace {
+
+Matrix<double> reference(const Matrix<float>& a, const Matrix<float>& b) {
+  Matrix<double> ad(a.rows(), a.cols()), bd(b.rows(), b.cols()), cd(a.rows(), b.cols());
+  for (index_t i = 0; i < a.size(); ++i) ad.data()[i] = a.data()[i];
+  for (index_t i = 0; i < b.size(); ++i) bd.data()[i] = b.data()[i];
+  blas::gemm<double>(ad.view(), bd.view(), cd.view());
+  return cd;
+}
+
+TEST(NonStationary, MixedExactChainIsAccurate) {
+  // <4,4,4> step over a <2,2,2> step: handles dim 8*k without padding.
+  const auto fast444 = EvaluatedRule::from(rule_by_name("fast444"), 1.0);
+  const auto strassen = EvaluatedRule::from(rule_by_name("strassen"), 1.0);
+  const std::vector<const EvaluatedRule*> chain = {&fast444, &strassen};
+
+  const index_t dim = 64;
+  Rng rng(1);
+  Matrix<float> a(dim, dim), b(dim, dim), c(dim, dim);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  multiply_nonstationary<float>(chain, a.view().as_const(), b.view().as_const(),
+                                c.view(), Strategy::kSequential, 1);
+  EXPECT_LT(relative_frobenius_error(c.view(), reference(a, b).view()), 1e-5);
+}
+
+TEST(NonStationary, MixedDimensionChainAvoidsPadding) {
+  // dim 24 = 4 * 3 * 2: a <4,4,4> level then a <3,2,2> level divide evenly in
+  // m while k/n go 24 -> 6 -> 3; no dimension ever needs padding in m.
+  const auto fast444 = EvaluatedRule::from(rule_by_name("fast444"), 1.0);
+  const auto bini =
+      EvaluatedRule::from(rule_by_name("bini322"), std::exp2(-11));
+  const std::vector<const EvaluatedRule*> chain = {&fast444, &bini};
+
+  Rng rng(2);
+  Matrix<float> a(48, 48), b(48, 48), c(48, 48);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  multiply_nonstationary<float>(chain, a.view().as_const(), b.view().as_const(),
+                                c.view(), Strategy::kSequential, 1);
+  // One APA level with phi = 1: error stays in the sqrt(eps) class.
+  EXPECT_LT(relative_frobenius_error(c.view(), reference(a, b).view()), 5e-3);
+}
+
+TEST(NonStationary, EmptyChainIsGemm) {
+  const std::vector<const EvaluatedRule*> chain;
+  Rng rng(3);
+  Matrix<float> a(16, 16), b(16, 16), c(16, 16);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  multiply_nonstationary<float>(chain, a.view().as_const(), b.view().as_const(),
+                                c.view(), Strategy::kSequential, 1);
+  EXPECT_LT(relative_frobenius_error(c.view(), reference(a, b).view()), 1e-5);
+}
+
+TEST(NonStationary, ChainMatchesRepeatedSteps) {
+  // A chain of the same rule twice must agree with multiply(steps = 2).
+  const auto strassen = EvaluatedRule::from(rule_by_name("strassen"), 1.0);
+  const std::vector<const EvaluatedRule*> chain = {&strassen, &strassen};
+
+  Rng rng(4);
+  Matrix<float> a(32, 32), b(32, 32), c_chain(32, 32), c_steps(32, 32);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  multiply_nonstationary<float>(chain, a.view().as_const(), b.view().as_const(),
+                                c_chain.view(), Strategy::kSequential, 1);
+  multiply<float>(strassen, a.view().as_const(), b.view().as_const(), c_steps.view(), 2,
+                  Strategy::kSequential, 1);
+  EXPECT_EQ(max_abs_diff(c_chain.view(), c_steps.view()), 0.0);
+}
+
+TEST(NonStationary, HybridStrategyMatchesSequential) {
+  const auto fast442 = EvaluatedRule::from(rule_by_name("fast442"), 1.0);
+  const auto strassen = EvaluatedRule::from(rule_by_name("strassen"), 1.0);
+  const std::vector<const EvaluatedRule*> chain = {&fast442, &strassen};
+
+  Rng rng(5);
+  Matrix<float> a(64, 64), b(64, 64), c_seq(64, 64), c_hyb(64, 64);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  multiply_nonstationary<float>(chain, a.view().as_const(), b.view().as_const(),
+                                c_seq.view(), Strategy::kSequential, 1);
+  multiply_nonstationary<float>(chain, a.view().as_const(), b.view().as_const(),
+                                c_hyb.view(), Strategy::kHybrid, 4);
+  EXPECT_LT(max_abs_diff(c_seq.view(), c_hyb.view()), 1e-5);
+}
+
+TEST(NonStationary, NullLevelRejected) {
+  const std::vector<const EvaluatedRule*> chain = {nullptr};
+  Matrix<float> a(8, 8), b(8, 8), c(8, 8);
+  a.set_zero();
+  b.set_zero();
+  EXPECT_THROW(multiply_nonstationary<float>(chain, a.view().as_const(),
+                                             b.view().as_const(), c.view(),
+                                             Strategy::kSequential, 1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace apa::core

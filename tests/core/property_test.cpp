@@ -1,0 +1,147 @@
+// Property-based tests: randomized compositions of the rule combinators and
+// randomized executor shapes, checking the invariants the theory guarantees.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/gemm.h"
+#include "core/catalog.h"
+#include "core/executor.h"
+#include "core/params.h"
+#include "core/registry.h"
+#include "core/transforms.h"
+#include "support/rng.h"
+
+namespace apa::core {
+namespace {
+
+Rule random_base(Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0: return strassen();
+    case 1: return winograd();
+    case 2: return bini322();
+    default:
+      return classical(1 + rng.next_below(2), 1 + rng.next_below(2),
+                       1 + rng.next_below(2));
+  }
+}
+
+/// Applies a random combinator to (a, b); returns a when shapes don't permit.
+Rule random_compose(const Rule& a, const Rule& b, Rng& rng) {
+  switch (rng.next_below(5)) {
+    case 0:
+      if (a.k == b.k && a.n == b.n) return direct_sum_m(a, b);
+      return a;
+    case 1:
+      if (a.m == b.m && a.n == b.n) return direct_sum_k(a, b);
+      return a;
+    case 2:
+      if (a.m == b.m && a.k == b.k) return direct_sum_n(a, b);
+      return a;
+    case 3:
+      // Cap the tensor size so validation stays fast.
+      if (a.m * b.m * a.k * b.k * a.n * b.n <= 200) return tensor_product(a, b);
+      return a;
+    default:
+      return permute_rule(a, static_cast<int>(rng.next_below(6)));
+  }
+}
+
+TEST(Property, RandomCombinatorCompositionsStayValid) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    Rule rule = random_base(rng);
+    const int depth = 1 + static_cast<int>(rng.next_below(3));
+    for (int step = 0; step < depth; ++step) {
+      Rule other = random_base(rng);
+      // Randomly permute the operand to increase shape-match chances.
+      other = permute_rule(other, static_cast<int>(rng.next_below(6)));
+      rule = random_compose(rule, other, rng);
+      if (rule.m * rule.k * rule.n > 250) break;  // keep Brent check cheap
+    }
+    const Validation v = validate(rule);
+    ASSERT_TRUE(v.valid) << "trial " << trial << ": " << rule.name << ": " << v.message;
+    if (!v.exact) {
+      EXPECT_EQ(v.sigma, 1) << rule.name;  // all APA bases have sigma = 1
+    }
+    EXPECT_LE(rule.rank, rule.m * rule.k * rule.n)
+        << rule.name << ": combinators never exceed classical rank of the result";
+  }
+}
+
+TEST(Property, PhiIsAdditiveUnderTensorProducts) {
+  const std::vector<Rule> bases = {strassen(), bini322(), permute_rule(bini322(), 1),
+                                   classical(2, 1, 2)};
+  for (const Rule& a : bases) {
+    for (const Rule& b : bases) {
+      if (a.m * b.m * a.k * b.k * a.n * b.n > 300) continue;
+      const Rule t = tensor_product(a, b);
+      EXPECT_EQ(compute_phi(t), compute_phi(a) + compute_phi(b))
+          << a.name << " x " << b.name;
+    }
+  }
+}
+
+TEST(Property, PhiIsMaxUnderDirectSums) {
+  const Rule mixed = direct_sum_m(bini322(), classical(1, 2, 2));
+  EXPECT_EQ(compute_phi(mixed), std::max(compute_phi(bini322()), 0));
+  const Rule both = direct_sum_m(bini322(), bini322());
+  EXPECT_EQ(compute_phi(both), compute_phi(bini322()));
+}
+
+TEST(Property, SpeedupMonotoneInRankForFixedDims) {
+  // Among registry rules with identical dims, lower rank => higher speedup.
+  const auto& a = rule_by_name("strassen");
+  const auto& b = rule_by_name("winograd");
+  EXPECT_DOUBLE_EQ(a.theoretical_speedup(), b.theoretical_speedup());
+  EXPECT_GT(rule_by_name("bini322").theoretical_speedup(),
+            rule_by_name("apa422").theoretical_speedup() - 1e-12);
+}
+
+TEST(Property, ExecutorRandomShapesAgainstReference) {
+  Rng rng(77);
+  const auto names = algorithm_names();
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::string& algo =
+        names[static_cast<std::size_t>(rng.next_below(names.size()))];
+    const Rule& rule = rule_by_name(algo);
+    const AlgorithmParams params = analyze(rule);
+    const index_t m = 8 + static_cast<index_t>(rng.next_below(120));
+    const index_t k = 8 + static_cast<index_t>(rng.next_below(120));
+    const index_t n = 8 + static_cast<index_t>(rng.next_below(120));
+
+    Matrix<double> a(m, k), b(k, n), c(m, n), ref(m, n);
+    fill_random_uniform<double>(a.view(), rng);
+    fill_random_uniform<double>(b.view(), rng);
+    blas::gemm<double>(a.view(), b.view(), ref.view());
+    multiply<double>(rule, a.view().as_const(), b.view().as_const(), c.view(), {});
+    const double err = relative_frobenius_error(c.view(), ref.view());
+    // In double precision the lambda-optimized APA error is ~2^-26; exact
+    // rules hit machine precision.
+    const double bound =
+        params.exact ? 1e-12
+                     : 8.0 * params.predicted_error(kPrecisionBitsDouble, 1);
+    EXPECT_LT(err, bound) << algo << " @ " << m << "x" << k << "x" << n
+                          << " (trial " << trial << ")";
+  }
+}
+
+TEST(Property, PermutationPreservesRankNnzAndParams) {
+  Rng rng(5);
+  for (const char* name : {"bini322", "apa422", "fast442", "apa333"}) {
+    const Rule& rule = rule_by_name(name);
+    const AlgorithmParams base = analyze(rule);
+    for (int perm = 1; perm < 6; ++perm) {
+      const Rule permuted = permute_rule(rule, perm);
+      const AlgorithmParams p = analyze(permuted);
+      EXPECT_EQ(p.rank, base.rank) << name << " perm " << perm;
+      EXPECT_EQ(p.sigma, base.sigma);
+      EXPECT_EQ(p.phi, base.phi);
+      EXPECT_EQ(p.nnz_inputs + p.nnz_outputs, base.nnz_inputs + base.nnz_outputs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apa::core

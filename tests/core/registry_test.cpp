@@ -1,0 +1,89 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/params.h"
+
+namespace apa::core {
+namespace {
+
+TEST(Registry, HasExpectedCatalog) {
+  const auto names = algorithm_names();
+  EXPECT_GE(names.size(), 15u);
+  const std::set<std::string> name_set(names.begin(), names.end());
+  EXPECT_EQ(name_set.size(), names.size()) << "duplicate names";
+  for (const char* expected :
+       {"strassen", "winograd", "bini322", "apa422", "apa332", "apa522", "apa722",
+        "apa333", "fast442", "apa433", "apa552", "fast444", "apa644", "apa664",
+        "apa555"}) {
+    EXPECT_TRUE(name_set.count(expected)) << expected;
+  }
+}
+
+TEST(Registry, HasAlgorithmAgreesWithList) {
+  EXPECT_TRUE(has_algorithm("bini322"));
+  EXPECT_FALSE(has_algorithm("nope"));
+  EXPECT_FALSE(has_algorithm("classical"));  // handled by FastMatmul, not registry
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)rule_by_name("does-not-exist"), std::logic_error);
+}
+
+TEST(Registry, RuleDimsMatchMetadata) {
+  for (const AlgorithmInfo& info : list_algorithms()) {
+    const Rule& rule = rule_by_name(info.name);
+    EXPECT_EQ(rule.m, info.m) << info.name;
+    EXPECT_EQ(rule.k, info.k) << info.name;
+    EXPECT_EQ(rule.n, info.n) << info.name;
+    EXPECT_EQ(rule.rank, info.rank) << info.name;
+    EXPECT_EQ(rule.name, info.name);
+  }
+}
+
+TEST(Registry, EveryRuleSatisfiesBrentEquations) {
+  for (const AlgorithmInfo& info : list_algorithms()) {
+    const Validation v = validate(rule_by_name(info.name));
+    EXPECT_TRUE(v.valid) << info.name << ": " << v.message;
+  }
+}
+
+TEST(Registry, ApaRulesHaveSigmaOneExactRulesAreLambdaFree) {
+  for (const AlgorithmInfo& info : list_algorithms()) {
+    const AlgorithmParams p = analyze(rule_by_name(info.name));
+    const bool expected_exact = info.name.rfind("apa", 0) != 0 &&
+                                info.name != "bini322";
+    EXPECT_EQ(p.exact, expected_exact) << info.name;
+    if (!p.exact) {
+      EXPECT_EQ(p.sigma, 1) << info.name;
+      EXPECT_GE(p.phi, 1) << info.name;
+    }
+  }
+}
+
+TEST(Registry, RanksNeverBeatPaperTable1) {
+  // Our constructions substitute the unavailable published tables; by design
+  // they never have *lower* rank than the originals (DESIGN.md section 2).
+  for (const AlgorithmInfo& info : list_algorithms()) {
+    if (info.paper_rank > 0) {
+      EXPECT_GE(info.rank, static_cast<index_t>(info.paper_rank)) << info.name;
+    }
+  }
+}
+
+TEST(Registry, AllFastRulesBeatClassicalRank) {
+  for (const AlgorithmInfo& info : list_algorithms()) {
+    EXPECT_LT(info.rank, info.m * info.k * info.n) << info.name;
+  }
+}
+
+TEST(Registry, RepeatedLookupReturnsSameObject) {
+  const Rule& a = rule_by_name("bini322");
+  const Rule& b = rule_by_name("bini322");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace apa::core

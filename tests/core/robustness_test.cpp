@@ -1,0 +1,130 @@
+// Failure-injection and adversarial-input tests across the core stack.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "blas/gemm.h"
+#include "core/catalog.h"
+#include "core/designer.h"
+#include "core/executor.h"
+#include "core/fastmm.h"
+#include "core/registry.h"
+#include "support/rng.h"
+
+namespace apa::core {
+namespace {
+
+TEST(Robustness, NanInputsPropagateNotCrash) {
+  const Rule& rule = rule_by_name("strassen");
+  Matrix<float> a(8, 8), b(8, 8), c(8, 8);
+  a.set_zero();
+  b.set_zero();
+  a(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  b(0, 0) = 1.0f;
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), {});
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+  // Blocks untouched by the NaN stay finite.
+  EXPECT_TRUE(std::isfinite(c(7, 7)));
+}
+
+TEST(Robustness, InfInputsStayInf) {
+  const Rule& rule = rule_by_name("bini322");
+  Matrix<float> a(6, 6), b(6, 6), c(6, 6);
+  a.set_zero();
+  b.set_zero();
+  a(0, 0) = std::numeric_limits<float>::infinity();
+  b(0, 0) = 2.0f;
+  ExecOptions opts;
+  opts.lambda = 0.001;
+  multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), opts);
+  EXPECT_FALSE(std::isfinite(c(0, 0)));
+}
+
+TEST(Robustness, ExtremeMagnitudesDoNotOverflowForExactRules) {
+  const Rule& rule = rule_by_name("fast444");
+  Matrix<double> a(8, 8), b(8, 8), c(8, 8);
+  for (auto& x : a.span()) x = 1e150;
+  for (auto& x : b.span()) x = 1e-150;
+  multiply<double>(rule, a.view().as_const(), b.view().as_const(), c.view(), {});
+  for (auto x : c.span()) {
+    EXPECT_NEAR(x, 8.0, 1e-10);  // sum of 8 unit products
+  }
+}
+
+TEST(Robustness, DegenerateShapes) {
+  // 1 x k times k x 1 down to scalars; every registry algorithm must fall
+  // back gracefully.
+  Rng rng(1);
+  for (const auto& name : algorithm_names()) {
+    const Rule& rule = rule_by_name(name);
+    Matrix<float> a(1, 17), b(17, 1), c(1, 1), ref(1, 1);
+    fill_random_uniform<float>(a.view(), rng);
+    fill_random_uniform<float>(b.view(), rng);
+    blas::gemm_reference<float>(blas::Trans::kNo, blas::Trans::kNo, 1, 1, 17, 1.0f,
+                                a.data(), a.ld(), b.data(), b.ld(), 0.0f, ref.data(),
+                                ref.ld());
+    multiply<float>(rule, a.view().as_const(), b.view().as_const(), c.view(), {});
+    EXPECT_NEAR(c(0, 0), ref(0, 0), 1e-3) << name;
+  }
+}
+
+TEST(Robustness, LambdaExtremesStayFiniteInDouble) {
+  const Rule& rule = rule_by_name("bini322");
+  Rng rng(2);
+  Matrix<double> a(12, 12), b(12, 12), c(12, 12);
+  fill_random_uniform<double>(a.view(), rng);
+  fill_random_uniform<double>(b.view(), rng);
+  for (double lambda_value : {1.0, 1e-8, 1e-14}) {
+    ExecOptions opts;
+    opts.lambda = lambda_value;
+    multiply<double>(rule, a.view().as_const(), b.view().as_const(), c.view(), opts);
+    for (auto x : c.span()) EXPECT_TRUE(std::isfinite(x)) << "lambda=" << lambda_value;
+  }
+}
+
+TEST(Robustness, ValidateSurvivesLargeCoefficients) {
+  // Coefficients near the int64 overflow edge must either validate cleanly or
+  // throw std::overflow_error — never silently corrupt.
+  Rule rule = classical(1, 1, 1);
+  rule.U(0, 0, 0) = LaurentPoly(Rational(std::int64_t{1} << 40));
+  rule.V(0, 0, 0) = LaurentPoly(Rational(1, std::int64_t{1} << 40));
+  EXPECT_NO_THROW({
+    const Validation v = validate(rule);
+    EXPECT_TRUE(v.valid);  // (2^40) * (2^-40) * 1 = 1
+  });
+
+  Rule overflow_rule = classical(1, 1, 1);
+  overflow_rule.U(0, 0, 0) = LaurentPoly(Rational(std::int64_t{1} << 62));
+  overflow_rule.V(0, 0, 0) = LaurentPoly(Rational(std::int64_t{1} << 62));
+  EXPECT_THROW((void)validate(overflow_rule), std::overflow_error);
+}
+
+TEST(Robustness, DesignerRejectsNonPositiveDims) {
+  EXPECT_THROW((void)design(0, 2, 2), std::logic_error);
+  EXPECT_THROW((void)design(2, -1, 2), std::logic_error);
+}
+
+TEST(Robustness, ExecutorZeroSizedProblem) {
+  const Rule& rule = rule_by_name("strassen");
+  Matrix<float> a(0, 0), b(0, 0), c(0, 0);
+  EXPECT_NO_THROW(multiply<float>(rule, a.view().as_const(), b.view().as_const(),
+                                  c.view(), {}));
+}
+
+TEST(Robustness, RepeatedFastMatmulCallsAreDeterministic) {
+  FastMatmul mm("apa664");
+  Rng rng(5);
+  Matrix<float> a(48, 48), b(48, 48), c1(48, 48), c2(48, 48);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  mm.multiply(a.view().as_const(), b.view().as_const(), c1.view());
+  for (int i = 0; i < 5; ++i) {
+    mm.multiply(a.view().as_const(), b.view().as_const(), c2.view());
+    ASSERT_EQ(max_abs_diff(c1.view(), c2.view()), 0.0) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace apa::core

@@ -1,0 +1,75 @@
+#include "core/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+
+namespace apa::core {
+namespace {
+
+TEST(Validate, ClassicalRulesAreExact) {
+  for (const auto& [m, k, n] : {std::tuple{1, 1, 1}, std::tuple{2, 2, 2},
+                                std::tuple{3, 2, 4}, std::tuple{1, 3, 2}}) {
+    const Rule rule = classical(m, k, n);
+    const Validation v = validate(rule);
+    EXPECT_TRUE(v.valid) << rule.name << ": " << v.message;
+    EXPECT_TRUE(v.exact) << rule.name;
+    EXPECT_EQ(v.sigma, 0);
+    EXPECT_EQ(compute_phi(rule), 0);
+  }
+}
+
+TEST(Validate, BrokenRuleRejected) {
+  Rule rule = classical(2, 2, 2);
+  rule.W(0, 0, 0) = LaurentPoly(Rational(2));  // wrong coefficient
+  const Validation v = validate(rule);
+  EXPECT_FALSE(v.valid);
+  EXPECT_FALSE(v.message.empty());
+}
+
+TEST(Validate, NegativeResidualPowerRejected) {
+  // A lambda^-1 residual (not cancelled) must be flagged invalid even though
+  // the constant term is correct.
+  Rule rule = classical(1, 1, 1);
+  rule.W(0, 0, 0) += LaurentPoly::lambda(-1);
+  const Validation v = validate(rule);
+  EXPECT_FALSE(v.valid);
+}
+
+TEST(Validate, PositiveResidualGivesSigma) {
+  // Perturb with a lambda^2 residual: still a valid APA rule, sigma = 2.
+  Rule rule = classical(1, 1, 1);
+  rule.W(0, 0, 0) += LaurentPoly::lambda(2);
+  const Validation v = validate(rule);
+  EXPECT_TRUE(v.valid);
+  EXPECT_FALSE(v.exact);
+  EXPECT_EQ(v.sigma, 2);
+}
+
+TEST(Rule, TheoreticalSpeedup) {
+  const Rule s = strassen();
+  EXPECT_NEAR(s.theoretical_speedup(), 8.0 / 7.0 - 1.0, 1e-12);
+  const Rule b = bini322();
+  EXPECT_NEAR(b.theoretical_speedup(), 12.0 / 10.0 - 1.0, 1e-12);  // 20%
+}
+
+TEST(Rule, NnzCounts) {
+  const Rule c = classical(2, 2, 2);
+  EXPECT_EQ(c.nnz_inputs(), 16);  // 8 products x (1 U term + 1 V term)
+  EXPECT_EQ(c.nnz_outputs(), 8);
+  const Rule s = strassen();
+  EXPECT_EQ(s.nnz_inputs(), 12 + 12);  // classic Strassen: 12 U, 12 V nonzeros
+  EXPECT_EQ(s.nnz_outputs(), 12);
+}
+
+TEST(Rule, LambdaFreeDetection) {
+  EXPECT_TRUE(strassen().is_lambda_free());
+  EXPECT_FALSE(bini322().is_lambda_free());
+}
+
+TEST(ComputePhi, BiniIsOne) { EXPECT_EQ(compute_phi(bini322()), 1); }
+
+TEST(ComputePhi, StrassenIsZero) { EXPECT_EQ(compute_phi(strassen()), 0); }
+
+}  // namespace
+}  // namespace apa::core

@@ -1,0 +1,52 @@
+#include "core/select.h"
+
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+#include "core/registry.h"
+
+namespace apa::core {
+namespace {
+
+TEST(Select, SmallProblemsUseClassical) {
+  EXPECT_EQ(select_algorithm(64, 64, 64), "classical");
+  EXPECT_EQ(select_algorithm(4096, 32, 4096), "classical");
+}
+
+TEST(Select, LargeSquareProblemsPickAFastRule) {
+  const std::string algo = select_algorithm(4096, 4096, 4096);
+  EXPECT_NE(algo, "classical");
+  EXPECT_TRUE(has_algorithm(algo));
+  // Should pick a high-speedup rule; anything above 25% theoretical.
+  EXPECT_GT(analyze(rule_by_name(algo)).speedup, 0.25);
+}
+
+TEST(Select, ExactOnlyExcludesApa) {
+  const std::string algo =
+      select_algorithm(4096, 4096, 4096, {.exact_only = true});
+  EXPECT_NE(algo, "classical");
+  EXPECT_TRUE(analyze(rule_by_name(algo)).exact);
+}
+
+TEST(Select, MinDimOptionRespected) {
+  EXPECT_EQ(select_algorithm(100, 100, 100, {.min_dim = 256}), "classical");
+  EXPECT_NE(select_algorithm(100, 100, 100, {.min_dim = 16}), "classical");
+}
+
+TEST(Select, SelectionIsDeterministic) {
+  EXPECT_EQ(select_algorithm(2048, 2048, 2048), select_algorithm(2048, 2048, 2048));
+}
+
+TEST(Select, ChosenRuleFitsWithinProblem) {
+  for (index_t dim : {128, 300, 1024}) {
+    const std::string algo = select_algorithm(dim, dim, dim);
+    if (algo == "classical") continue;
+    const Rule& rule = rule_by_name(algo);
+    EXPECT_LE(rule.m, dim);
+    EXPECT_LE(rule.k, dim);
+    EXPECT_LE(rule.n, dim);
+  }
+}
+
+}  // namespace
+}  // namespace apa::core

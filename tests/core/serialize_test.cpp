@@ -1,0 +1,124 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/catalog.h"
+#include "core/registry.h"
+
+namespace apa::core {
+namespace {
+
+void expect_rules_equal(const Rule& a, const Rule& b) {
+  EXPECT_EQ(a.m, b.m);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.u, b.u);
+  EXPECT_EQ(a.v, b.v);
+  EXPECT_EQ(a.w, b.w);
+}
+
+TEST(Serialize, RoundTripStrassen) {
+  std::stringstream ss;
+  write_rule(ss, strassen());
+  const Rule loaded = read_rule(ss);
+  EXPECT_EQ(loaded.name, "strassen");
+  expect_rules_equal(loaded, strassen());
+}
+
+TEST(Serialize, RoundTripBiniPreservesLaurentCoefficients) {
+  std::stringstream ss;
+  write_rule(ss, bini322());
+  const Rule loaded = read_rule(ss);
+  expect_rules_equal(loaded, bini322());
+  const Validation v = validate(loaded);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.sigma, 1);
+}
+
+TEST(Serialize, RoundTripEveryRegistryRule) {
+  for (const auto& info : list_algorithms()) {
+    std::stringstream ss;
+    write_rule(ss, rule_by_name(info.name));
+    // Structural check only here; full Brent validation per rule is covered by
+    // registry tests and would make this loop slow for rank-100 rules.
+    const Rule loaded = read_rule(ss, /*validate_brent=*/false);
+    expect_rules_equal(loaded, rule_by_name(info.name));
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = "/tmp/apamm_rule_test.rule";
+  write_rule_file(path, winograd());
+  const Rule loaded = read_rule_file(path);
+  expect_rules_equal(loaded, winograd());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "# a published rule, hand-entered\n"
+     << "apamm-rule 1\n\n"
+     << "name tiny   # trailing comment\n"
+     << "dims 1 1 1\n"
+     << "rank 1\n"
+     << "U 0 0 0 1 0\n"
+     << "V 0 0 0 1 0\n"
+     << "W 0 0 0 1 0\n";
+  const Rule loaded = read_rule(ss);
+  EXPECT_EQ(loaded.name, "tiny");
+  EXPECT_TRUE(validate(loaded).exact);
+}
+
+TEST(Serialize, RationalCoefficientsParsed) {
+  std::stringstream ss;
+  ss << "apamm-rule 1\nname halves\ndims 1 1 1\nrank 1\n"
+     << "U 0 0 0 1/2 0\nV 0 0 0 2 0\nW 0 0 0 1 0\n";
+  const Rule loaded = read_rule(ss);
+  EXPECT_EQ(loaded.U(0, 0, 0).constant_term(), Rational(1, 2));
+  EXPECT_TRUE(validate(loaded).exact);  // (1/2)*(2) = 1
+}
+
+TEST(Serialize, RepeatedLinesAccumulatePolynomial) {
+  std::stringstream ss;
+  ss << "apamm-rule 1\nname poly\ndims 1 1 1\nrank 1\n"
+     << "U 0 0 0 1 0\nU 0 0 0 -1 1\n"  // 1 - lambda
+     << "V 0 0 0 1 0\nW 0 0 0 1 0\n";
+  const Rule loaded = read_rule(ss, /*validate_brent=*/true);
+  EXPECT_EQ(loaded.U(0, 0, 0).coefficient(1), Rational(-1));
+  EXPECT_EQ(validate(loaded).sigma, 1);
+}
+
+TEST(Serialize, InvalidInputsRejected) {
+  const auto parse = [](const std::string& text, bool brent = true) {
+    std::stringstream ss(text);
+    return read_rule(ss, brent);
+  };
+  EXPECT_THROW((void)parse("name x\ndims 1 1 1\nrank 1\n"), std::logic_error)
+      << "missing magic";
+  EXPECT_THROW((void)parse("apamm-rule 2\n"), std::logic_error) << "bad version";
+  EXPECT_THROW((void)parse("apamm-rule 1\nU 0 0 0 1 0\n"), std::logic_error)
+      << "coefficients before header";
+  EXPECT_THROW((void)parse("apamm-rule 1\ndims 1 1 1\nrank 1\nU 0 5 0 1 0\n"),
+               std::logic_error)
+      << "column out of bounds";
+  EXPECT_THROW((void)parse("apamm-rule 1\ndims 1 1 1\nrank 1\nQ 0 0 0 1 0\n"),
+               std::logic_error)
+      << "unknown tag";
+}
+
+TEST(Serialize, BrentValidationCatchesWrongRule) {
+  std::stringstream ss;
+  ss << "apamm-rule 1\nname broken\ndims 1 1 1\nrank 1\n"
+     << "U 0 0 0 2 0\nV 0 0 0 1 0\nW 0 0 0 1 0\n";  // computes 2ab, not ab
+  EXPECT_THROW((void)read_rule(ss), std::logic_error);
+  std::stringstream ss2;
+  ss2 << "apamm-rule 1\nname broken\ndims 1 1 1\nrank 1\n"
+      << "U 0 0 0 2 0\nV 0 0 0 1 0\nW 0 0 0 1 0\n";
+  EXPECT_NO_THROW((void)read_rule(ss2, /*validate_brent=*/false));
+}
+
+}  // namespace
+}  // namespace apa::core

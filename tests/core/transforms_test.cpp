@@ -1,0 +1,192 @@
+#include "core/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/catalog.h"
+#include "core/params.h"
+
+namespace apa::core {
+namespace {
+
+void expect_valid(const Rule& rule, bool exact, int sigma) {
+  const Validation v = validate(rule);
+  ASSERT_TRUE(v.valid) << rule.name << ": " << v.message;
+  EXPECT_EQ(v.exact, exact) << rule.name;
+  EXPECT_EQ(v.sigma, sigma) << rule.name;
+}
+
+TEST(Transforms, TransposeSwapsOuterDims) {
+  const Rule t = transpose_rule(bini322());
+  EXPECT_EQ(t.m, 2);
+  EXPECT_EQ(t.k, 2);
+  EXPECT_EQ(t.n, 3);
+  EXPECT_EQ(t.rank, 10);
+  expect_valid(t, /*exact=*/false, /*sigma=*/1);
+}
+
+TEST(Transforms, CycleRotatesDims) {
+  const Rule c = cycle_rule(bini322());
+  EXPECT_EQ(c.m, 2);
+  EXPECT_EQ(c.k, 2);
+  EXPECT_EQ(c.n, 3);
+  expect_valid(c, false, 1);
+}
+
+TEST(Transforms, AllSixPermutationsOfBiniAreValid) {
+  // Expected dims per perm id: see permute_rule docs.
+  const index_t expected[6][3] = {{3, 2, 2}, {2, 2, 3}, {2, 3, 2},
+                                  {2, 2, 3}, {3, 2, 2}, {2, 3, 2}};
+  for (int perm = 0; perm < 6; ++perm) {
+    const Rule r = permute_rule(bini322(), perm);
+    EXPECT_EQ(r.m, expected[perm][0]) << perm;
+    EXPECT_EQ(r.k, expected[perm][1]) << perm;
+    EXPECT_EQ(r.n, expected[perm][2]) << perm;
+    expect_valid(r, false, 1);
+    EXPECT_EQ(compute_phi(r), 1) << "phi invariant under permutation, perm=" << perm;
+  }
+}
+
+TEST(Transforms, PermutationsOfStrassenStayExact) {
+  for (int perm = 0; perm < 6; ++perm) {
+    expect_valid(permute_rule(strassen(), perm), true, 0);
+  }
+}
+
+TEST(Transforms, TransposeIsInvolution) {
+  const Rule once = transpose_rule(strassen());
+  const Rule twice = transpose_rule(once);
+  const Rule orig = strassen();
+  EXPECT_EQ(twice.u, orig.u);
+  EXPECT_EQ(twice.v, orig.v);
+  EXPECT_EQ(twice.w, orig.w);
+}
+
+TEST(Transforms, CycleHasOrderThree) {
+  const Rule orig = bini322();
+  const Rule thrice = cycle_rule(cycle_rule(cycle_rule(orig)));
+  EXPECT_EQ(thrice.u, orig.u);
+  EXPECT_EQ(thrice.v, orig.v);
+  EXPECT_EQ(thrice.w, orig.w);
+}
+
+TEST(Transforms, DirectSumM) {
+  // <3,2,2;10> + <1,2,2;4> = <4,2,2;14> — the paper's <4,2,2> substitute.
+  const Rule r = direct_sum_m(bini322(), classical(1, 2, 2));
+  EXPECT_EQ(r.m, 4);
+  EXPECT_EQ(r.k, 2);
+  EXPECT_EQ(r.n, 2);
+  EXPECT_EQ(r.rank, 14);
+  expect_valid(r, false, 1);
+  EXPECT_EQ(compute_phi(r), 1);
+}
+
+TEST(Transforms, DirectSumK) {
+  // <3,2,2;10> +_k <3,1,2;6> = <3,3,2;16>.
+  const Rule r = direct_sum_k(bini322(), classical(3, 1, 2));
+  EXPECT_EQ(r.m, 3);
+  EXPECT_EQ(r.k, 3);
+  EXPECT_EQ(r.n, 2);
+  EXPECT_EQ(r.rank, 16);
+  expect_valid(r, false, 1);
+}
+
+TEST(Transforms, DirectSumN) {
+  const Rule r = direct_sum_n(strassen(), classical(2, 2, 1));
+  EXPECT_EQ(r.m, 2);
+  EXPECT_EQ(r.k, 2);
+  EXPECT_EQ(r.n, 3);
+  EXPECT_EQ(r.rank, 11);
+  expect_valid(r, true, 0);
+}
+
+TEST(Transforms, DirectSumDimMismatchThrows) {
+  EXPECT_THROW((void)direct_sum_m(strassen(), classical(1, 3, 2)), std::logic_error);
+  EXPECT_THROW((void)direct_sum_k(strassen(), classical(3, 1, 2)), std::logic_error);
+  EXPECT_THROW((void)direct_sum_n(strassen(), classical(2, 3, 1)), std::logic_error);
+}
+
+TEST(Transforms, TensorStrassenSquaredIs444Rank49) {
+  const Rule r = tensor_product(strassen(), strassen());
+  EXPECT_EQ(r.m, 4);
+  EXPECT_EQ(r.k, 4);
+  EXPECT_EQ(r.n, 4);
+  EXPECT_EQ(r.rank, 49);
+  expect_valid(r, true, 0);
+  EXPECT_EQ(compute_phi(r), 0);
+}
+
+TEST(Transforms, TensorBiniTimesStrassenIsApa) {
+  // <3,2,2;10> x <2,2,2;7> = <6,4,4;70>, sigma=1, phi=1 (only one factor
+  // carries lambda).
+  const Rule r = tensor_product(bini322(), strassen());
+  EXPECT_EQ(r.m, 6);
+  EXPECT_EQ(r.k, 4);
+  EXPECT_EQ(r.n, 4);
+  EXPECT_EQ(r.rank, 70);
+  expect_valid(r, false, 1);
+  EXPECT_EQ(compute_phi(r), 1);
+}
+
+TEST(Transforms, TensorBiniTimesBiniPermDoublesPhi) {
+  // <3,2,2> x <2,3,2> = <6,6,4;100>; lambda degrees add: phi = 2, and the
+  // leading residual is still O(lambda) (cross terms exact x lambda-error).
+  const Rule r = tensor_product(bini322(), permute_rule(bini322(), 2));
+  EXPECT_EQ(r.m, 6);
+  EXPECT_EQ(r.k, 6);
+  EXPECT_EQ(r.n, 4);
+  EXPECT_EQ(r.rank, 100);
+  const Validation v = validate(r);
+  ASSERT_TRUE(v.valid) << v.message;
+  EXPECT_EQ(v.sigma, 1);
+  EXPECT_EQ(compute_phi(r), 2);
+}
+
+TEST(Transforms, OrientRuleMatchesRankOrder) {
+  const Rule base = tensor_product(strassen(), classical(2, 2, 1));  // <4,4,2>
+  // Problem with tiny inner dimension: the 2 must land on k.
+  const Rule dw = orient_rule(base, 25088, 64, 4096);
+  EXPECT_EQ(dw.m, 4);
+  EXPECT_EQ(dw.k, 2);
+  EXPECT_EQ(dw.n, 4);
+  // Problem with tiny m.
+  const Rule fwd = orient_rule(base, 64, 25088, 4096);
+  EXPECT_EQ(fwd.m, 2);
+  // Square problems keep a valid orientation.
+  const Rule sq = orient_rule(base, 512, 512, 512);
+  EXPECT_EQ(sq.m * sq.k * sq.n, 32);
+  EXPECT_TRUE(validate(sq).valid);
+}
+
+TEST(Transforms, OrientRuleIsValidForAllAspects) {
+  const Rule base = bini322();
+  for (const auto& [m, k, n] :
+       {std::tuple<index_t, index_t, index_t>{1000, 10, 100},
+        {10, 1000, 100},
+        {100, 10, 1000},
+        {7, 7, 7}}) {
+    const Rule oriented = orient_rule(base, m, k, n);
+    EXPECT_TRUE(validate(oriented).valid);
+    // Largest rule dim on largest problem dim.
+    const index_t rule_dims[3] = {oriented.m, oriented.k, oriented.n};
+    const index_t problem[3] = {m, k, n};
+    const auto argmax = [](const index_t* v) {
+      return std::max_element(v, v + 3) - v;
+    };
+    EXPECT_EQ(rule_dims[argmax(problem)], 3) << m << "," << k << "," << n;
+  }
+}
+
+TEST(Transforms, TensorWithClassicalScalesDims) {
+  const Rule r = tensor_product(strassen(), classical(2, 2, 1));
+  EXPECT_EQ(r.m, 4);
+  EXPECT_EQ(r.k, 4);
+  EXPECT_EQ(r.n, 2);
+  EXPECT_EQ(r.rank, 28);
+  expect_valid(r, true, 0);
+}
+
+}  // namespace
+}  // namespace apa::core

@@ -1,0 +1,169 @@
+#include "nn/backend.h"
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.h"
+#include "support/rng.h"
+
+namespace apa::nn {
+namespace {
+
+Matrix<float> random_matrix(index_t r, index_t c, std::uint64_t seed) {
+  Matrix<float> m(r, c);
+  Rng rng(seed);
+  fill_random_uniform<float>(m.view(), rng);
+  return m;
+}
+
+Matrix<float> reference(MatrixView<const float> a, MatrixView<const float> b, bool ta,
+                        bool tb) {
+  const index_t m = ta ? a.cols : a.rows;
+  const index_t k = ta ? a.rows : a.cols;
+  const index_t n = tb ? b.rows : b.cols;
+  Matrix<float> c(m, n);
+  blas::gemm_reference<float>(ta ? blas::Trans::kYes : blas::Trans::kNo,
+                              tb ? blas::Trans::kYes : blas::Trans::kNo, m, n, k, 1.0f,
+                              a.data, a.ld, b.data, b.ld, 0.0f, c.data(), c.ld());
+  return c;
+}
+
+class BackendTransposes : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(BackendTransposes, ClassicalMatchesReference) {
+  const auto [ta, tb] = GetParam();
+  const auto a = ta ? random_matrix(20, 30, 1) : random_matrix(30, 20, 1);
+  const auto b = tb ? random_matrix(40, 20, 2) : random_matrix(20, 40, 2);
+  MatmulBackend backend("classical");
+  Matrix<float> c(30, 40);
+  backend.matmul(a.view().as_const(), b.view().as_const(), c.view(), ta, tb);
+  const auto ref = reference(a.view().as_const(), b.view().as_const(), ta, tb);
+  EXPECT_LT(max_abs_diff(c.view(), ref.view()), 1e-4);
+}
+
+TEST_P(BackendTransposes, ApaMatchesReferenceWithinBound) {
+  const auto [ta, tb] = GetParam();
+  // Square-ish dims divisible by the rule blocks; cutoff lowered so the APA
+  // path actually runs at this size.
+  const auto a = random_matrix(48, 48, 3);
+  const auto b = random_matrix(48, 48, 4);
+  BackendOptions options;
+  options.min_dim_for_fast = 1;
+  MatmulBackend backend("bini322", options);
+  ASSERT_NE(backend.dispatch_for(48, 48, 48), nullptr);
+  Matrix<float> c(48, 48);
+  backend.matmul(a.view().as_const(), b.view().as_const(), c.view(), ta, tb);
+  const auto ref = reference(a.view().as_const(), b.view().as_const(), ta, tb);
+  EXPECT_LT(relative_frobenius_error(c.view(), ref.view()), 2e-3);
+}
+
+TEST(Backend, CutoffFallsBackToClassical) {
+  MatmulBackend backend("fast442");  // default cutoff 128
+  EXPECT_EQ(backend.dispatch_for(64, 25088, 4096), nullptr);   // batch too small
+  EXPECT_NE(backend.dispatch_for(256, 25088, 4096), nullptr);  // all dims large
+}
+
+TEST(Backend, OrientationMatchesProblemAspect) {
+  BackendOptions options;
+  options.min_dim_for_fast = 1;
+  MatmulBackend backend("fast442", options);  // base <4,4,2>
+  // dW-like shape: large m, tiny k, large n -> the 2 must land on k.
+  const auto* mm = backend.dispatch_for(25088, 256, 4096);
+  ASSERT_NE(mm, nullptr);
+  EXPECT_EQ(mm->params().k, 2);
+  // Forward-like shape: small m, huge k, large n -> the 2 lands on m.
+  const auto* fwd = backend.dispatch_for(256, 25088, 4096);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->params().m, 2);
+  EXPECT_EQ(fwd->params().k, 4);
+}
+
+TEST(Backend, AutoOrientOffKeepsNativeOrientation) {
+  BackendOptions options;
+  options.min_dim_for_fast = 1;
+  options.auto_orient = false;
+  MatmulBackend backend("fast442", options);
+  const auto* mm = backend.dispatch_for(2, 4096, 4096);
+  ASSERT_NE(mm, nullptr);
+  EXPECT_EQ(mm->params().m, 4);
+  EXPECT_EQ(mm->params().n, 2);
+}
+
+TEST(Backend, OrientedResultStaysAccurate) {
+  // Rectangular problem where orientation changes the applied rule.
+  Rng rng(11);
+  Matrix<float> a(32, 256), b(256, 128), c(32, 128);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  BackendOptions options;
+  options.min_dim_for_fast = 1;
+  MatmulBackend backend("fast442", options);
+  backend.matmul(a.view().as_const(), b.view().as_const(), c.view());
+  const auto ref = reference(a.view().as_const(), b.view().as_const(), false, false);
+  EXPECT_LT(relative_frobenius_error(c.view(), ref.view()), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, BackendTransposes,
+                         ::testing::Values(std::pair{false, false}, std::pair{true, false},
+                                           std::pair{false, true}, std::pair{true, true}));
+
+TEST(Backend, ExposesAlgorithmName) {
+  EXPECT_EQ(MatmulBackend("classical").algorithm(), "classical");
+  EXPECT_TRUE(MatmulBackend("classical").is_classical());
+  EXPECT_EQ(MatmulBackend("fast442").algorithm(), "fast442");
+  EXPECT_FALSE(MatmulBackend("fast442").is_classical());
+}
+
+TEST(Backend, ShapeMismatchThrows) {
+  MatmulBackend backend("classical");
+  Matrix<float> a(4, 5), b(6, 3), c(4, 3);
+  EXPECT_THROW(backend.matmul(a.view().as_const(), b.view().as_const(), c.view()),
+               std::logic_error);
+}
+
+TEST(Backend, CostAwareSkipsUnprofitableShapes) {
+  BackendOptions options;
+  options.cost_aware = true;
+  MatmulBackend backend("fast442", options);
+  // Skinny batch dimension: the shared-operand addition traffic dwarfs the
+  // 12.5% flop savings of rank 28 vs 32 -> classical.
+  EXPECT_EQ(backend.dispatch_for(256, 4096, 4096), nullptr);
+  // Large square problem: flop savings dominate -> fast.
+  EXPECT_NE(backend.dispatch_for(4096, 4096, 4096), nullptr);
+}
+
+TEST(Backend, CostAwareRespectsMachineConstants) {
+  BackendOptions options;
+  options.cost_aware = true;
+  options.assumed_add_bandwidth = 1e15;  // additions ~free -> always profitable
+  MatmulBackend generous("fast444", options);
+  EXPECT_NE(generous.dispatch_for(256, 4096, 4096), nullptr);
+
+  options.assumed_add_bandwidth = 1.0;  // additions ~infinite cost -> never
+  MatmulBackend stingy("fast444", options);
+  EXPECT_EQ(stingy.dispatch_for(4096, 4096, 4096), nullptr);
+}
+
+TEST(Backend, SwappedTransposeEvaluationIsAccurate) {
+  // dx-like shape: small-m times a huge transposed operand; the backend should
+  // take the swapped path (C^T = B A^T) and still be correct.
+  Rng rng(13);
+  Matrix<float> dy(8, 64), w(512, 64), dx(8, 512);
+  fill_random_uniform<float>(dy.view(), rng);
+  fill_random_uniform<float>(w.view(), rng);
+  BackendOptions options;
+  options.min_dim_for_fast = 1;
+  MatmulBackend backend("strassen", options);
+  backend.matmul(dy.view().as_const(), w.view().as_const(), dx.view(), false, true);
+  const auto ref =
+      reference(dy.view().as_const(), w.view().as_const(), false, true);
+  EXPECT_LT(relative_frobenius_error(dx.view(), ref.view()), 1e-4);
+}
+
+TEST(Backend, CopyIsCheapHandle) {
+  MatmulBackend a("bini322");
+  MatmulBackend b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(b.algorithm(), "bini322");
+}
+
+}  // namespace
+}  // namespace apa::nn

@@ -1,0 +1,89 @@
+#include "nn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/rng.h"
+
+namespace apa::nn {
+namespace {
+
+MlpConfig config_of(std::vector<index_t> sizes, std::uint64_t seed) {
+  MlpConfig config;
+  config.layer_sizes = std::move(sizes);
+  config.seed = seed;
+  return config;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() / "apamm_ckpt_test.bin").string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, RoundTripRestoresPredictions) {
+  Mlp original(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+  // Train a little so the weights are non-initial.
+  Rng rng(2);
+  Matrix<float> x(8, 12);
+  fill_random_uniform<float>(x.view(), rng);
+  const std::vector<int> labels = {0, 1, 2, 3, 4, 0, 1, 2};
+  for (int i = 0; i < 5; ++i) original.train_step(x.view().as_const(), labels);
+  save_checkpoint(path_, original);
+
+  // Different seed -> different init; load must overwrite it fully.
+  Mlp restored(config_of({12, 16, 5}, 999), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+  load_checkpoint(path_, restored);
+
+  Matrix<float> logits_a(8, 5), logits_b(8, 5);
+  original.predict(x.view().as_const(), logits_a.view());
+  restored.predict(x.view().as_const(), logits_b.view());
+  EXPECT_EQ(max_abs_diff(logits_a.view(), logits_b.view()), 0.0);
+}
+
+TEST_F(CheckpointTest, TopologyMismatchRejected) {
+  Mlp a(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+        MatmulBackend("classical"));
+  save_checkpoint(path_, a);
+  Mlp wrong_width(config_of({12, 32, 5}, 1), MatmulBackend("classical"),
+                  MatmulBackend("classical"));
+  EXPECT_THROW(load_checkpoint(path_, wrong_width), std::logic_error);
+  Mlp wrong_depth(config_of({12, 16, 16, 5}, 1), MatmulBackend("classical"),
+                  MatmulBackend("classical"));
+  EXPECT_THROW(load_checkpoint(path_, wrong_depth), std::logic_error);
+}
+
+TEST_F(CheckpointTest, CorruptMagicRejected) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "garbage file";
+  out.close();
+  Mlp mlp(config_of({4, 3}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  EXPECT_THROW(load_checkpoint(path_, mlp), std::logic_error);
+}
+
+TEST_F(CheckpointTest, TruncatedFileRejected) {
+  Mlp mlp(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  save_checkpoint(path_, mlp);
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full / 2);
+  EXPECT_THROW(load_checkpoint(path_, mlp), std::logic_error);
+}
+
+TEST_F(CheckpointTest, MissingFileRejected) {
+  Mlp mlp(config_of({4, 3}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin", mlp), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apa::nn

@@ -1,0 +1,87 @@
+#include "nn/cnn.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.h"
+
+namespace apa::nn {
+namespace {
+
+CnnConfig tiny_config() {
+  CnnConfig config;
+  config.conv_channels = 4;
+  config.hidden = 32;
+  config.learning_rate = 0.05f;
+  return config;
+}
+
+TEST(Cnn, ShapesAndPrediction) {
+  Cnn cnn(tiny_config(), MatmulBackend("classical"), MatmulBackend("classical"));
+  EXPECT_EQ(cnn.input_size(), 784);
+  EXPECT_EQ(cnn.output_size(), 10);
+  Matrix<float> x(3, 784), logits(3, 10);
+  x.set_zero();
+  cnn.predict(x.view().as_const(), logits.view());
+  for (float v : logits.span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Cnn, MemorizesAFixedBatch) {
+  Cnn cnn(tiny_config(), MatmulBackend("classical"), MatmulBackend("classical"));
+  data::SyntheticMnistOptions gen;
+  gen.train_size = 32;
+  gen.test_size = 1;
+  const auto splits = data::make_synthetic_mnist(gen);
+  const auto x = splits.train.batch_images(0, 32);
+  const auto labels = splits.train.batch_labels(0, 32);
+  const double first = cnn.train_step(x, labels);
+  double last = first;
+  for (int i = 0; i < 40; ++i) last = cnn.train_step(x, labels);
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Cnn, LearnsSyntheticDigitsAboveChance) {
+  auto config = tiny_config();
+  config.learning_rate = 0.08f;
+  config.momentum = 0.9f;
+  Cnn cnn(config, MatmulBackend("classical"), MatmulBackend("classical"));
+  data::SyntheticMnistOptions gen;
+  gen.train_size = 600;
+  gen.test_size = 200;
+  const auto splits = data::make_synthetic_mnist(gen);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    for (index_t first = 0; first + 50 <= splits.train.size(); first += 50) {
+      cnn.train_step(splits.train.batch_images(first, 50),
+                     splits.train.batch_labels(first, 50));
+    }
+  }
+  Matrix<float> logits(splits.test.size(), 10);
+  cnn.predict(splits.test.batch_images(0, splits.test.size()), logits.view());
+  const double acc = SoftmaxCrossEntropy::accuracy(logits.view().as_const(),
+                                                   splits.test.labels);
+  EXPECT_GT(acc, 0.5) << "well above the 0.1 chance level";
+}
+
+TEST(Cnn, ApaBackendTrainsLikeClassical) {
+  BackendOptions apa_options;
+  apa_options.min_dim_for_fast = 1;  // force the APA path at toy sizes
+  Cnn classical_cnn(tiny_config(), MatmulBackend("classical"),
+                    MatmulBackend("classical"));
+  Cnn apa_cnn(tiny_config(), MatmulBackend("bini322", apa_options),
+              MatmulBackend("classical"));
+  data::SyntheticMnistOptions gen;
+  gen.train_size = 64;
+  gen.test_size = 1;
+  const auto splits = data::make_synthetic_mnist(gen);
+  const auto x = splits.train.batch_images(0, 64);
+  const auto labels = splits.train.batch_labels(0, 64);
+  double loss_classical = 0, loss_apa = 0;
+  for (int i = 0; i < 15; ++i) {
+    loss_classical = classical_cnn.train_step(x, labels);
+    loss_apa = apa_cnn.train_step(x, labels);
+  }
+  EXPECT_NEAR(loss_apa, loss_classical, 0.5);
+  EXPECT_LT(loss_apa, 2.3);  // below the log(10) starting point
+}
+
+}  // namespace
+}  // namespace apa::nn

@@ -1,0 +1,226 @@
+#include "nn/conv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace apa::nn {
+namespace {
+
+MatmulBackend classical() { return MatmulBackend("classical"); }
+
+/// Naive direct convolution reference (NCHW, zero padding).
+Matrix<float> conv_reference(const ConvShape& s, MatrixView<const float> x,
+                             const Matrix<float>& filters, const Matrix<float>& bias) {
+  const index_t batch = x.rows;
+  Matrix<float> y(batch, s.out_size());
+  const index_t out_h = s.out_height(), out_w = s.out_width();
+  for (index_t b = 0; b < batch; ++b) {
+    const float* input = &x(b, 0);
+    for (index_t oc = 0; oc < s.out_channels; ++oc) {
+      for (index_t oy = 0; oy < out_h; ++oy) {
+        for (index_t ox = 0; ox < out_w; ++ox) {
+          double acc = bias(0, oc);
+          for (index_t c = 0; c < s.in_channels; ++c) {
+            for (index_t ky = 0; ky < s.kernel; ++ky) {
+              for (index_t kx = 0; kx < s.kernel; ++kx) {
+                const index_t iy = oy * s.stride + ky - s.padding;
+                const index_t ix = ox * s.stride + kx - s.padding;
+                if (iy < 0 || iy >= s.in_height || ix < 0 || ix >= s.in_width) continue;
+                const float pixel = input[(c * s.in_height + iy) * s.in_width + ix];
+                const index_t patch_index = (c * s.kernel + ky) * s.kernel + kx;
+                acc += pixel * filters(patch_index, oc);
+              }
+            }
+          }
+          y(b, (oc * out_h + oy) * out_w + ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+ConvShape small_shape() {
+  ConvShape s;
+  s.in_channels = 2;
+  s.in_height = 6;
+  s.in_width = 5;
+  s.out_channels = 3;
+  s.kernel = 3;
+  s.stride = 1;
+  s.padding = 1;
+  return s;
+}
+
+TEST(ConvShape, OutputDimensions) {
+  const ConvShape s = small_shape();
+  EXPECT_EQ(s.out_height(), 6);  // same-padding with stride 1
+  EXPECT_EQ(s.out_width(), 5);
+  ConvShape strided = s;
+  strided.stride = 2;
+  EXPECT_EQ(strided.out_height(), 3);
+  EXPECT_EQ(strided.out_width(), 3);
+  ConvShape valid = s;
+  valid.padding = 0;
+  EXPECT_EQ(valid.out_height(), 4);
+  EXPECT_EQ(valid.out_width(), 3);
+}
+
+TEST(Im2Col, RoundTripThroughCol2ImCountsOverlaps) {
+  // col2im(im2col(x)) multiplies each pixel by the number of patches covering
+  // it; for a 1x1 kernel, stride 1, no padding, that count is exactly 1.
+  ConvShape s;
+  s.in_channels = 1;
+  s.in_height = 4;
+  s.in_width = 4;
+  s.out_channels = 1;
+  s.kernel = 1;
+  s.stride = 1;
+  s.padding = 0;
+  Matrix<float> x(1, s.in_size());
+  Rng rng(1);
+  fill_random_uniform<float>(x.view(), rng);
+  Matrix<float> patches(s.out_height() * s.out_width(), s.patch_size());
+  im2col(s, x.view().as_const(), patches.view());
+  Matrix<float> back(1, s.in_size());
+  back.set_zero();
+  col2im(s, patches.view().as_const(), back.view());
+  EXPECT_EQ(max_abs_diff(x.view(), back.view()), 0.0);
+}
+
+class ConvVariants : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConvVariants, ForwardMatchesDirectConvolution) {
+  const auto [stride, padding] = GetParam();
+  ConvShape s = small_shape();
+  s.stride = stride;
+  s.padding = padding;
+  Rng rng(7);
+  ConvLayer layer(s, rng);
+  Matrix<float> x(3, s.in_size()), y(3, s.out_size());
+  fill_random_uniform<float>(x.view(), rng);
+  layer.forward(x.view().as_const(), y.view(), classical());
+  const Matrix<float> ref = conv_reference(s, x.view().as_const(), layer.filters(),
+                                           layer.bias());
+  EXPECT_LT(max_abs_diff(y.view(), ref.view()), 1e-4)
+      << "stride=" << stride << " pad=" << padding;
+}
+
+INSTANTIATE_TEST_SUITE_P(StridePad, ConvVariants,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{1, 0},
+                                           std::tuple{2, 1}, std::tuple{2, 0}));
+
+TEST(ConvLayer, FilterGradientMatchesFiniteDifferences) {
+  ConvShape s = small_shape();
+  s.in_height = 4;
+  s.in_width = 4;
+  Rng rng(3);
+  ConvLayer layer(s, rng);
+  Matrix<float> x(2, s.in_size());
+  fill_random_uniform<float>(x.view(), rng);
+
+  auto loss_of = [&] {
+    Matrix<float> y(2, s.out_size());
+    layer.forward(x.view().as_const(), y.view(), classical());
+    double acc = 0;
+    for (float v : y.span()) acc += 0.5 * v * v;
+    return acc;
+  };
+
+  Matrix<float> y(2, s.out_size());
+  layer.forward(x.view().as_const(), y.view(), classical());
+  layer.backward(x.view().as_const(), y.view().as_const(), nullptr, classical());
+
+  const float eps = 1e-2f;
+  // Spot-check a spread of filter entries (full sweep is slow).
+  for (const auto& [i, j] : std::vector<std::pair<index_t, index_t>>{
+           {0, 0}, {3, 1}, {8, 2}, {12, 0}, {17, 2}}) {
+    const float saved = layer.filters()(i, j);
+    layer.filters()(i, j) = saved + eps;
+    const double up = loss_of();
+    layer.filters()(i, j) = saved - eps;
+    const double down = loss_of();
+    layer.filters()(i, j) = saved;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(layer.filter_grad()(i, j), numeric,
+                5e-2 * std::max(1.0, std::abs(numeric)))
+        << "filter(" << i << "," << j << ")";
+  }
+}
+
+TEST(ConvLayer, InputGradientMatchesFiniteDifferences) {
+  ConvShape s = small_shape();
+  s.in_height = 4;
+  s.in_width = 4;
+  Rng rng(5);
+  ConvLayer layer(s, rng);
+  Matrix<float> x(1, s.in_size());
+  fill_random_uniform<float>(x.view(), rng);
+
+  auto loss_at = [&](const Matrix<float>& input) {
+    Matrix<float> y(1, s.out_size());
+    layer.forward(input.view().as_const(), y.view(), classical());
+    double acc = 0;
+    for (float v : y.span()) acc += 0.5 * v * v;
+    return acc;
+  };
+
+  Matrix<float> y(1, s.out_size());
+  layer.forward(x.view().as_const(), y.view(), classical());
+  Matrix<float> dx(1, s.in_size());
+  MatrixView<float> dx_view = dx.view();
+  layer.backward(x.view().as_const(), y.view().as_const(), &dx_view, classical());
+
+  const float eps = 1e-2f;
+  for (index_t j = 0; j < s.in_size(); j += 7) {
+    Matrix<float> xp(1, s.in_size()), xm(1, s.in_size());
+    copy(x.view(), xp.view());
+    copy(x.view(), xm.view());
+    xp(0, j) += eps;
+    xm(0, j) -= eps;
+    const double numeric = (loss_at(xp) - loss_at(xm)) / (2 * eps);
+    EXPECT_NEAR(dx(0, j), numeric, 5e-2 * std::max(1.0, std::abs(numeric)))
+        << "dx(" << j << ")";
+  }
+}
+
+TEST(ConvLayer, ApaBackendCloseToClassical) {
+  // A VGG-like block: the im2col gemm is big enough for the APA path.
+  ConvShape s;
+  s.in_channels = 16;
+  s.in_height = 16;
+  s.in_width = 16;
+  s.out_channels = 32;
+  Rng rng(9);
+  ConvLayer layer(s, rng);
+  Matrix<float> x(2, s.in_size());
+  fill_random_uniform<float>(x.view(), rng);
+
+  Matrix<float> y_classical(2, s.out_size()), y_apa(2, s.out_size());
+  layer.forward(x.view().as_const(), y_classical.view(), classical());
+  BackendOptions apa_options;
+  apa_options.min_dim_for_fast = 1;
+  layer.forward(x.view().as_const(), y_apa.view(),
+                MatmulBackend("bini322", apa_options));
+  EXPECT_LT(relative_frobenius_error(y_apa.view(), y_classical.view()), 5e-3);
+  EXPECT_GT(relative_frobenius_error(y_apa.view(), y_classical.view()), 0.0);
+}
+
+TEST(ConvLayer, SgdUpdatesFilters) {
+  ConvShape s = small_shape();
+  Rng rng(11);
+  ConvLayer layer(s, rng);
+  Matrix<float> x(1, s.in_size()), y(1, s.out_size());
+  fill_random_uniform<float>(x.view(), rng);
+  layer.forward(x.view().as_const(), y.view(), classical());
+  layer.backward(x.view().as_const(), y.view().as_const(), nullptr, classical());
+  const float before = layer.filters()(0, 0);
+  const float grad = layer.filter_grad()(0, 0);
+  layer.apply_sgd(0.1f);
+  EXPECT_FLOAT_EQ(layer.filters()(0, 0), before - 0.1f * grad);
+}
+
+}  // namespace
+}  // namespace apa::nn

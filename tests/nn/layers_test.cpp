@@ -1,0 +1,209 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apa::nn {
+namespace {
+
+MatmulBackend classical() { return MatmulBackend("classical"); }
+
+TEST(DenseLayer, ForwardMatchesManual) {
+  Rng rng(1);
+  DenseLayer layer(2, 3, rng);
+  // Overwrite with known weights.
+  auto& w = layer.weights();
+  w(0, 0) = 1;  w(0, 1) = 2;  w(0, 2) = 3;
+  w(1, 0) = -1; w(1, 1) = 0;  w(1, 2) = 1;
+
+  Matrix<float> x(1, 2), y(1, 3);
+  x(0, 0) = 2;
+  x(0, 1) = 5;
+  layer.forward(x.view().as_const(), y.view(), classical());
+  EXPECT_FLOAT_EQ(y(0, 0), 2 * 1 + 5 * -1);
+  EXPECT_FLOAT_EQ(y(0, 1), 2 * 2 + 5 * 0);
+  EXPECT_FLOAT_EQ(y(0, 2), 2 * 3 + 5 * 1);
+}
+
+TEST(DenseLayer, HeInitializationScale) {
+  Rng rng(2);
+  DenseLayer layer(1000, 50, rng);
+  double sumsq = 0;
+  for (float v : layer.weights().span()) sumsq += v * v;
+  const double var = sumsq / static_cast<double>(layer.weights().size());
+  EXPECT_NEAR(var, 2.0 / 1000.0, 0.3 * 2.0 / 1000.0);
+  for (float v : layer.bias().span()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(DenseLayer, BackwardGradientsMatchFiniteDifferences) {
+  // Numerical gradient check of dW and db through a quadratic loss
+  // L = 0.5 * sum(y^2), so dy = y.
+  Rng rng(3);
+  const index_t in = 4, out = 3, batch = 5;
+  DenseLayer layer(in, out, rng);
+  Matrix<float> x(batch, in);
+  fill_random_uniform<float>(x.view(), rng);
+
+  auto loss_of = [&](DenseLayer& l) {
+    Matrix<float> y(batch, out);
+    l.forward(x.view().as_const(), y.view(), classical());
+    double acc = 0;
+    for (float v : y.span()) acc += 0.5 * v * v;
+    return acc;
+  };
+
+  Matrix<float> y(batch, out);
+  layer.forward(x.view().as_const(), y.view(), classical());
+  Matrix<float> dx(batch, in);
+  MatrixView<float> dx_view = dx.view();
+  layer.backward(x.view().as_const(), y.view().as_const(), &dx_view, classical());
+
+  const float eps = 1e-2f;
+  for (index_t i = 0; i < in; ++i) {
+    for (index_t j = 0; j < out; ++j) {
+      const float saved = layer.weights()(i, j);
+      layer.weights()(i, j) = saved + eps;
+      const double up = loss_of(layer);
+      layer.weights()(i, j) = saved - eps;
+      const double down = loss_of(layer);
+      layer.weights()(i, j) = saved;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(layer.weight_grad()(i, j), numeric, 5e-2 * std::max(1.0, std::abs(numeric)))
+          << "dW(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(DenseLayer, InputGradientMatchesFiniteDifferences) {
+  Rng rng(4);
+  const index_t in = 3, out = 2, batch = 2;
+  DenseLayer layer(in, out, rng);
+  Matrix<float> x(batch, in);
+  fill_random_uniform<float>(x.view(), rng);
+
+  auto loss_at = [&](const Matrix<float>& input) {
+    Matrix<float> y(batch, out);
+    layer.forward(input.view().as_const(), y.view(), classical());
+    double acc = 0;
+    for (float v : y.span()) acc += 0.5 * v * v;
+    return acc;
+  };
+
+  Matrix<float> y(batch, out);
+  layer.forward(x.view().as_const(), y.view(), classical());
+  Matrix<float> dx(batch, in);
+  MatrixView<float> dx_view = dx.view();
+  layer.backward(x.view().as_const(), y.view().as_const(), &dx_view, classical());
+
+  const float eps = 1e-2f;
+  for (index_t r = 0; r < batch; ++r) {
+    for (index_t c = 0; c < in; ++c) {
+      Matrix<float> xp(batch, in), xm(batch, in);
+      copy(x.view(), xp.view());
+      copy(x.view(), xm.view());
+      xp(r, c) += eps;
+      xm(r, c) -= eps;
+      const double numeric = (loss_at(xp) - loss_at(xm)) / (2 * eps);
+      EXPECT_NEAR(dx(r, c), numeric, 5e-2 * std::max(1.0, std::abs(numeric)));
+    }
+  }
+}
+
+TEST(DenseLayer, SgdStepMovesAgainstGradient) {
+  Rng rng(5);
+  DenseLayer layer(2, 2, rng);
+  Matrix<float> x(1, 2), y(1, 2);
+  x(0, 0) = 1;
+  x(0, 1) = 0;
+  layer.forward(x.view().as_const(), y.view(), classical());
+  const float before = layer.weights()(0, 0);
+  Matrix<float> dy(1, 2);
+  dy(0, 0) = 1.0f;  // positive gradient on output 0
+  dy(0, 1) = 0.0f;
+  layer.backward(x.view().as_const(), dy.view().as_const(), nullptr, classical());
+  layer.apply_sgd(0.5f);
+  EXPECT_FLOAT_EQ(layer.weights()(0, 0), before - 0.5f * 1.0f);
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  Matrix<float> x(1, 4), y(1, 4);
+  x(0, 0) = -1;
+  x(0, 1) = 0;
+  x(0, 2) = 2;
+  x(0, 3) = -0.5f;
+  ReluLayer::forward(x.view().as_const(), y.view());
+  EXPECT_EQ(y(0, 0), 0);
+  EXPECT_EQ(y(0, 1), 0);
+  EXPECT_EQ(y(0, 2), 2);
+  EXPECT_EQ(y(0, 3), 0);
+}
+
+TEST(Relu, BackwardGatesOnInputSign) {
+  Matrix<float> x(1, 3), dy(1, 3), dx(1, 3);
+  x(0, 0) = -1;
+  x(0, 1) = 3;
+  x(0, 2) = 0;
+  dy(0, 0) = 5;
+  dy(0, 1) = 7;
+  dy(0, 2) = 9;
+  ReluLayer::backward(x.view().as_const(), dy.view().as_const(), dx.view());
+  EXPECT_EQ(dx(0, 0), 0);
+  EXPECT_EQ(dx(0, 1), 7);
+  EXPECT_EQ(dx(0, 2), 0);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogNClasses) {
+  Matrix<float> logits(2, 4), grad(2, 4);
+  logits.set_zero();
+  const double loss =
+      SoftmaxCrossEntropy::loss_and_grad(logits.view().as_const(), {1, 2}, grad.view());
+  EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+  // Gradient: (1/4 - onehot)/batch.
+  EXPECT_NEAR(grad(0, 1), (0.25 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(grad(0, 0), 0.25 / 2.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  Rng rng(6);
+  Matrix<float> logits(3, 5), grad(3, 5);
+  fill_random_uniform<float>(logits.view(), rng, -3.0f, 3.0f);
+  SoftmaxCrossEntropy::loss_and_grad(logits.view().as_const(), {0, 4, 2}, grad.view());
+  for (index_t i = 0; i < 3; ++i) {
+    double row_sum = 0;
+    for (index_t j = 0; j < 5; ++j) row_sum += grad(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForLargeLogits) {
+  Matrix<float> logits(1, 3), grad(1, 3);
+  logits(0, 0) = 1000;
+  logits(0, 1) = 999;
+  logits(0, 2) = -1000;
+  const double loss =
+      SoftmaxCrossEntropy::loss_and_grad(logits.view().as_const(), {0}, grad.view());
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_LT(loss, 1.0);
+}
+
+TEST(SoftmaxCrossEntropy, AccuracyCountsArgmax) {
+  Matrix<float> logits(3, 3);
+  logits.set_zero();
+  logits(0, 0) = 1;  // predicts 0
+  logits(1, 2) = 1;  // predicts 2
+  logits(2, 1) = 1;  // predicts 1
+  EXPECT_DOUBLE_EQ(SoftmaxCrossEntropy::accuracy(logits.view().as_const(), {0, 2, 2}),
+                   2.0 / 3.0);
+}
+
+TEST(SoftmaxCrossEntropy, InvalidLabelThrows) {
+  Matrix<float> logits(1, 3), grad(1, 3);
+  logits.set_zero();
+  EXPECT_THROW(
+      SoftmaxCrossEntropy::loss_and_grad(logits.view().as_const(), {7}, grad.view()),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace apa::nn

@@ -1,0 +1,129 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.h"
+#include "nn/trainer.h"
+
+namespace apa::nn {
+namespace {
+
+MlpConfig small_config() {
+  MlpConfig config;
+  config.layer_sizes = {8, 16, 16, 3};
+  config.learning_rate = 0.2f;
+  config.seed = 42;
+  return config;
+}
+
+/// Tiny separable 3-class task: class determined by which third of the input
+/// carries the signal.
+data::Dataset make_toy(index_t count, std::uint64_t seed) {
+  data::Dataset d;
+  d.images = Matrix<float>(count, 8);
+  d.labels.resize(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  for (index_t i = 0; i < count; ++i) {
+    const int cls = static_cast<int>(rng.next_below(3));
+    d.labels[static_cast<std::size_t>(i)] = cls;
+    for (index_t j = 0; j < 8; ++j) {
+      d.images(i, j) = static_cast<float>(0.1 * rng.normal());
+    }
+    for (index_t j = cls * 2; j < cls * 2 + 2; ++j) {
+      d.images(i, j) += 1.0f;
+    }
+  }
+  return d;
+}
+
+TEST(Mlp, DefaultMaskIsHiddenLayersOnly) {
+  Mlp mlp(small_config(), MatmulBackend("bini322"), MatmulBackend("classical"));
+  ASSERT_EQ(mlp.num_dense_layers(), 3);
+  EXPECT_FALSE(mlp.layer_uses_fast(0));
+  EXPECT_TRUE(mlp.layer_uses_fast(1));
+  EXPECT_FALSE(mlp.layer_uses_fast(2));
+}
+
+TEST(Mlp, ExplicitMaskHonored) {
+  auto config = small_config();
+  config.fast_layer_mask = {true, false, true};
+  Mlp mlp(config, MatmulBackend("strassen"), MatmulBackend("classical"));
+  EXPECT_TRUE(mlp.layer_uses_fast(0));
+  EXPECT_FALSE(mlp.layer_uses_fast(1));
+  EXPECT_TRUE(mlp.layer_uses_fast(2));
+}
+
+TEST(Mlp, BadMaskSizeThrows) {
+  auto config = small_config();
+  config.fast_layer_mask = {true};
+  EXPECT_THROW(Mlp(config, MatmulBackend("classical"), MatmulBackend("classical")),
+               std::logic_error);
+}
+
+TEST(Mlp, LossDecreasesOnToyTask) {
+  Mlp mlp(small_config(), MatmulBackend("classical"), MatmulBackend("classical"));
+  auto data = make_toy(300, 1);
+  Rng rng(2);
+  const auto first = train_epoch(mlp, data, 30, &rng);
+  EpochStats last{};
+  for (int epoch = 0; epoch < 20; ++epoch) last = train_epoch(mlp, data, 30, &rng);
+  EXPECT_LT(last.mean_loss, first.mean_loss * 0.5);
+}
+
+TEST(Mlp, LearnsToyTaskToHighAccuracy) {
+  Mlp mlp(small_config(), MatmulBackend("classical"), MatmulBackend("classical"));
+  auto train = make_toy(600, 3);
+  const auto test = make_toy(200, 4);
+  Rng rng(5);
+  for (int epoch = 0; epoch < 30; ++epoch) train_epoch(mlp, train, 30, &rng);
+  EXPECT_GT(evaluate_accuracy(mlp, test), 0.95);
+}
+
+TEST(Mlp, ApaBackendLearnsAsWellAsClassical) {
+  // The paper's core robustness claim (Fig 5) in miniature: training with an
+  // APA middle layer converges to comparable accuracy.
+  auto config = small_config();
+  config.layer_sizes = {8, 24, 24, 3};  // middle matmul divisible by bini blocks
+  BackendOptions apa_options;
+  apa_options.min_dim_for_fast = 1;  // exercise the APA path at toy sizes
+  Mlp classical_mlp(config, MatmulBackend("classical"), MatmulBackend("classical"));
+  Mlp apa_mlp(config, MatmulBackend("bini322", apa_options), MatmulBackend("classical"));
+  auto train_a = make_toy(600, 7);
+  auto train_b = make_toy(600, 7);
+  const auto test = make_toy(200, 8);
+  Rng rng_a(9), rng_b(9);
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    train_epoch(classical_mlp, train_a, 24, &rng_a);
+    train_epoch(apa_mlp, train_b, 24, &rng_b);
+  }
+  const double acc_classical = evaluate_accuracy(classical_mlp, test);
+  const double acc_apa = evaluate_accuracy(apa_mlp, test);
+  EXPECT_GT(acc_apa, acc_classical - 0.05);
+}
+
+TEST(Mlp, PredictDeterministic) {
+  Mlp mlp(small_config(), MatmulBackend("classical"), MatmulBackend("classical"));
+  const auto data = make_toy(10, 11);
+  Matrix<float> l1(10, 3), l2(10, 3);
+  mlp.predict(data.batch_images(0, 10), l1.view());
+  mlp.predict(data.batch_images(0, 10), l2.view());
+  EXPECT_EQ(max_abs_diff(l1.view(), l2.view()), 0.0);
+}
+
+TEST(Mlp, TrainEpochDropsPartialBatch) {
+  Mlp mlp(small_config(), MatmulBackend("classical"), MatmulBackend("classical"));
+  auto data = make_toy(100, 13);
+  const auto stats = train_epoch(mlp, data, 30, nullptr);
+  EXPECT_EQ(stats.steps, 3);  // 100 / 30 full batches
+}
+
+TEST(Trainer, EvaluateHandlesPartialBatches) {
+  Mlp mlp(small_config(), MatmulBackend("classical"), MatmulBackend("classical"));
+  const auto data = make_toy(70, 17);
+  const double acc = evaluate_accuracy(mlp, data, 32);  // 32 + 32 + 6
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace apa::nn

@@ -1,0 +1,71 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace apa::nn {
+namespace {
+
+TEST(Sgd, PlainUpdateMatchesFormula) {
+  Matrix<float> params(1, 2), grad(1, 2);
+  params(0, 0) = 1.0f;
+  params(0, 1) = -2.0f;
+  grad(0, 0) = 0.5f;
+  grad(0, 1) = -1.0f;
+  SgdState state;
+  state.update(params.view(), grad.view().as_const(), {.learning_rate = 0.1f});
+  EXPECT_FLOAT_EQ(params(0, 0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(params(0, 1), -2.0f + 0.1f * 1.0f);
+  EXPECT_FALSE(state.has_velocity());  // no momentum -> no velocity buffer
+}
+
+TEST(Sgd, WeightDecayShrinksParameters) {
+  Matrix<float> params(1, 1), grad(1, 1);
+  params(0, 0) = 2.0f;
+  grad(0, 0) = 0.0f;
+  SgdState state;
+  state.update(params.view(), grad.view().as_const(),
+               {.learning_rate = 0.5f, .weight_decay = 0.1f});
+  EXPECT_FLOAT_EQ(params(0, 0), 2.0f - 0.5f * (0.1f * 2.0f));
+}
+
+TEST(Sgd, MomentumAccumulatesAcrossSteps) {
+  Matrix<float> params(1, 1), grad(1, 1);
+  params(0, 0) = 0.0f;
+  grad(0, 0) = 1.0f;
+  SgdState state;
+  const SgdOptions opts{.learning_rate = 1.0f, .momentum = 0.5f};
+  state.update(params.view(), grad.view().as_const(), opts);
+  EXPECT_FLOAT_EQ(params(0, 0), -1.0f);  // v = 1
+  state.update(params.view(), grad.view().as_const(), opts);
+  EXPECT_FLOAT_EQ(params(0, 0), -2.5f);  // v = 1.5
+  state.update(params.view(), grad.view().as_const(), opts);
+  EXPECT_FLOAT_EQ(params(0, 0), -4.25f);  // v = 1.75
+  EXPECT_TRUE(state.has_velocity());
+}
+
+TEST(Sgd, MomentumConvergesFasterOnQuadratic) {
+  // Minimize f(x) = 0.5 x^2 from x = 1: momentum should get closer to 0 in a
+  // fixed number of small steps.
+  const auto run = [](float momentum) {
+    Matrix<float> x(1, 1), g(1, 1);
+    x(0, 0) = 1.0f;
+    SgdState state;
+    for (int i = 0; i < 20; ++i) {
+      g(0, 0) = x(0, 0);
+      state.update(x.view(), g.view().as_const(),
+                   {.learning_rate = 0.05f, .momentum = momentum});
+    }
+    return std::abs(x(0, 0));
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(Sgd, ShapeMismatchThrows) {
+  Matrix<float> params(2, 2), grad(3, 3);
+  SgdState state;
+  EXPECT_THROW(state.update(params.view(), grad.view().as_const(), {}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace apa::nn

@@ -1,0 +1,107 @@
+#include "nn/pooling.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace apa::nn {
+namespace {
+
+PoolShape small_shape() {
+  PoolShape s;
+  s.channels = 2;
+  s.in_height = 4;
+  s.in_width = 4;
+  return s;  // 2x2 window, stride 2 -> 2x2 output per channel
+}
+
+TEST(PoolShape, OutputDims) {
+  const PoolShape s = small_shape();
+  EXPECT_EQ(s.out_height(), 2);
+  EXPECT_EQ(s.out_width(), 2);
+  EXPECT_EQ(s.in_size(), 32);
+  EXPECT_EQ(s.out_size(), 8);
+  PoolShape odd = s;
+  odd.in_height = 5;
+  EXPECT_EQ(odd.out_height(), 2);  // trailing row dropped
+}
+
+TEST(MaxPool, ForwardPicksWindowMaxima) {
+  const PoolShape s = small_shape();
+  MaxPoolLayer layer(s);
+  Matrix<float> x(1, s.in_size()), y(1, s.out_size());
+  for (index_t i = 0; i < s.in_size(); ++i) x(0, i) = static_cast<float>(i);
+  layer.forward(x.view().as_const(), y.view());
+  // Channel 0: rows 0-3 cols 0-3 of values 0..15; window maxima are 5,7,13,15.
+  EXPECT_EQ(y(0, 0), 5.0f);
+  EXPECT_EQ(y(0, 1), 7.0f);
+  EXPECT_EQ(y(0, 2), 13.0f);
+  EXPECT_EQ(y(0, 3), 15.0f);
+  // Channel 1 is offset by 16.
+  EXPECT_EQ(y(0, 4), 21.0f);
+}
+
+TEST(MaxPool, NegativeInputsHandled) {
+  PoolShape s = small_shape();
+  s.channels = 1;
+  MaxPoolLayer layer(s);
+  Matrix<float> x(1, s.in_size()), y(1, s.out_size());
+  for (auto& v : x.span()) v = -5.0f;
+  x(0, 5) = -1.0f;
+  layer.forward(x.view().as_const(), y.view());
+  EXPECT_EQ(y(0, 0), -1.0f);
+  EXPECT_EQ(y(0, 1), -5.0f);
+}
+
+TEST(MaxPool, BackwardRoutesGradientToArgmax) {
+  PoolShape s = small_shape();
+  s.channels = 1;
+  MaxPoolLayer layer(s);
+  Matrix<float> x(1, s.in_size()), y(1, s.out_size());
+  for (index_t i = 0; i < s.in_size(); ++i) x(0, i) = static_cast<float>(i);
+  layer.forward(x.view().as_const(), y.view());
+
+  Matrix<float> dy(1, s.out_size()), dx(1, s.in_size());
+  for (index_t j = 0; j < s.out_size(); ++j) dy(0, j) = static_cast<float>(j + 1);
+  layer.backward(dy.view().as_const(), dx.view());
+  // Argmaxes for ascending input: 5, 7, 13, 15.
+  EXPECT_EQ(dx(0, 5), 1.0f);
+  EXPECT_EQ(dx(0, 7), 2.0f);
+  EXPECT_EQ(dx(0, 13), 3.0f);
+  EXPECT_EQ(dx(0, 15), 4.0f);
+  // Everything else zero.
+  double total = 0;
+  for (float v : dx.span()) total += v;
+  EXPECT_DOUBLE_EQ(total, 1 + 2 + 3 + 4);
+}
+
+TEST(MaxPool, GradientSumPreserved) {
+  const PoolShape s = small_shape();
+  MaxPoolLayer layer(s);
+  Rng rng(3);
+  Matrix<float> x(3, s.in_size()), y(3, s.out_size());
+  fill_random_uniform<float>(x.view(), rng);
+  layer.forward(x.view().as_const(), y.view());
+  Matrix<float> dy(3, s.out_size()), dx(3, s.in_size());
+  fill_random_uniform<float>(dy.view(), rng);
+  layer.backward(dy.view().as_const(), dx.view());
+  double sum_dy = 0, sum_dx = 0;
+  for (float v : dy.span()) sum_dy += v;
+  for (float v : dx.span()) sum_dx += v;
+  EXPECT_NEAR(sum_dx, sum_dy, 1e-4);
+}
+
+TEST(MaxPool, BackwardWithoutForwardThrows) {
+  MaxPoolLayer layer(small_shape());
+  Matrix<float> dy(1, small_shape().out_size()), dx(1, small_shape().in_size());
+  EXPECT_THROW(layer.backward(dy.view().as_const(), dx.view()), std::logic_error);
+}
+
+TEST(MaxPool, InvalidShapeRejected) {
+  PoolShape s = small_shape();
+  s.in_height = 1;  // smaller than the window
+  EXPECT_THROW(MaxPoolLayer{s}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace apa::nn

@@ -1,0 +1,80 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.h"
+
+namespace apa::nn {
+namespace {
+
+data::Dataset tiny_dataset(index_t count) {
+  data::SyntheticMnistOptions opts;
+  opts.train_size = count;
+  opts.test_size = 1;
+  return std::move(data::make_synthetic_mnist(opts).train);
+}
+
+Mlp tiny_mlp() {
+  MlpConfig config;
+  config.layer_sizes = {784, 32, 10};
+  config.learning_rate = 0.05f;
+  return Mlp(config, MatmulBackend("classical"), MatmulBackend("classical"));
+}
+
+TEST(Trainer, EpochStatsFieldsConsistent) {
+  auto data = tiny_dataset(250);
+  auto mlp = tiny_mlp();
+  const auto stats = train_epoch(mlp, data, 100, nullptr);
+  EXPECT_EQ(stats.steps, 2);  // 250 / 100, partial batch dropped
+  EXPECT_GT(stats.mean_loss, 0);
+  EXPECT_GT(stats.seconds, 0);
+}
+
+TEST(Trainer, BatchLargerThanDatasetRunsNoSteps) {
+  auto data = tiny_dataset(50);
+  auto mlp = tiny_mlp();
+  const auto stats = train_epoch(mlp, data, 100, nullptr);
+  EXPECT_EQ(stats.steps, 0);
+  EXPECT_EQ(stats.mean_loss, 0);
+}
+
+TEST(Trainer, DeterministicWithSameShuffleSeed) {
+  auto data_a = tiny_dataset(300);
+  auto data_b = tiny_dataset(300);
+  auto mlp_a = tiny_mlp();
+  auto mlp_b = tiny_mlp();
+  Rng rng_a(42), rng_b(42);
+  const auto stats_a = train_epoch(mlp_a, data_a, 100, &rng_a);
+  const auto stats_b = train_epoch(mlp_b, data_b, 100, &rng_b);
+  EXPECT_DOUBLE_EQ(stats_a.mean_loss, stats_b.mean_loss);
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(mlp_a, data_a),
+                   evaluate_accuracy(mlp_b, data_b));
+}
+
+TEST(Trainer, NoShuffleKeepsDataOrder) {
+  auto data = tiny_dataset(120);
+  const auto labels_before = data.labels;
+  auto mlp = tiny_mlp();
+  train_epoch(mlp, data, 60, nullptr);
+  EXPECT_EQ(data.labels, labels_before);
+}
+
+TEST(Trainer, ShuffleChangesOrder) {
+  auto data = tiny_dataset(120);
+  const auto labels_before = data.labels;
+  auto mlp = tiny_mlp();
+  Rng rng(9);
+  train_epoch(mlp, data, 60, &rng);
+  EXPECT_NE(data.labels, labels_before);
+}
+
+TEST(Trainer, AccuracyBoundsOnUntrainedModel) {
+  const auto data = tiny_dataset(200);
+  const auto mlp = tiny_mlp();
+  const double acc = evaluate_accuracy(mlp, data, 64);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace apa::nn

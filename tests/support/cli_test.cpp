@@ -1,0 +1,72 @@
+#include "support/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace apa {
+namespace {
+
+CliArgs make_args(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (auto& s : storage) argv.push_back(s.data());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, EqualsForm) {
+  const auto args = make_args({"--dim=512", "--name=bini322"});
+  EXPECT_EQ(args.get_int("dim", 0), 512);
+  EXPECT_EQ(args.get("name", ""), "bini322");
+}
+
+TEST(CliArgs, SpaceForm) {
+  const auto args = make_args({"--dim", "256"});
+  EXPECT_EQ(args.get_int("dim", 0), 256);
+}
+
+TEST(CliArgs, BooleanFlag) {
+  const auto args = make_args({"--full"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_FALSE(args.get_bool("absent"));
+  EXPECT_TRUE(args.get_bool("absent", true));
+}
+
+TEST(CliArgs, Fallbacks) {
+  const auto args = make_args({});
+  EXPECT_EQ(args.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("y", 2.5), 2.5);
+  EXPECT_EQ(args.get("z", "dft"), "dft");
+}
+
+TEST(CliArgs, IntList) {
+  const auto args = make_args({"--dims=128,256,512"});
+  const auto dims = args.get_int_list("dims", {});
+  ASSERT_EQ(dims.size(), 3u);
+  EXPECT_EQ(dims[0], 128);
+  EXPECT_EQ(dims[2], 512);
+}
+
+TEST(CliArgs, StringList) {
+  const auto args = make_args({"--algos=bini322,strassen"});
+  const auto algos = args.get_list("algos", {});
+  ASSERT_EQ(algos.size(), 2u);
+  EXPECT_EQ(algos[1], "strassen");
+}
+
+TEST(CliArgs, Positional) {
+  const auto args = make_args({"input.csv", "--k=1"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+}
+
+TEST(CliArgs, DoubleParsing) {
+  const auto args = make_args({"--lambda=0.00390625"});
+  EXPECT_DOUBLE_EQ(args.get_double("lambda", 0), 0.00390625);
+}
+
+}  // namespace
+}  // namespace apa

@@ -1,0 +1,65 @@
+#include "benchutil/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace apa::bench {
+namespace {
+
+TEST(TimeWorkload, RunsWarmupPlusReps) {
+  std::atomic<int> calls{0};
+  TimingOptions opts;
+  opts.warmup = 2;
+  opts.reps = 3;
+  opts.min_total_seconds = 0;  // disable adaptive extension
+  const auto result = time_workload([&] { ++calls; }, opts);
+  EXPECT_EQ(calls.load(), 5);
+  EXPECT_EQ(result.reps, 3);
+  EXPECT_LE(result.min_seconds, result.median_seconds);
+  EXPECT_LE(result.median_seconds, result.max_seconds);
+}
+
+TEST(TimeWorkload, AdaptiveRepsExtendForFastWorkloads) {
+  std::atomic<int> calls{0};
+  TimingOptions opts;
+  opts.warmup = 0;
+  opts.reps = 1;
+  opts.max_reps = 10;
+  opts.min_total_seconds = 0.02;  // a no-op workload cannot reach this in 1 rep
+  const auto result = time_workload([&] { ++calls; }, opts);
+  EXPECT_EQ(result.reps, 10);  // hit the cap
+}
+
+TEST(TimeWorkload, MeasuresRealTime) {
+  TimingOptions opts;
+  opts.warmup = 0;
+  opts.reps = 2;
+  opts.min_total_seconds = 0;
+  const auto result = time_workload(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); }, opts);
+  EXPECT_GE(result.min_seconds, 0.009);
+  EXPECT_LT(result.min_seconds, 0.5);
+}
+
+TEST(GeometricSweep, PowersOfTwo) {
+  const auto sweep = geometric_sweep(256, 2048);
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep[0], 256);
+  EXPECT_EQ(sweep[3], 2048);
+}
+
+TEST(GeometricSweep, NonIntegerRatio) {
+  const auto sweep = geometric_sweep(100, 400, 1.5);
+  ASSERT_GE(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0], 100);
+  EXPECT_EQ(sweep[1], 150);
+}
+
+TEST(GeometricSweep, EmptyWhenStartExceedsLimit) {
+  EXPECT_TRUE(geometric_sweep(100, 50).empty());
+}
+
+}  // namespace
+}  // namespace apa::bench

@@ -1,0 +1,104 @@
+#include "support/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace apa {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix<float> m(3, 4);
+  m.set_zero();
+  m(1, 2) = 5.0f;
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m(1, 2), 5.0f);
+  EXPECT_EQ(m.data()[1 * 4 + 2], 5.0f);
+}
+
+TEST(Matrix, StorageIsAligned) {
+  Matrix<double> m(7, 5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % kSimdAlignment, 0u);
+}
+
+TEST(MatrixView, BlockSharesStorage) {
+  Matrix<float> m(4, 4);
+  m.set_zero();
+  auto blk = m.view().block(1, 2, 2, 2);
+  blk(0, 0) = 3.0f;
+  EXPECT_EQ(m(1, 2), 3.0f);
+  EXPECT_EQ(blk.ld, 4);
+  EXPECT_EQ(blk.rows, 2);
+  EXPECT_EQ(blk.cols, 2);
+}
+
+TEST(MatrixView, BlockOutOfRangeThrows) {
+  Matrix<float> m(4, 4);
+  EXPECT_THROW((void)m.view().block(3, 3, 2, 2), std::logic_error);
+}
+
+TEST(MatrixView, FrobeniusNorm) {
+  Matrix<double> m(2, 2);
+  m(0, 0) = 3;
+  m(0, 1) = 4;
+  m(1, 0) = 0;
+  m(1, 1) = 0;
+  EXPECT_DOUBLE_EQ(frobenius_norm(m.view()), 5.0);
+}
+
+TEST(MatrixView, RelativeFrobeniusError) {
+  Matrix<double> a(1, 2), ref(1, 2);
+  ref(0, 0) = 3;
+  ref(0, 1) = 4;
+  a(0, 0) = 3;
+  a(0, 1) = 4.5;
+  EXPECT_DOUBLE_EQ(relative_frobenius_error(a.view(), ref.view()), 0.1);
+}
+
+TEST(MatrixView, RelativeErrorAgainstZeroReference) {
+  Matrix<double> a(1, 1), ref(1, 1);
+  ref(0, 0) = 0;
+  a(0, 0) = 2;
+  EXPECT_DOUBLE_EQ(relative_frobenius_error(a.view(), ref.view()), 2.0);
+}
+
+TEST(MatrixView, MaxAbsDiff) {
+  Matrix<float> a(2, 2), b(2, 2);
+  a.set_zero();
+  b.set_zero();
+  b(1, 1) = -2.5f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.view(), b.view()), 2.5);
+}
+
+TEST(MatrixView, CopyStrided) {
+  Matrix<float> src(4, 4), dst(2, 2);
+  Rng rng(1);
+  fill_random_uniform<float>(src.view(), rng);
+  copy<float>(src.view().block(1, 1, 2, 2), dst.view());
+  EXPECT_EQ(dst(0, 0), src(1, 1));
+  EXPECT_EQ(dst(1, 1), src(2, 2));
+}
+
+TEST(MatrixView, FillRandomUniformWithinBounds) {
+  Matrix<float> m(16, 16);
+  Rng rng(9);
+  fill_random_uniform<float>(m.view(), rng, -0.5f, 0.5f);
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (index_t j = 0; j < m.cols(); ++j) {
+      EXPECT_GE(m(i, j), -0.5f);
+      EXPECT_LE(m(i, j), 0.5f);
+    }
+  }
+}
+
+TEST(AlignedBuffer, ResizePreservesAlignment) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  buf.resize(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kSimdAlignment, 0u);
+  buf.resize(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+}  // namespace
+}  // namespace apa

@@ -1,0 +1,78 @@
+#include "support/rational.h"
+
+#include <gtest/gtest.h>
+
+namespace apa {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r(4, -6);
+  EXPECT_EQ(r.num(), -2);
+  EXPECT_EQ(r.den(), 3);
+}
+
+TEST(Rational, ZeroNumeratorNormalizesDenominator) {
+  const Rational r(0, 17);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational a(1, 2);
+  a += Rational(1, 2);
+  EXPECT_TRUE(a.is_one());
+  a *= Rational(2, 3);
+  EXPECT_EQ(a, Rational(2, 3));
+  a -= Rational(2, 3);
+  EXPECT_TRUE(a.is_zero());
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).to_double(), -1.5);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(7).to_string(), "7");
+  EXPECT_EQ(Rational(-1, 2).to_string(), "-1/2");
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0), std::domain_error);
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, OverflowDetected) {
+  const Rational big(std::int64_t{1} << 62);
+  EXPECT_THROW(big * big, std::overflow_error);
+}
+
+TEST(Rational, ImplicitFromInt) {
+  const Rational r = 5;
+  EXPECT_EQ(r, Rational(5, 1));
+}
+
+}  // namespace
+}  // namespace apa

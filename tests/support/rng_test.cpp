@@ -1,0 +1,78 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace apa {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 1.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 1.5);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  Rng rng(11);
+  double acc = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform(0.0, 1.0);
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, FillUniformFillsWholeSpan) {
+  Rng rng(5);
+  std::vector<float> v(64, -100.0f);
+  rng.fill_uniform<float>(v, -1.0f, 1.0f);
+  for (float x : v) {
+    EXPECT_GE(x, -1.0f);
+    EXPECT_LE(x, 1.0f);
+    EXPECT_NE(x, -100.0f);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(10), 10u);
+}
+
+}  // namespace
+}  // namespace apa

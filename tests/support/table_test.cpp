@@ -1,0 +1,58 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace apa {
+namespace {
+
+TEST(TablePrinter, AlignedOutputContainsCells) {
+  TablePrinter t({"dim", "gflops"});
+  t.add_row({"512", "31.4"});
+  t.add_row({"1024", "42.0"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("dim"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  EXPECT_NE(s.find("42.0"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, CsvFormat) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, NumericRow) {
+  TablePrinter t({"x", "y"});
+  t.add_row_numeric({1.23456, 2.0}, 2);
+  EXPECT_EQ(t.to_csv(), "x,y\n1.23,2.00\n");
+}
+
+TEST(TablePrinter, WrongArityThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TablePrinter, WriteCsvRoundTrip) {
+  TablePrinter t({"h"});
+  t.add_row({"v"});
+  const std::string path = "/tmp/apamm_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "h\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(Format, FixedAndScientific) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_sci(0.00035, 1), "3.5e-04");
+}
+
+}  // namespace
+}  // namespace apa
