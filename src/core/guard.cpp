@@ -1,0 +1,197 @@
+#include "core/guard.h"
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.h"
+
+namespace apa::core {
+namespace {
+
+// The verify kernels walk "rows" of op(M) for a stored row-major M: unit
+// stride when M is untransposed, ld-stride otherwise. Templating on the
+// stride keeps the hot untransposed path a contiguous stream, and the
+// `omp simd` reductions give the compiler license to reassociate (and so
+// vectorize) the accumulations without -ffast-math. Any reassociation error
+// is O(k u) per row, far inside the guard's accumulation-floor tolerance.
+
+template <bool kUnitStride>
+inline double dot(const float* x, index_t stride, const double* w, index_t n) {
+  double acc = 0;
+#pragma omp simd reduction(+ : acc)
+  for (index_t j = 0; j < n; ++j) {
+    acc += static_cast<double>(x[kUnitStride ? j : j * stride]) * w[j];
+  }
+  return acc;
+}
+
+// One pass over a row producing both sum_j |x_j| and sum_j x_j w_j.
+template <bool kUnitStride>
+inline void abs_and_dot(const float* x, index_t stride, const double* w,
+                        index_t n, double& abs_out, double& dot_out) {
+  double abs_acc = 0, dot_acc = 0;
+#pragma omp simd reduction(+ : abs_acc, dot_acc)
+  for (index_t j = 0; j < n; ++j) {
+    const double v = static_cast<double>(x[kUnitStride ? j : j * stride]);
+    abs_acc += std::abs(v);
+    dot_acc += v * w[j];
+  }
+  abs_out = abs_acc;
+  dot_out = dot_acc;
+}
+
+// One pass producing both sum_j |x_j| wa_j and sum_j x_j wd_j.
+template <bool kUnitStride>
+inline void weighted_abs_and_dot(const float* x, index_t stride,
+                                 const double* w_abs, const double* w_dot,
+                                 index_t n, double& abs_out, double& dot_out) {
+  double abs_acc = 0, dot_acc = 0;
+#pragma omp simd reduction(+ : abs_acc, dot_acc)
+  for (index_t j = 0; j < n; ++j) {
+    const double v = static_cast<double>(x[kUnitStride ? j : j * stride]);
+    abs_acc += std::abs(v) * w_abs[j];
+    dot_acc += v * w_dot[j];
+  }
+  abs_out = abs_acc;
+  dot_out = dot_acc;
+}
+
+}  // namespace
+
+ProductGuard::ProductGuard(double relative_error_bound, GuardOptions options)
+    : relative_error_bound_(relative_error_bound), options_(options) {
+  APA_CHECK_MSG(relative_error_bound_ >= 0.0, "error bound must be non-negative");
+  APA_CHECK_MSG(options_.num_probes >= 1, "need at least one probe");
+}
+
+double ProductGuard::model_error_bound(const AlgorithmParams& params,
+                                       int precision_bits, int steps) {
+  if (params.exact || params.sigma == 0) {
+    // Exact rules only accumulate roundoff; k * 2^-d with modest k.
+    return std::exp2(-precision_bits);
+  }
+  return params.predicted_error(precision_bits, std::max(1, steps));
+}
+
+double ProductGuard::error_bound_for_lambda(const AlgorithmParams& params,
+                                            double lambda, int precision_bits,
+                                            int steps) {
+  APA_CHECK_MSG(lambda > 0.0, "lambda must be positive");
+  if (params.exact || params.sigma == 0) return std::exp2(-precision_bits);
+  const double approx = std::pow(lambda, params.sigma);
+  const double roundoff =
+      std::exp2(-precision_bits) *
+      std::pow(lambda, -static_cast<double>(std::max(1, steps)) * params.phi);
+  return approx + roundoff;
+}
+
+bool ProductGuard::all_finite(MatrixView<const float> c) {
+  for (index_t i = 0; i < c.rows; ++i) {
+    const float* row = c.data + i * c.ld;
+    // Branch-free accumulation lets the compiler vectorize the scan.
+    bool row_finite = true;
+    for (index_t j = 0; j < c.cols; ++j) row_finite &= std::isfinite(row[j]);
+    if (!row_finite) return false;
+  }
+  return true;
+}
+
+GuardReport ProductGuard::verify(MatrixView<const float> a,
+                                 MatrixView<const float> b,
+                                 MatrixView<const float> c, Rng& rng,
+                                 bool transpose_a, bool transpose_b) const {
+  const index_t m = transpose_a ? a.cols : a.rows;
+  const index_t k = transpose_a ? a.rows : a.cols;
+  const index_t kb = transpose_b ? b.cols : b.rows;
+  const index_t n = transpose_b ? b.rows : b.cols;
+  APA_CHECK_CODE(k == kb && c.rows == m && c.cols == n, ErrorCode::kShapeMismatch,
+                 "guard operands disagree: op(A) " << m << "x" << k << ", op(B) "
+                                                   << kb << "x" << n << ", C "
+                                                   << c.rows << "x" << c.cols);
+
+  GuardReport report;
+  if (m == 0 || n == 0) return report;
+
+  if (!all_finite(c)) {
+    report.ok = false;
+    report.nonfinite_output = true;
+    return report;
+  }
+
+  std::vector<double> r(static_cast<std::size_t>(n));
+  std::vector<double> br(static_cast<std::size_t>(k));
+  std::vector<double> abs_br(static_cast<std::size_t>(k));
+  std::vector<double> scale(static_cast<std::size_t>(m));
+  // Every product — exact rules included — bottoms out in length-k float
+  // accumulations, so O(k)*u roundoff rides on top of the sigma/phi bound.
+  const double accumulation_floor = static_cast<double>(k) * std::exp2(-24);
+  const double rel =
+      (relative_error_bound_ + accumulation_floor) * options_.tolerance_multiplier;
+
+  // The first probe's passes over op(B) and op(A) also build the row scales
+  // S_i = sum_j (|op(A)| |op(B)|)_ij, reduced to S = max_i S_i — the product
+  // magnitude against which the sigma/phi model's *relative* error is
+  // measured. The tolerance is matrix-level (S, not S_i) on purpose: block
+  // APA rules leak O(lambda^sigma) of *neighboring* block rows into each
+  // output row, so an all-zero input row (dead ReLU unit, blank pixel) still
+  // carries residual proportional to the rest of the matrix — a per-row
+  // scale would flag every honest sparse row. Probe-independent, so later
+  // probes run dot-only passes against the cached tolerance.
+  std::vector<double> residual(static_cast<std::size_t>(m));
+  double tolerance = 0;
+  bool scale_ready = false;
+  for (int probe = 0; probe < options_.num_probes; ++probe) {
+    // Rademacher probe: +-1 keeps every column's contribution at full
+    // magnitude, so no error entry is attenuated out of the residual.
+    for (auto& x : r) x = (rng.next_u64() & 1) ? 1.0 : -1.0;
+
+    for (index_t t = 0; t < k; ++t) {
+      const float* row = b.data + (transpose_b ? t : t * b.ld);
+      const auto ti = static_cast<std::size_t>(t);
+      if (!scale_ready) {
+        if (transpose_b) {
+          abs_and_dot<false>(row, b.ld, r.data(), n, abs_br[ti], br[ti]);
+        } else {
+          abs_and_dot<true>(row, 1, r.data(), n, abs_br[ti], br[ti]);
+        }
+      } else {
+        br[ti] = transpose_b ? dot<false>(row, b.ld, r.data(), n)
+                             : dot<true>(row, 1, r.data(), n);
+      }
+    }
+
+    for (index_t i = 0; i < m; ++i) {
+      const float* row = a.data + (transpose_a ? i : i * a.ld);
+      const auto ii = static_cast<std::size_t>(i);
+      double abr;
+      if (!scale_ready) {
+        if (transpose_a) {
+          weighted_abs_and_dot<false>(row, a.ld, abs_br.data(), br.data(), k,
+                                      scale[ii], abr);
+        } else {
+          weighted_abs_and_dot<true>(row, 1, abs_br.data(), br.data(), k,
+                                     scale[ii], abr);
+        }
+      } else {
+        abr = transpose_a ? dot<false>(row, a.ld, br.data(), k)
+                          : dot<true>(row, 1, br.data(), k);
+      }
+      const double cr = dot<true>(c.data + i * c.ld, 1, r.data(), n);
+      residual[ii] = std::abs(cr - abr);
+    }
+    if (!scale_ready) {
+      double scale_max = 0;
+      for (const double s : scale) scale_max = std::max(scale_max, s);
+      tolerance = rel * scale_max + options_.min_absolute_tolerance;
+      scale_ready = true;
+    }
+    for (const double res : residual) {
+      const double ratio = res / tolerance;
+      if (ratio > report.worst_ratio) report.worst_ratio = ratio;
+    }
+  }
+  report.ok = report.worst_ratio <= 1.0;
+  return report;
+}
+
+}  // namespace apa::core

@@ -96,7 +96,10 @@ void MatmulBackend::matmul(MatrixView<const float> a, MatrixView<const float> b,
   const index_t k = transpose_a ? a.rows : a.cols;
   const index_t kb = transpose_b ? b.cols : b.rows;
   const index_t n = transpose_b ? b.rows : b.cols;
-  APA_CHECK_MSG(k == kb && c.rows == m && c.cols == n, "matmul shape mismatch");
+  APA_CHECK_CODE(k == kb && c.rows == m && c.cols == n, ErrorCode::kShapeMismatch,
+                 "matmul shape mismatch: op(A) " << m << "x" << k << ", op(B) "
+                                                 << kb << "x" << n << ", C "
+                                                 << c.rows << "x" << c.cols);
 
   const core::FastMatmul* fast = dispatch_for(m, k, n);
   if (fast == nullptr) {

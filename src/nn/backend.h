@@ -46,16 +46,29 @@ class MatmulBackend {
   explicit MatmulBackend(const std::string& algorithm, BackendOptions options = {});
   /// Convenience: wrap existing FastMatmul options with default backend policy.
   MatmulBackend(const std::string& algorithm, core::FastMatmulOptions matmul_options);
+  virtual ~MatmulBackend() = default;
+  MatmulBackend(const MatmulBackend&) = default;
+  MatmulBackend(MatmulBackend&&) = default;
+  MatmulBackend& operator=(const MatmulBackend&) = default;
+  MatmulBackend& operator=(MatmulBackend&&) = default;
 
   /// c = op(a) * op(b), where op transposes the stored row-major matrix.
-  void matmul(MatrixView<const float> a, MatrixView<const float> b,
-              MatrixView<float> c, bool transpose_a = false,
-              bool transpose_b = false) const;
+  /// Virtual so policy wrappers (e.g. GuardedBackend) can interpose; note the
+  /// NN models that store backends by value slice wrappers away — pass
+  /// wrappers through the shared_ptr constructors instead.
+  virtual void matmul(MatrixView<const float> a, MatrixView<const float> b,
+                      MatrixView<float> c, bool transpose_a = false,
+                      bool transpose_b = false) const;
 
   [[nodiscard]] const std::string& algorithm() const { return name_; }
   [[nodiscard]] bool is_classical() const { return orientations_.empty(); }
   [[nodiscard]] int num_threads() const { return options_.matmul.num_threads; }
   [[nodiscard]] const BackendOptions& options() const { return options_; }
+  /// Lambda the fast path actually runs at (1.0 for classical) — the value the
+  /// trainer's divergence recovery shrinks.
+  [[nodiscard]] double effective_lambda() const {
+    return orientations_.empty() ? 1.0 : orientations_.front()->lambda();
+  }
 
   /// The FastMatmul instance that a problem of logical shape (m, k, n) would
   /// dispatch to; nullptr when it would use classical gemm. Exposed for tests

@@ -1,24 +1,35 @@
 #include "nn/checkpoint.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <vector>
 
 #include "support/check.h"
 
 namespace apa::nn {
 namespace {
 
-constexpr char kMagic[10] = {'A', 'P', 'A', 'M', 'M', '_', 'M', 'L', 'P', '1'};
+// Format v2: | magic | u64 layer count | per layer {u64 rows, u64 cols,
+// rows*cols floats} x {weights, bias} | u64 FNV-1a checksum |. The checksum
+// covers every byte between the magic and itself, so truncation and bit flips
+// are both rejected before any payload reaches the model.
+constexpr char kMagic[10] = {'A', 'P', 'A', 'M', 'M', '_', 'M', 'L', 'P', '2'};
+
+// A dimension above this is certainly corruption, not a model.
+constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 32;
+
+std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
 
 void write_u64(std::ostream& out, std::uint64_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-std::uint64_t read_u64(std::istream& in) {
-  std::uint64_t value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  APA_CHECK_MSG(in.good(), "checkpoint truncated");
-  return value;
 }
 
 void write_matrix(std::ostream& out, const Matrix<float>& m) {
@@ -28,51 +39,131 @@ void write_matrix(std::ostream& out, const Matrix<float>& m) {
             static_cast<std::streamsize>(m.size() * sizeof(float)));
 }
 
-void read_matrix_into(std::istream& in, Matrix<float>& m) {
-  const auto rows = static_cast<index_t>(read_u64(in));
-  const auto cols = static_cast<index_t>(read_u64(in));
-  APA_CHECK_MSG(rows == m.rows() && cols == m.cols(),
-                "checkpoint shape " << rows << "x" << cols << " does not match model "
-                                    << m.rows() << "x" << m.cols());
-  in.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(float)));
-  APA_CHECK_MSG(in.good(), "checkpoint truncated in tensor data");
-}
+/// Bounds-checked sequential reader over the in-memory payload.
+class Cursor {
+ public:
+  Cursor(const unsigned char* data, std::size_t size, const std::string& path)
+      : data_(data), size_(size), path_(path) {}
+
+  std::uint64_t read_u64() {
+    require(sizeof(std::uint64_t), "integer field");
+    std::uint64_t value = 0;
+    std::memcpy(&value, data_ + pos_, sizeof(value));
+    pos_ += sizeof(value);
+    return value;
+  }
+
+  void read_matrix_into(Matrix<float>& m, const char* what) {
+    const std::uint64_t rows = read_u64();
+    const std::uint64_t cols = read_u64();
+    APA_CHECK_CODE(rows < kMaxDim && cols < kMaxDim, ErrorCode::kCorruptCheckpoint,
+                   path_ << ": implausible " << what << " shape " << rows << "x"
+                         << cols);
+    APA_CHECK_CODE(rows == static_cast<std::uint64_t>(m.rows()) &&
+                       cols == static_cast<std::uint64_t>(m.cols()),
+                   ErrorCode::kShapeMismatch,
+                   path_ << ": checkpoint " << what << " shape " << rows << "x"
+                         << cols << " does not match model " << m.rows() << "x"
+                         << m.cols());
+    const std::size_t bytes =
+        static_cast<std::size_t>(m.size()) * sizeof(float);
+    require(bytes, what);
+    std::memcpy(m.data(), data_ + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void require(std::size_t bytes, const char* what) {
+    APA_CHECK_CODE(bytes <= size_ - pos_, ErrorCode::kCorruptCheckpoint,
+                   path_ << ": truncated in " << what << " (need " << bytes
+                         << " bytes, have " << size_ - pos_ << ")");
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const std::string& path_;
+};
 
 }  // namespace
 
 void save_checkpoint(const std::string& path, Mlp& mlp) {
+  // Serialize the payload to memory first so the checksum is over exactly the
+  // bytes that land on disk.
+  std::ostringstream payload(std::ios::binary);
+  write_u64(payload, static_cast<std::uint64_t>(mlp.num_dense_layers()));
+  for (index_t i = 0; i < mlp.num_dense_layers(); ++i) {
+    write_matrix(payload, mlp.layer(i).weights());
+    write_matrix(payload, mlp.layer(i).bias());
+  }
+  const std::string bytes = payload.str();
+  const std::uint64_t checksum =
+      fnv1a(reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size());
+
   std::ofstream out(path, std::ios::binary);
   APA_CHECK_MSG(out.good(), "cannot open " << path);
   out.write(kMagic, sizeof(kMagic));
-  write_u64(out, static_cast<std::uint64_t>(mlp.num_dense_layers()));
-  for (index_t i = 0; i < mlp.num_dense_layers(); ++i) {
-    write_matrix(out, mlp.layer(i).weights());
-    // Bias is 1 x out; reuse the matrix writer via a copy-free const view.
-    const Matrix<float>& bias = mlp.layer(i).bias();
-    write_u64(out, static_cast<std::uint64_t>(bias.rows()));
-    write_u64(out, static_cast<std::uint64_t>(bias.cols()));
-    out.write(reinterpret_cast<const char*>(bias.data()),
-              static_cast<std::streamsize>(bias.size() * sizeof(float)));
-  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  write_u64(out, checksum);
   APA_CHECK_MSG(out.good(), "write failed for " << path);
 }
 
 void load_checkpoint(const std::string& path, Mlp& mlp) {
-  std::ifstream in(path, std::ios::binary);
-  APA_CHECK_MSG(in.good(), "cannot open " << path);
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  APA_CHECK_MSG(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic),
-                path << ": not an apamm MLP checkpoint");
-  const auto layers = static_cast<index_t>(read_u64(in));
-  APA_CHECK_MSG(layers == mlp.num_dense_layers(),
-                "checkpoint has " << layers << " layers, model has "
-                                  << mlp.num_dense_layers());
-  for (index_t i = 0; i < layers; ++i) {
-    read_matrix_into(in, mlp.layer(i).weights());
-    Matrix<float>& bias = mlp.layer(i).mutable_bias();
-    read_matrix_into(in, bias);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint, "cannot open " << path);
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  APA_CHECK_CODE(file_size >= sizeof(kMagic) + sizeof(std::uint64_t),
+                 ErrorCode::kCorruptCheckpoint,
+                 path << ": too small to be a checkpoint (" << file_size
+                      << " bytes)");
+  std::vector<unsigned char> file(file_size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(file.data()),
+          static_cast<std::streamsize>(file_size));
+  APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint, path << ": read failed");
+
+  APA_CHECK_CODE(std::memcmp(file.data(), kMagic, sizeof(kMagic)) == 0,
+                 ErrorCode::kCorruptCheckpoint,
+                 path << ": not an apamm MLP checkpoint");
+
+  const std::size_t payload_size =
+      file_size - sizeof(kMagic) - sizeof(std::uint64_t);
+  std::uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, file.data() + file_size - sizeof(std::uint64_t),
+              sizeof(stored_checksum));
+  const std::uint64_t actual_checksum =
+      fnv1a(file.data() + sizeof(kMagic), payload_size);
+  APA_CHECK_CODE(stored_checksum == actual_checksum, ErrorCode::kCorruptCheckpoint,
+                 path << ": checksum mismatch — file is corrupt");
+
+  Cursor cursor(file.data() + sizeof(kMagic), payload_size, path);
+  const std::uint64_t layers = cursor.read_u64();
+  APA_CHECK_CODE(layers < kMaxDim, ErrorCode::kCorruptCheckpoint,
+                 path << ": implausible layer count " << layers);
+  APA_CHECK_CODE(layers == static_cast<std::uint64_t>(mlp.num_dense_layers()),
+                 ErrorCode::kShapeMismatch,
+                 path << ": checkpoint has " << layers << " layers, model has "
+                      << mlp.num_dense_layers());
+  // Stage into scratch so a failure partway leaves the model untouched.
+  std::vector<Matrix<float>> weights(static_cast<std::size_t>(layers));
+  std::vector<Matrix<float>> biases(static_cast<std::size_t>(layers));
+  for (index_t i = 0; i < static_cast<index_t>(layers); ++i) {
+    weights[static_cast<std::size_t>(i)] =
+        Matrix<float>(mlp.layer(i).weights().rows(), mlp.layer(i).weights().cols());
+    biases[static_cast<std::size_t>(i)] =
+        Matrix<float>(mlp.layer(i).bias().rows(), mlp.layer(i).bias().cols());
+    cursor.read_matrix_into(weights[static_cast<std::size_t>(i)], "weights");
+    cursor.read_matrix_into(biases[static_cast<std::size_t>(i)], "bias");
+  }
+  APA_CHECK_CODE(cursor.remaining() == 0, ErrorCode::kCorruptCheckpoint,
+                 path << ": " << cursor.remaining() << " trailing bytes");
+  for (index_t i = 0; i < static_cast<index_t>(layers); ++i) {
+    copy(weights[static_cast<std::size_t>(i)].view().as_const(),
+         mlp.layer(i).weights().view());
+    copy(biases[static_cast<std::size_t>(i)].view().as_const(),
+         mlp.layer(i).mutable_bias().view());
   }
 }
 

@@ -2,6 +2,12 @@
 // MLP weight checkpointing: a minimal binary format (little-endian host
 // floats) so trained models survive process restarts and experiments can
 // resume. Topology is stored and verified on load.
+//
+// Format v2 ("APAMM_MLP2") appends an FNV-1a checksum over the payload and
+// every read is bounds-checked against the file size, so truncated or
+// bit-flipped files are rejected (ApaError{kCorruptCheckpoint}) instead of
+// silently feeding garbage weights into a resume — a load that fails partway
+// leaves the destination model untouched.
 
 #include <string>
 
@@ -12,7 +18,9 @@ namespace apa::nn {
 /// Writes every dense layer's weights and biases.
 void save_checkpoint(const std::string& path, Mlp& mlp);
 
-/// Loads into an Mlp of identical topology; throws on mismatch or corruption.
+/// Loads into an Mlp of identical topology. Throws ApaError with
+/// kCorruptCheckpoint (unreadable/truncated/checksum-failed file) or
+/// kShapeMismatch (valid file, different topology).
 void load_checkpoint(const std::string& path, Mlp& mlp);
 
 }  // namespace apa::nn

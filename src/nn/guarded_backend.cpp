@@ -1,0 +1,100 @@
+#include "nn/guarded_backend.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace apa::nn {
+
+GuardedBackend::GuardedBackend(const std::string& algorithm, BackendOptions options,
+                               GuardPolicy policy)
+    : MatmulBackend(algorithm, options),
+      policy_(policy),
+      classical_("classical", options),
+      state_(std::make_shared<State>(policy.seed)) {
+  APA_CHECK_MSG(policy_.quarantine_after >= 1, "quarantine threshold must be >= 1");
+  APA_CHECK_MSG(policy_.check_period >= 1, "check period must be >= 1");
+}
+
+GuardStats GuardedBackend::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+void GuardedBackend::reset_stats() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->stats = GuardStats{};
+}
+
+bool GuardedBackend::is_quarantined(index_t m, index_t k, index_t n) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  const auto it = state_->trips_by_shape.find(ShapeKey{m, k, n});
+  return it != state_->trips_by_shape.end() && it->second >= policy_.quarantine_after;
+}
+
+void GuardedBackend::matmul(MatrixView<const float> a, MatrixView<const float> b,
+                            MatrixView<float> c, bool transpose_a,
+                            bool transpose_b) const {
+  const index_t m = transpose_a ? a.cols : a.rows;
+  const index_t k = transpose_a ? a.rows : a.cols;
+  const index_t n = transpose_b ? b.rows : b.cols;
+
+  // Classical dispatches are exact; nothing to certify.
+  const core::FastMatmul* fast = dispatch_for(m, k, n);
+  if (fast == nullptr) {
+    MatmulBackend::matmul(a, b, c, transpose_a, transpose_b);
+    return;
+  }
+
+  const ShapeKey key{m, k, n};
+  bool quarantined = false;
+  bool check_this_call = false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    const auto it = state_->trips_by_shape.find(key);
+    quarantined = it != state_->trips_by_shape.end() &&
+                  it->second >= policy_.quarantine_after;
+    if (quarantined) {
+      ++state_->stats.quarantined_calls;
+    } else {
+      ++state_->stats.fast_calls;
+      check_this_call =
+          (state_->fast_call_count++ %
+           static_cast<std::uint64_t>(policy_.check_period)) == 0;
+    }
+  }
+  if (quarantined) {
+    classical_.matmul(a, b, c, transpose_a, transpose_b);
+    return;
+  }
+
+  MatmulBackend::matmul(a, b, c, transpose_a, transpose_b);
+  if (!check_this_call) return;
+
+  const double bound = core::ProductGuard::model_error_bound(
+      fast->params(), fast->options().precision_bits, fast->options().steps);
+  const core::ProductGuard guard(bound, policy_.guard);
+  core::GuardReport report;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    report = guard.verify(a, b, c.as_const(), state_->rng, transpose_a, transpose_b);
+    ++state_->stats.checks_run;
+    state_->stats.worst_ratio =
+        std::max(state_->stats.worst_ratio, report.worst_ratio);
+    if (report.ok) return;
+    if (report.nonfinite_output) {
+      ++state_->stats.trips_nonfinite;
+    } else {
+      ++state_->stats.trips_tolerance;
+    }
+    ++state_->stats.fallback_reruns;
+    const int trips = ++state_->trips_by_shape[key];
+    if (trips == policy_.quarantine_after) ++state_->stats.shapes_quarantined;
+  }
+  // Rerun with exact gemm so the caller always receives a sound product. If
+  // the *inputs* carried the non-finite values this reproduces them — that is
+  // the correct answer, and the trip counter still records the event.
+  classical_.matmul(a, b, c, transpose_a, transpose_b);
+}
+
+}  // namespace apa::nn

@@ -1,0 +1,87 @@
+#pragma once
+// Numerical-health policy wrapper around MatmulBackend.
+//
+// Every product that dispatches to an APA fast path is verified with a
+// core::ProductGuard (Freivalds probe + non-finite scan, O(mn + kn + mk) —
+// under 10% of the O(mkn) multiply for the shapes the fast path accepts). On
+// a trip the product is recomputed with classical gemm, so callers always
+// receive a sound C; the trip is tallied per logical shape, and after
+// `quarantine_after` trips that shape permanently bypasses the APA rule —
+// a rule that keeps failing outside its validated regime stops being asked.
+//
+// All counters are aggregated in GuardStats for tests, benchmarks, and
+// monitoring. State is shared across copies (backends are copied into models
+// by value semantics elsewhere, but guarded state must stay global to the
+// wrapper), and access is mutex-serialized: the NN layers call matmul from a
+// single thread and fan out *inside* gemm, so the lock is uncontended.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "core/guard.h"
+#include "nn/backend.h"
+
+namespace apa::nn {
+
+struct GuardPolicy {
+  core::GuardOptions guard;
+  /// Trips of one logical (m, k, n) shape before it is quarantined to
+  /// classical gemm permanently.
+  int quarantine_after = 3;
+  /// Verify every Nth fast-path call (1 = every call). Sampling trades
+  /// detection latency for overhead on trusted workloads.
+  int check_period = 1;
+  /// Probe-sign stream seed; fixed for reproducible experiments.
+  std::uint64_t seed = 0x9d5fca11u;
+};
+
+struct GuardStats {
+  std::uint64_t fast_calls = 0;        ///< calls that dispatched to an APA rule
+  std::uint64_t checks_run = 0;        ///< Freivalds verifications performed
+  std::uint64_t trips_tolerance = 0;   ///< residual above tolerance
+  std::uint64_t trips_nonfinite = 0;   ///< NaN/Inf in the APA output
+  std::uint64_t fallback_reruns = 0;   ///< products recomputed with gemm
+  std::uint64_t quarantined_calls = 0; ///< calls served by gemm due to quarantine
+  std::uint64_t shapes_quarantined = 0;
+  double worst_ratio = 0.0;            ///< max residual/tolerance ever observed
+
+  [[nodiscard]] std::uint64_t total_trips() const {
+    return trips_tolerance + trips_nonfinite;
+  }
+};
+
+class GuardedBackend : public MatmulBackend {
+ public:
+  GuardedBackend(const std::string& algorithm, BackendOptions options = {},
+                 GuardPolicy policy = {});
+
+  void matmul(MatrixView<const float> a, MatrixView<const float> b,
+              MatrixView<float> c, bool transpose_a = false,
+              bool transpose_b = false) const override;
+
+  [[nodiscard]] GuardStats stats() const;
+  void reset_stats();
+  [[nodiscard]] const GuardPolicy& policy() const { return policy_; }
+  /// True when shape (m, k, n) has been quarantined to classical gemm.
+  [[nodiscard]] bool is_quarantined(index_t m, index_t k, index_t n) const;
+
+ private:
+  using ShapeKey = std::tuple<index_t, index_t, index_t>;
+  struct State {
+    std::mutex mu;
+    Rng rng;
+    std::uint64_t fast_call_count = 0;
+    std::map<ShapeKey, int> trips_by_shape;  // quarantined once >= threshold
+    GuardStats stats;
+    explicit State(std::uint64_t seed) : rng(seed) {}
+  };
+
+  GuardPolicy policy_;
+  MatmulBackend classical_;  ///< exact fallback with matching thread policy
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace apa::nn

@@ -5,7 +5,14 @@
 namespace apa::nn {
 
 Mlp::Mlp(MlpConfig config, MatmulBackend fast, MatmulBackend classical)
+    : Mlp(std::move(config),
+          std::make_shared<const MatmulBackend>(std::move(fast)),
+          std::make_shared<const MatmulBackend>(std::move(classical))) {}
+
+Mlp::Mlp(MlpConfig config, std::shared_ptr<const MatmulBackend> fast,
+         std::shared_ptr<const MatmulBackend> classical)
     : config_(std::move(config)), fast_(std::move(fast)), classical_(std::move(classical)) {
+  APA_CHECK_MSG(fast_ != nullptr && classical_ != nullptr, "backends must be non-null");
   APA_CHECK_MSG(config_.layer_sizes.size() >= 2, "need at least input and output sizes");
   const std::size_t num_layers = config_.layer_sizes.size() - 1;
 
@@ -25,6 +32,11 @@ Mlp::Mlp(MlpConfig config, MatmulBackend fast, MatmulBackend classical)
   for (std::size_t i = 0; i < num_layers; ++i) {
     layers_.emplace_back(config_.layer_sizes[i], config_.layer_sizes[i + 1], rng);
   }
+}
+
+void Mlp::set_fast_backend(std::shared_ptr<const MatmulBackend> fast) {
+  APA_CHECK_MSG(fast != nullptr, "fast backend must be non-null");
+  fast_ = std::move(fast);
 }
 
 double Mlp::train_step(MatrixView<const float> x, const std::vector<int>& labels) {

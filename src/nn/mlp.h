@@ -4,6 +4,7 @@
 // and output layers use the classical one, exactly as in the paper's
 // accuracy and throughput experiments.
 
+#include <memory>
 #include <vector>
 
 #include "nn/layers.h"
@@ -25,8 +26,15 @@ struct MlpConfig {
 class Mlp {
  public:
   /// `fast` handles masked layers, `classical` the rest. A "classical" fast
-  /// backend reproduces the baseline network exactly.
+  /// backend reproduces the baseline network exactly. This overload copies the
+  /// concrete MatmulBackend (wrapper subclasses would slice — use the
+  /// shared_ptr overload for those).
   Mlp(MlpConfig config, MatmulBackend fast, MatmulBackend classical);
+  /// Polymorphic variant: `fast` may be any MatmulBackend subclass, e.g. a
+  /// GuardedBackend whose verification/fallback policy must survive into the
+  /// training loop.
+  Mlp(MlpConfig config, std::shared_ptr<const MatmulBackend> fast,
+      std::shared_ptr<const MatmulBackend> classical);
 
   /// One SGD step on a batch; returns the mean cross-entropy loss.
   double train_step(MatrixView<const float> x, const std::vector<int>& labels);
@@ -45,14 +53,20 @@ class Mlp {
   [[nodiscard]] DenseLayer& layer(index_t i) { return layers_[static_cast<std::size_t>(i)]; }
   [[nodiscard]] const MlpConfig& config() const { return config_; }
 
+  [[nodiscard]] const MatmulBackend& fast_backend() const { return *fast_; }
+  [[nodiscard]] const MatmulBackend& classical_backend() const { return *classical_; }
+  /// Swap the fast backend mid-training — the trainer's divergence recovery
+  /// uses this to shrink lambda or retreat to classical gemm.
+  void set_fast_backend(std::shared_ptr<const MatmulBackend> fast);
+
  private:
   [[nodiscard]] const MatmulBackend& backend_for(std::size_t layer) const {
-    return mask_[layer] ? fast_ : classical_;
+    return mask_[layer] ? *fast_ : *classical_;
   }
 
   MlpConfig config_;
-  MatmulBackend fast_;
-  MatmulBackend classical_;
+  std::shared_ptr<const MatmulBackend> fast_;
+  std::shared_ptr<const MatmulBackend> classical_;
   std::vector<DenseLayer> layers_;
   std::vector<bool> mask_;
 };

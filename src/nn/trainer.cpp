@@ -1,8 +1,72 @@
 #include "nn/trainer.h"
 
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+
+#include "core/params.h"
+#include "core/registry.h"
+#include "nn/checkpoint.h"
+#include "nn/guarded_backend.h"
+#include "support/check.h"
 #include "support/timer.h"
 
 namespace apa::nn {
+namespace {
+
+/// Collision-safe default location for auto-checkpoints: distinct per process
+/// and per model instance, so concurrent guarded runs never clobber each other.
+std::string default_guard_checkpoint_path(const Mlp& mlp) {
+  std::ostringstream name;
+  name << "apamm_guard_" << ::getpid() << "_"
+       << reinterpret_cast<std::uintptr_t>(&mlp) << ".ckpt";
+  return (std::filesystem::temp_directory_path() / name.str()).string();
+}
+
+/// Rebuild a backend with new algorithm/options, preserving a GuardedBackend
+/// wrapper (and its policy) when the original had one.
+std::shared_ptr<const MatmulBackend> rebuild_backend(const MatmulBackend& prototype,
+                                                     const std::string& algorithm,
+                                                     BackendOptions options) {
+  if (const auto* guarded = dynamic_cast<const GuardedBackend*>(&prototype)) {
+    return std::make_shared<const GuardedBackend>(algorithm, options,
+                                                  guarded->policy());
+  }
+  return std::make_shared<const MatmulBackend>(algorithm, options);
+}
+
+/// De-risk the fast backend after a divergence: move lambda toward the rule's
+/// optimal value — shrink from above (approximation error too large), snap up
+/// from below (roundoff amplification too large) — and once lambda is already
+/// at the optimum (or the rule is lambda-free) retreat to classical gemm.
+void derisk_fast_backend(Mlp& mlp, const TrainGuardOptions& guard,
+                         TrainGuardReport& report) {
+  const MatmulBackend& fast = mlp.fast_backend();
+  if (fast.is_classical()) return;  // nothing left to de-risk
+
+  BackendOptions options = fast.options();
+  const double current = fast.effective_lambda();
+  const core::AlgorithmParams params = core::analyze(core::rule_by_name(fast.algorithm()));
+  const double optimal = params.optimal_lambda(options.matmul.precision_bits,
+                                               std::max(1, options.matmul.steps));
+  const double target = current > optimal
+                            ? std::max(current * guard.lambda_shrink, optimal)
+                            : optimal;
+  if (std::abs(target - current) > 1e-3 * current) {
+    options.matmul.lambda = target;
+    mlp.set_fast_backend(rebuild_backend(fast, fast.algorithm(), options));
+    ++report.lambda_shrinks;
+  } else {
+    mlp.set_fast_backend(rebuild_backend(fast, "classical", options));
+    report.fell_back_to_classical = true;
+  }
+}
+
+}  // namespace
 
 EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng) {
   if (rng != nullptr) data::shuffle(dataset, *rng);
@@ -17,6 +81,78 @@ EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng
     ++stats.steps;
   }
   stats.mean_loss = stats.steps > 0 ? loss_acc / static_cast<double>(stats.steps) : 0;
+  stats.dropped_samples = batch > 0 ? dataset.size() % batch : index_t{0};
+  return stats;
+}
+
+EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng,
+                       const TrainGuardOptions& guard, TrainGuardReport* report) {
+  TrainGuardReport local_report;
+  TrainGuardReport& out = report != nullptr ? *report : local_report;
+  out = TrainGuardReport{};
+  if (!guard.enabled) {
+    const EpochStats stats = train_epoch(mlp, dataset, batch, rng);
+    out.final_lambda = mlp.fast_backend().effective_lambda();
+    return stats;
+  }
+
+  if (rng != nullptr) data::shuffle(dataset, *rng);
+
+  const std::string checkpoint = guard.checkpoint_path.empty()
+                                     ? default_guard_checkpoint_path(mlp)
+                                     : guard.checkpoint_path;
+  save_checkpoint(checkpoint, mlp);
+  ++out.checkpoints_written;
+
+  EpochStats stats;
+  double loss_acc = 0;
+  // Running loss mean for spike detection; reset after every rollback since
+  // the restored weights re-live an earlier loss regime.
+  double ewma = 0;
+  index_t ewma_steps = 0;
+  constexpr double kSpikeAbsoluteSlack = 1e-3;
+
+  index_t first = 0;
+  while (first + batch <= dataset.size()) {
+    const auto x = dataset.batch_images(first, batch);
+    const auto labels = dataset.batch_labels(first, batch);
+    WallTimer timer;
+    const double loss = mlp.train_step(x, labels);
+    stats.seconds += timer.seconds();
+
+    const bool spiked = ewma_steps >= guard.warmup_steps &&
+                        loss > guard.loss_spike_factor * ewma + kSpikeAbsoluteSlack;
+    if (!std::isfinite(loss) || spiked) {
+      APA_CHECK_CODE(out.recoveries < guard.max_recoveries, ErrorCode::kDiverged,
+                     "training diverged at step " << stats.steps << " (loss "
+                         << loss << ", running mean " << ewma << ") after "
+                         << out.recoveries
+                         << " recovery attempts — backend exhausted");
+      ++out.recoveries;
+      load_checkpoint(checkpoint, mlp);
+      derisk_fast_backend(mlp, guard, out);
+      ewma = 0;
+      ewma_steps = 0;
+      continue;  // retry the same batch with restored weights
+    }
+
+    ewma = ewma_steps == 0 ? loss
+                           : guard.loss_ewma_decay * ewma +
+                                 (1.0 - guard.loss_ewma_decay) * loss;
+    ++ewma_steps;
+    loss_acc += loss;
+    ++stats.steps;
+    if (guard.checkpoint_every > 0 && stats.steps % guard.checkpoint_every == 0) {
+      save_checkpoint(checkpoint, mlp);
+      ++out.checkpoints_written;
+    }
+    first += batch;
+  }
+
+  stats.mean_loss = stats.steps > 0 ? loss_acc / static_cast<double>(stats.steps) : 0;
+  stats.dropped_samples = batch > 0 ? dataset.size() % batch : index_t{0};
+  out.final_lambda = mlp.fast_backend().effective_lambda();
+  if (guard.checkpoint_path.empty()) std::remove(checkpoint.c_str());
   return stats;
 }
 

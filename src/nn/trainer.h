@@ -1,6 +1,19 @@
 #pragma once
 // Epoch-level training loop and evaluation over Datasets, with the timing
-// hooks the throughput experiments (paper Figs 6 and 7) rely on.
+// hooks the throughput experiments (paper Figs 6 and 7) rely on, plus an
+// optional numerical-health guard: periodic auto-checkpoints, loss-spike and
+// non-finite-loss detection, and automatic rollback with lambda-shrink retry
+// so APA training recovers from divergence instead of producing garbage.
+//
+// Batching methodology (paper Figs 5-7): every step runs the same fixed batch
+// size so APA rules see one constant problem shape per layer — padding a
+// trailing partial batch would perturb both the timing distribution and the
+// rule's orientation choice. The trailing `dataset.size() % batch` samples of
+// each epoch are therefore *skipped*, and reported in
+// EpochStats::dropped_samples; with shuffling enabled different samples are
+// dropped each epoch, so no example is systematically excluded.
+
+#include <string>
 
 #include "data/dataset.h"
 #include "nn/mlp.h"
@@ -11,12 +24,60 @@ struct EpochStats {
   double mean_loss = 0;
   double seconds = 0;      ///< wall time spent in train_step calls
   index_t steps = 0;
+  /// Trailing samples skipped by the fixed-batch methodology (see header).
+  index_t dropped_samples = 0;
+};
+
+/// Divergence-protection policy for train_epoch. Default-constructed options
+/// reproduce the unguarded loop exactly (zero overhead).
+struct TrainGuardOptions {
+  bool enabled = false;
+  /// Steps between automatic checkpoints (one is always written before the
+  /// first step of the epoch when enabled).
+  index_t checkpoint_every = 50;
+  /// A step whose loss exceeds `loss_spike_factor` x the running loss mean
+  /// (EWMA, after `warmup_steps`) counts as divergence; non-finite loss
+  /// always does.
+  double loss_spike_factor = 4.0;
+  double loss_ewma_decay = 0.9;
+  index_t warmup_steps = 5;
+  /// Recovery budget for the epoch; exceeding it throws
+  /// ApaError{kDiverged}. Each recovery rolls the weights back to the last
+  /// auto-checkpoint and de-risks the fast backend (see lambda_shrink).
+  int max_recoveries = 3;
+  /// First recoveries multiply the fast backend's lambda by this (clamped at
+  /// the rule's optimal lambda — below it the roundoff term grows instead);
+  /// once lambda cannot shrink further, the fast backend is replaced by
+  /// classical gemm.
+  double lambda_shrink = 0.25;
+  /// Auto-checkpoint location; empty derives a collision-safe path in the
+  /// system temp directory (removed on clean completion).
+  std::string checkpoint_path;
+};
+
+/// What the guard actually did during an epoch — exposed for tests, logging,
+/// and callers that want to alert on degraded runs.
+struct TrainGuardReport {
+  int recoveries = 0;        ///< rollbacks performed
+  int lambda_shrinks = 0;    ///< recoveries resolved by shrinking lambda
+  bool fell_back_to_classical = false;
+  double final_lambda = 1.0; ///< fast backend's lambda after the epoch
+  index_t checkpoints_written = 0;
 };
 
 /// One pass over `dataset` in batches of `batch` (trailing partial batch is
-/// dropped, as in the paper's fixed-batch methodology). Shuffles first when
-/// `rng` is non-null.
+/// dropped, see EpochStats::dropped_samples). Shuffles first when `rng` is
+/// non-null.
 EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng);
+
+/// Guarded variant: same loop, plus divergence detection and rollback per
+/// `guard`. On recovery the weights are restored from the last auto-checkpoint
+/// and training continues at the current batch with a de-risked backend;
+/// after `guard.max_recoveries` failed recoveries throws ApaError{kDiverged}.
+/// `report` (optional) receives what happened.
+EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng,
+                       const TrainGuardOptions& guard,
+                       TrainGuardReport* report = nullptr);
 
 /// Classification accuracy over the dataset, evaluated in batches.
 [[nodiscard]] double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset,

@@ -1,19 +1,69 @@
 #pragma once
-// Precondition / invariant checking that stays on in release builds.
+// Precondition / invariant checking that stays on in release builds, and the
+// structured error taxonomy thrown by every layer of the library.
+//
+// All failures surface as apa::ApaError (a std::logic_error, so legacy
+// catch sites keep working). The ErrorCode lets callers distinguish
+// recoverable conditions — a guard trip that can be retried with classical
+// gemm, a diverged training run that can be rolled back, a corrupt checkpoint
+// that an older snapshot can replace — from programming errors that should
+// abort.
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
-namespace apa::detail {
+namespace apa {
+
+enum class ErrorCode {
+  kPrecondition,       ///< broken invariant / API misuse — fatal
+  kShapeMismatch,      ///< operand or model dimensions disagree — fatal
+  kCorruptCheckpoint,  ///< checkpoint failed magic/bounds/checksum validation
+  kGuardTripped,       ///< ProductGuard rejected an APA output
+  kDiverged,           ///< training diverged beyond the recovery budget
+};
+
+[[nodiscard]] inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kPrecondition: return "kPrecondition";
+    case ErrorCode::kShapeMismatch: return "kShapeMismatch";
+    case ErrorCode::kCorruptCheckpoint: return "kCorruptCheckpoint";
+    case ErrorCode::kGuardTripped: return "kGuardTripped";
+    case ErrorCode::kDiverged: return "kDiverged";
+  }
+  return "kUnknown";
+}
+
+class ApaError : public std::logic_error {
+ public:
+  ApaError(ErrorCode code, const std::string& message)
+      : std::logic_error("[" + std::string(to_string(code)) + "] " + message),
+        code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+  /// True when a caller-side recovery (fallback, rollback, restore from an
+  /// older snapshot) is meaningful; false for programming errors.
+  [[nodiscard]] bool recoverable() const noexcept {
+    return code_ == ErrorCode::kCorruptCheckpoint ||
+           code_ == ErrorCode::kGuardTripped || code_ == ErrorCode::kDiverged;
+  }
+
+ private:
+  ErrorCode code_;
+};
+
+namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
-                                      const std::string& message) {
+                                      const std::string& message,
+                                      ErrorCode code = ErrorCode::kPrecondition) {
   std::ostringstream os;
   os << file << ":" << line << ": check failed: " << expr;
   if (!message.empty()) os << " — " << message;
-  throw std::logic_error(os.str());
+  throw ApaError(code, os.str());
 }
-}  // namespace apa::detail
+}  // namespace detail
+}  // namespace apa
 
 #define APA_CHECK(expr)                                                   \
   do {                                                                    \
@@ -27,4 +77,24 @@ namespace apa::detail {
       apa_check_os_ << msg;                                             \
       ::apa::detail::check_failed(#expr, __FILE__, __LINE__, apa_check_os_.str()); \
     }                                                                   \
+  } while (false)
+
+/// Like APA_CHECK_MSG, but tags the thrown ApaError with `code` so callers
+/// can branch on the failure class instead of parsing the message.
+#define APA_CHECK_CODE(expr, code, msg)                                 \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream apa_check_os_;                                 \
+      apa_check_os_ << msg;                                             \
+      ::apa::detail::check_failed(#expr, __FILE__, __LINE__, apa_check_os_.str(), \
+                                  (code));                              \
+    }                                                                   \
+  } while (false)
+
+/// Unconditional structured failure.
+#define APA_FAIL(code, msg)                                             \
+  do {                                                                  \
+    std::ostringstream apa_check_os_;                                   \
+    apa_check_os_ << msg;                                               \
+    throw ::apa::ApaError((code), apa_check_os_.str());                 \
   } while (false)

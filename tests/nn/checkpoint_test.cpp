@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
+#include "support/check.h"
 #include "support/rng.h"
 
 namespace apa::nn {
@@ -83,6 +85,109 @@ TEST_F(CheckpointTest, MissingFileRejected) {
   Mlp mlp(config_of({4, 3}, 1), MatmulBackend("classical"),
           MatmulBackend("classical"));
   EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin", mlp), std::logic_error);
+}
+
+TEST_F(CheckpointTest, ErrorCodesDistinguishCorruptionFromTopologyMismatch) {
+  Mlp mlp(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  save_checkpoint(path_, mlp);
+
+  Mlp wrong(config_of({12, 32, 5}, 1), MatmulBackend("classical"),
+            MatmulBackend("classical"));
+  try {
+    load_checkpoint(path_, wrong);
+    FAIL() << "topology mismatch must throw";
+  } catch (const ApaError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kShapeMismatch);
+    EXPECT_FALSE(e.recoverable());
+  }
+
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 1);
+  try {
+    load_checkpoint(path_, mlp);
+    FAIL() << "truncation must throw";
+  } catch (const ApaError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptCheckpoint);
+    EXPECT_TRUE(e.recoverable());
+  }
+}
+
+TEST_F(CheckpointTest, BitFlipFuzzEveryRegionRejected) {
+  Mlp mlp(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  save_checkpoint(path_, mlp);
+
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> pristine((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+
+  // Flip one bit at a spread of offsets covering magic, header, payload, and
+  // checksum; the checksum must reject every single-bit corruption.
+  Rng rng(31);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t offset =
+        trial < 16 ? static_cast<std::size_t>(trial)  // dense over magic+header
+                   : static_cast<std::size_t>(rng.next_below(pristine.size()));
+    std::vector<char> corrupted = pristine;
+    corrupted[offset] ^= static_cast<char>(1 << rng.next_below(8));
+
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    out.close();
+
+    Mlp victim(config_of({12, 16, 5}, 2), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+    EXPECT_THROW(load_checkpoint(path_, victim), ApaError)
+        << "bit flip at offset " << offset << " was silently accepted";
+  }
+}
+
+TEST_F(CheckpointTest, TruncationFuzzEveryLengthRejected) {
+  Mlp mlp(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  save_checkpoint(path_, mlp);
+  const auto full = static_cast<std::size_t>(std::filesystem::file_size(path_));
+
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> pristine((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+
+  Rng rng(32);
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::size_t keep =
+        trial < 8 ? static_cast<std::size_t>(trial)  // dense over tiny files
+                  : static_cast<std::size_t>(rng.next_below(full));
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(pristine.data(), static_cast<std::streamsize>(keep));
+    out.close();
+
+    Mlp victim(config_of({12, 16, 5}, 2), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+    EXPECT_THROW(load_checkpoint(path_, victim), ApaError)
+        << "truncation to " << keep << " bytes was silently accepted";
+  }
+}
+
+TEST_F(CheckpointTest, FailedLoadLeavesModelUntouched) {
+  Mlp mlp(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  Rng rng(33);
+  Matrix<float> x(4, 12);
+  fill_random_uniform<float>(x.view(), rng);
+  Matrix<float> before(4, 5), after(4, 5);
+  mlp.predict(x.view().as_const(), before.view());
+
+  // A checkpoint from a *different* topology: the shape mismatch fires midway
+  // through the layer loop, after some tensors already parsed.
+  Mlp other(config_of({12, 16, 16, 5}, 9), MatmulBackend("classical"),
+            MatmulBackend("classical"));
+  save_checkpoint(path_, other);
+  EXPECT_THROW(load_checkpoint(path_, mlp), ApaError);
+
+  mlp.predict(x.view().as_const(), after.view());
+  EXPECT_EQ(max_abs_diff(before.view(), after.view()), 0.0);
 }
 
 }  // namespace

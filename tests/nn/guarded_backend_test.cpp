@@ -1,0 +1,130 @@
+// Unit tests for the GuardedBackend policy wrapper: dispatch behaviour,
+// sampling, stats plumbing, and polymorphic use inside an Mlp.
+
+#include "nn/guarded_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blas/gemm.h"
+#include "nn/mlp.h"
+#include "support/rng.h"
+
+namespace apa::nn {
+namespace {
+
+BackendOptions small_cutoff(double lambda = 0.0) {
+  BackendOptions options;
+  if (lambda > 0.0) options.matmul.lambda = lambda;
+  options.min_dim_for_fast = 32;
+  return options;
+}
+
+TEST(GuardedBackend, ClassicalDispatchesAreNotChecked) {
+  const GuardedBackend guarded("bini322", small_cutoff());
+  Rng rng(1);
+  Matrix<float> a(8, 8), b(8, 8), c(8, 8);  // below the fast cutoff
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  guarded.matmul(a.view().as_const(), b.view().as_const(), c.view());
+  const GuardStats stats = guarded.stats();
+  EXPECT_EQ(stats.fast_calls, 0u);
+  EXPECT_EQ(stats.checks_run, 0u);
+}
+
+TEST(GuardedBackend, HonestFastPathMatchesUnguardedBackend) {
+  const MatmulBackend plain("bini322", small_cutoff());
+  const GuardedBackend guarded("bini322", small_cutoff());
+  Rng rng(2);
+  Matrix<float> a(48, 48), b(48, 48), c_plain(48, 48), c_guarded(48, 48);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  plain.matmul(a.view().as_const(), b.view().as_const(), c_plain.view());
+  guarded.matmul(a.view().as_const(), b.view().as_const(), c_guarded.view());
+  // No trip: the guarded backend returns the APA product bit-for-bit.
+  EXPECT_EQ(max_abs_diff(c_plain.view(), c_guarded.view()), 0.0);
+  EXPECT_EQ(guarded.stats().total_trips(), 0u);
+}
+
+TEST(GuardedBackend, CheckPeriodSamplesVerifications) {
+  GuardPolicy policy;
+  policy.check_period = 3;
+  const GuardedBackend guarded("bini322", small_cutoff(), policy);
+  Rng rng(3);
+  Matrix<float> a(48, 48), b(48, 48), c(48, 48);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  for (int call = 0; call < 9; ++call) {
+    guarded.matmul(a.view().as_const(), b.view().as_const(), c.view());
+  }
+  const GuardStats stats = guarded.stats();
+  EXPECT_EQ(stats.fast_calls, 9u);
+  EXPECT_EQ(stats.checks_run, 3u);  // calls 0, 3, 6
+}
+
+TEST(GuardedBackend, ResetStatsClearsCounters) {
+  GuardedBackend guarded("bini322", small_cutoff(0.5));
+  Rng rng(4);
+  Matrix<float> a(48, 48), b(48, 48), c(48, 48);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  guarded.matmul(a.view().as_const(), b.view().as_const(), c.view());
+  EXPECT_GT(guarded.stats().total_trips(), 0u);
+  guarded.reset_stats();
+  EXPECT_EQ(guarded.stats().total_trips(), 0u);
+  EXPECT_EQ(guarded.stats().fast_calls, 0u);
+}
+
+TEST(GuardedBackend, SharedStateSurvivesCopies) {
+  // Backends are copied by value into models; guard state must stay global so
+  // trips observed through one copy quarantine the shape for all copies.
+  GuardPolicy policy;
+  policy.quarantine_after = 1;
+  const GuardedBackend original("bini322", small_cutoff(0.5), policy);
+  const GuardedBackend copy = original;
+  Rng rng(5);
+  Matrix<float> a(48, 48), b(48, 48), c(48, 48);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  copy.matmul(a.view().as_const(), b.view().as_const(), c.view());
+  EXPECT_TRUE(original.is_quarantined(48, 48, 48));
+  EXPECT_EQ(original.stats().total_trips(), 1u);
+}
+
+TEST(GuardedBackend, TransposedProductsAreVerifiedAndCorrected) {
+  // dW = x^T dy is the backward-pass shape; a corrupt lambda there must be
+  // caught through the transpose handling too.
+  const GuardedBackend guarded("bini322", small_cutoff(0.5));
+  Rng rng(6);
+  Matrix<float> x(48, 40), dy(48, 56), dw(40, 56), ref(40, 56);
+  fill_random_uniform<float>(x.view(), rng);
+  fill_random_uniform<float>(dy.view(), rng);
+  guarded.matmul(x.view().as_const(), dy.view().as_const(), dw.view(),
+                 /*transpose_a=*/true);
+  blas::gemm<float>(blas::Trans::kYes, blas::Trans::kNo, 40, 56, 48, 1.0f, x.data(),
+                    x.ld(), dy.data(), dy.ld(), 0.0f, ref.data(), ref.ld());
+  EXPECT_EQ(guarded.stats().trips_tolerance, 1u);
+  EXPECT_LT(relative_frobenius_error(dw.view(), ref.view()), 1e-5);
+}
+
+TEST(GuardedBackend, PolymorphicUseInsideMlp) {
+  // The shared_ptr constructor must preserve the wrapper: training through the
+  // Mlp drives the guard, visible in its counters.
+  auto guarded = std::make_shared<const GuardedBackend>("bini322", small_cutoff(0.5));
+  MlpConfig config;
+  config.layer_sizes = {40, 48, 48, 10};
+  Mlp mlp(config, guarded, std::make_shared<const MatmulBackend>("classical"));
+
+  Rng rng(7);
+  Matrix<float> x(48, 40);
+  fill_random_uniform<float>(x.view(), rng);
+  std::vector<int> labels(48);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 10);
+  (void)mlp.train_step(x.view().as_const(), labels);
+  EXPECT_GT(guarded->stats().fast_calls, 0u);
+  EXPECT_GT(guarded->stats().total_trips(), 0u);
+}
+
+}  // namespace
+}  // namespace apa::nn

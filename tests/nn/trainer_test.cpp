@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "data/synthetic_mnist.h"
+#include "support/rng.h"
 
 namespace apa::nn {
 namespace {
@@ -26,6 +27,7 @@ TEST(Trainer, EpochStatsFieldsConsistent) {
   auto mlp = tiny_mlp();
   const auto stats = train_epoch(mlp, data, 100, nullptr);
   EXPECT_EQ(stats.steps, 2);  // 250 / 100, partial batch dropped
+  EXPECT_EQ(stats.dropped_samples, 50);
   EXPECT_GT(stats.mean_loss, 0);
   EXPECT_GT(stats.seconds, 0);
 }
@@ -36,6 +38,23 @@ TEST(Trainer, BatchLargerThanDatasetRunsNoSteps) {
   const auto stats = train_epoch(mlp, data, 100, nullptr);
   EXPECT_EQ(stats.steps, 0);
   EXPECT_EQ(stats.mean_loss, 0);
+  EXPECT_EQ(stats.dropped_samples, 50);  // every sample misses the fixed batch
+}
+
+TEST(Trainer, GuardedEpochMatchesUnguardedWhenDisabled) {
+  auto data_a = tiny_dataset(300);
+  auto data_b = tiny_dataset(300);
+  auto mlp_a = tiny_mlp();
+  auto mlp_b = tiny_mlp();
+  Rng rng_a(7), rng_b(7);
+  const auto plain = train_epoch(mlp_a, data_a, 100, &rng_a);
+  TrainGuardOptions guard;  // enabled defaults to false
+  TrainGuardReport report;
+  const auto guarded = train_epoch(mlp_b, data_b, 100, &rng_b, guard, &report);
+  EXPECT_DOUBLE_EQ(plain.mean_loss, guarded.mean_loss);
+  EXPECT_EQ(plain.dropped_samples, guarded.dropped_samples);
+  EXPECT_EQ(report.recoveries, 0);
+  EXPECT_EQ(report.checkpoints_written, 0);
 }
 
 TEST(Trainer, DeterministicWithSameShuffleSeed) {
