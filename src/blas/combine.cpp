@@ -149,6 +149,68 @@ void linear_combination_streaming(std::span<const Scaled<T>> terms, MatrixView<T
   }
 }
 
+namespace {
+
+/// Tile-blocked transposed gather: inside a kTile x kTile tile both Y rows and
+/// the transposed input's rows fit in cache, so the strided reads stay
+/// cache-line coherent. First term writes, the rest accumulate.
+template <class T>
+void transposed_rows(std::span<const Scaled<T>> terms, MatrixView<T> y, index_t row0,
+                     index_t row1) {
+  constexpr index_t kTile = 32;
+  const index_t cols = y.cols;
+  for (index_t i0 = row0; i0 < row1; i0 += kTile) {
+    const index_t i1 = std::min(i0 + kTile, row1);
+    for (index_t j0 = 0; j0 < cols; j0 += kTile) {
+      const index_t j1 = std::min(j0 + kTile, cols);
+      if (terms.empty()) {
+        for (index_t i = i0; i < i1; ++i) {
+          T* out = &y(i, 0);
+          for (index_t j = j0; j < j1; ++j) out[j] = T{0};
+        }
+        continue;
+      }
+      const T c0 = terms[0].coeff;
+      for (index_t i = i0; i < i1; ++i) {
+        T* out = &y(i, 0);
+        const auto& x0 = terms[0].view;
+        for (index_t j = j0; j < j1; ++j) out[j] = c0 * x0(j, i);
+      }
+      for (std::size_t t = 1; t < terms.size(); ++t) {
+        const T ct = terms[t].coeff;
+        const auto& xt = terms[t].view;
+        for (index_t i = i0; i < i1; ++i) {
+          T* out = &y(i, 0);
+          for (index_t j = j0; j < j1; ++j) out[j] += ct * xt(j, i);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+void linear_combination_transposed(std::span<const Scaled<T>> terms, MatrixView<T> y,
+                                   int num_threads) {
+  for (const auto& t : terms) {
+    APA_CHECK(t.view.rows == y.cols && t.view.cols == y.rows);
+  }
+  if (num_threads <= 1 || y.rows < 2 * num_threads) {
+    transposed_rows(terms, y, 0, y.rows);
+    return;
+  }
+#pragma omp parallel num_threads(num_threads)
+  {
+    const int tid = omp_get_thread_num();
+    const int nth = omp_get_num_threads();
+    const index_t chunk = (y.rows + nth - 1) / nth;
+    const index_t row0 = std::min<index_t>(tid * chunk, y.rows);
+    const index_t row1 = std::min<index_t>(row0 + chunk, y.rows);
+    transposed_rows(terms, y, row0, row1);
+  }
+}
+
 template void linear_combination<float>(std::span<const Scaled<float>>, MatrixView<float>,
                                         int);
 template void linear_combination<double>(std::span<const Scaled<double>>,
@@ -157,5 +219,9 @@ template void linear_combination_streaming<float>(std::span<const Scaled<float>>
                                                   MatrixView<float>, int);
 template void linear_combination_streaming<double>(std::span<const Scaled<double>>,
                                                    MatrixView<double>, int);
+template void linear_combination_transposed<float>(std::span<const Scaled<float>>,
+                                                   MatrixView<float>, int);
+template void linear_combination_transposed<double>(std::span<const Scaled<double>>,
+                                                    MatrixView<double>, int);
 
 }  // namespace apa::blas

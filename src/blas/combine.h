@@ -37,6 +37,15 @@ template <class T>
 void linear_combination_streaming(std::span<const Scaled<T>> terms, MatrixView<T> y,
                                   int num_threads = 1);
 
+/// Y = sum of terms where every term's view is stored TRANSPOSED:
+/// y(i, j) = sum_t coeff[t] * view_t(j, i). All views must have Y's shape
+/// transposed. Used by the APA executor's combine stage when the operand
+/// blocks flow through the recursion as zero-copy transposed views; the
+/// gather is tile-blocked so both Y and the inputs stream cache-line-coherently.
+template <class T>
+void linear_combination_transposed(std::span<const Scaled<T>> terms, MatrixView<T> y,
+                                   int num_threads = 1);
+
 /// Convenience overload.
 template <class T>
 void linear_combination(const std::vector<Scaled<T>>& terms, MatrixView<T> y,
@@ -52,6 +61,10 @@ extern template void linear_combination<double>(std::span<const Scaled<double>>,
 extern template void linear_combination_streaming<float>(std::span<const Scaled<float>>,
                                                          MatrixView<float>, int);
 extern template void linear_combination_streaming<double>(
+    std::span<const Scaled<double>>, MatrixView<double>, int);
+extern template void linear_combination_transposed<float>(
+    std::span<const Scaled<float>>, MatrixView<float>, int);
+extern template void linear_combination_transposed<double>(
     std::span<const Scaled<double>>, MatrixView<double>, int);
 
 }  // namespace apa::blas

@@ -1,82 +1,9 @@
 #include "blas/gemm.h"
 
-#include <omp.h>
-
-#include <algorithm>
-#include <vector>
-
-#include "blas/microkernel.h"
-#include "blas/packing.h"
-#include "support/aligned.h"
+#include "blas/plan.h"
+#include "support/check.h"
 
 namespace apa::blas {
-namespace {
-
-using detail::MicroShape;
-
-/// Cache-blocking parameters (sized for ~32 KB L1 / ~256 KB-1 MB L2); MC/NC
-/// are derived as register-tile multiples so they track the SIMD width.
-template <class T>
-struct BlockShape {
-  static constexpr index_t kMc = (128 / MicroShape<T>::kMr) * MicroShape<T>::kMr;
-  static constexpr index_t kKc = 256;
-  static constexpr index_t kNc = (2048 / MicroShape<T>::kNr) * MicroShape<T>::kNr;
-};
-
-/// Macro-kernel: multiply a packed mc x kc block of A with a packed kc x nc
-/// block of B into C (row0/col0 offsets), applying alpha and beta.
-template <class T>
-void macro_kernel(index_t mc, index_t nc, index_t kc, T alpha, const T* a_packed,
-                  const T* b_packed, T beta, T* c, index_t ldc) {
-  constexpr index_t mr = MicroShape<T>::kMr;
-  constexpr index_t nr = MicroShape<T>::kNr;
-  for (index_t j = 0; j < nc; j += nr) {
-    const index_t nb = std::min(nr, nc - j);
-    const T* b_panel = b_packed + (j / nr) * kc * nr;
-    for (index_t i = 0; i < mc; i += mr) {
-      const index_t mb = std::min(mr, mc - i);
-      const T* a_panel = a_packed + (i / mr) * kc * mr;
-      T* c_tile = c + i * ldc + j;
-      if (mb == mr && nb == nr) {
-        detail::microkernel(kc, alpha, a_panel, b_panel, beta, c_tile, ldc);
-      } else {
-        detail::microkernel_edge(kc, mb, nb, alpha, a_panel, b_panel, beta, c_tile, ldc);
-      }
-    }
-  }
-}
-
-/// Single-threaded blocked GEMM over a column range [n0, n0+n) of C.
-template <class T>
-void gemm_stripe(bool ta, bool tb, index_t m, index_t n0, index_t n, index_t k, T alpha,
-                 const T* a, index_t lda, const T* b, index_t ldb, T beta, T* c,
-                 index_t ldc) {
-  constexpr index_t mr = MicroShape<T>::kMr;
-  constexpr index_t nr = MicroShape<T>::kNr;
-  constexpr index_t mc_max = BlockShape<T>::kMc;
-  constexpr index_t kc_max = BlockShape<T>::kKc;
-  constexpr index_t nc_max = BlockShape<T>::kNc;
-
-  AlignedBuffer<T> a_buf(static_cast<std::size_t>(mc_max) * kc_max + mr * kc_max);
-  AlignedBuffer<T> b_buf(static_cast<std::size_t>(kc_max) * nc_max + nr * kc_max);
-
-  for (index_t jc = 0; jc < n; jc += nc_max) {
-    const index_t nc = std::min(nc_max, n - jc);
-    for (index_t pc = 0; pc < k; pc += kc_max) {
-      const index_t kc = std::min(kc_max, k - pc);
-      const T beta_eff = (pc == 0) ? beta : T{1};
-      detail::pack_b(tb, b, ldb, pc, n0 + jc, kc, nc, b_buf.data());
-      for (index_t ic = 0; ic < m; ic += mc_max) {
-        const index_t mc = std::min(mc_max, m - ic);
-        detail::pack_a(ta, a, lda, ic, pc, mc, kc, a_buf.data());
-        macro_kernel(mc, nc, kc, alpha, a_buf.data(), b_buf.data(), beta_eff,
-                     c + ic * ldc + (n0 + jc), ldc);
-      }
-    }
-  }
-}
-
-}  // namespace
 
 template <class T>
 void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha, const T* a,
@@ -92,31 +19,12 @@ void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha, const T*
     }
     return;
   }
-
   const bool tra = (ta == Trans::kYes);
   const bool trb = (tb == Trans::kYes);
-  constexpr index_t nr = MicroShape<T>::kNr;
-
-  // Column-stripe parallelism: thread t owns a contiguous range of C columns
-  // (and the matching B panel); A is packed redundantly, an O(m*k / (m*k*n/p))
-  // overhead that vanishes for the dimensions where threading pays off.
-  const index_t min_stripe = nr;
-  const int usable = static_cast<int>(std::min<index_t>(num_threads, (n + min_stripe - 1) / min_stripe));
-  if (usable <= 1) {
-    gemm_stripe(tra, trb, m, 0, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-    return;
-  }
-
-  const index_t stripes = usable;
-  const index_t per = ((n + stripes - 1) / stripes + nr - 1) / nr * nr;
-#pragma omp parallel for num_threads(usable) schedule(static)
-  for (index_t s = 0; s < stripes; ++s) {
-    const index_t n0 = s * per;
-    if (n0 < n) {
-      const index_t nn = std::min(per, n - n0);
-      gemm_stripe(tra, trb, m, n0, nn, k, alpha, a, lda, b, ldb, beta, c, ldc);
-    }
-  }
+  const MatrixView<const T> av{a, tra ? k : m, tra ? m : k, lda};
+  const MatrixView<const T> bv{b, trb ? n : k, trb ? k : n, ldb};
+  gemm_planned<T>(ta, av, nullptr, tb, bv, nullptr, MatrixView<T>{c, m, n, ldc}, alpha,
+                  beta, Epilogue<T>{}, num_threads);
 }
 
 template <class T>

@@ -1,6 +1,7 @@
 #pragma once
 // Dense GEMM (row-major) built from scratch: packed, cache-blocked, SIMD
-// microkernel, optional OpenMP column-stripe parallelism.
+// microkernel, optional OpenMP shared-pack parallelism (the engine lives in
+// blas/plan.cpp; this entry point is a thin forwarder to gemm_planned).
 //
 //   C = alpha * op(A) * op(B) + beta * C
 //

@@ -2,10 +2,13 @@
 
 #include <omp.h>
 
+#include <map>
 #include <vector>
 
 #include "blas/combine.h"
 #include "blas/gemm.h"
+#include "blas/plan.h"
+#include "blas/transpose.h"
 #include "core/params.h"
 #include "support/aligned.h"
 #include "support/pool.h"
@@ -15,13 +18,37 @@ namespace {
 
 using Levels = std::span<const EvaluatedRule* const>;
 
+/// One logical GEMM operand flowing through the recursion: a stored row-major
+/// view plus a transpose flag (`trans` means the logical operand is the
+/// transpose of the stored view). Sub-blocks of a transposed operand stay
+/// zero-copy: taking logical block (i, j) just takes stored block (j, i).
+/// The transpose is finally resolved for free inside the gemm packing gather.
 template <class T>
-void run_chain(Levels levels, MatrixView<const T> a, MatrixView<const T> b,
-               MatrixView<T> c, Strategy strategy, int num_threads);
+struct Operand {
+  MatrixView<const T> view;
+  bool trans = false;
+
+  [[nodiscard]] index_t rows() const { return trans ? view.cols : view.rows; }
+  [[nodiscard]] index_t cols() const { return trans ? view.rows : view.cols; }
+
+  /// Logical sub-block of size r x c starting at logical (i0, j0).
+  [[nodiscard]] Operand block(index_t i0, index_t j0, index_t r, index_t c) const {
+    return trans ? Operand{view.block(j0, i0, c, r), true}
+                 : Operand{view.block(i0, j0, r, c), false};
+  }
+
+  [[nodiscard]] blas::Trans trans_flag() const {
+    return trans ? blas::Trans::kYes : blas::Trans::kNo;
+  }
+};
 
 template <class T>
-MatrixView<const T> input_block(MatrixView<const T> mat, index_t entry, index_t grid_cols,
-                                index_t block_rows, index_t block_cols) {
+void run_chain(Levels levels, Operand<T> a, Operand<T> b, MatrixView<T> c,
+               Strategy strategy, int num_threads);
+
+template <class T>
+Operand<T> input_block(Operand<T> mat, index_t entry, index_t grid_cols,
+                       index_t block_rows, index_t block_cols) {
   const index_t r = entry / grid_cols;
   const index_t c = entry % grid_cols;
   return mat.block(r * block_rows, c * block_cols, block_rows, block_cols);
@@ -31,8 +58,8 @@ MatrixView<const T> input_block(MatrixView<const T> mat, index_t entry, index_t 
 template <class T>
 class LevelRunner {
  public:
-  LevelRunner(Levels levels, MatrixView<const T> a, MatrixView<const T> b,
-              MatrixView<T> c, Strategy strategy, int num_threads)
+  LevelRunner(Levels levels, Operand<T> a, Operand<T> b, MatrixView<T> c,
+              Strategy strategy, int num_threads)
       : levels_(levels),
         rule_(*levels.front()),
         a_(a),
@@ -40,10 +67,12 @@ class LevelRunner {
         c_(c),
         strategy_(strategy),
         threads_(std::max(1, num_threads)),
-        bm_(a.rows / rule_.m),
-        bk_(a.cols / rule_.k),
-        bn_(b.cols / rule_.n),
-        products_(rule_.rank * bm_, bn_) {}
+        bm_(a.rows() / rule_.m),
+        bk_(a.cols() / rule_.k),
+        bn_(b.cols() / rule_.n),
+        products_(rule_.rank * bm_, bn_) {
+    if (levels_.size() == 1) prepack_shared_blocks();
+  }
 
   void run() {
     switch (strategy_) {
@@ -91,48 +120,85 @@ class LevelRunner {
     return products_.view().block(l * bm_, 0, bm_, bn_);
   }
 
+  /// At the bottom level every product is a direct gemm, and any input block
+  /// aliased by 2+ bare single-unit terms would be re-packed by each of those
+  /// gemms. Pack each such block once up front; the packs are read-only during
+  /// the (possibly concurrent) product computations.
+  void prepack_shared_blocks() {
+    std::map<index_t, int> a_uses, b_uses;
+    for (index_t l = 0; l < rule_.rank; ++l) {
+      const auto& ut = rule_.u_terms[static_cast<std::size_t>(l)];
+      const auto& vt = rule_.v_terms[static_cast<std::size_t>(l)];
+      if (ut.size() == 1 && ut[0].second == 1.0) ++a_uses[ut[0].first];
+      if (vt.size() == 1 && vt[0].second == 1.0) ++b_uses[vt[0].first];
+    }
+    for (const auto& [entry, uses] : a_uses) {
+      if (uses < 2) continue;
+      const Operand<T> blk = input_block(a_, entry, rule_.k, bm_, bk_);
+      a_packs_.emplace(entry, blas::PackedPanel<T>::pack_a(blk.trans, blk.view));
+    }
+    for (const auto& [entry, uses] : b_uses) {
+      if (uses < 2) continue;
+      const Operand<T> blk = input_block(b_, entry, rule_.n, bk_, bn_);
+      b_packs_.emplace(entry, blas::PackedPanel<T>::pack_b(blk.trans, blk.view));
+    }
+  }
+
+  [[nodiscard]] const blas::PackedPanel<T>* find_pack(
+      const std::map<index_t, blas::PackedPanel<T>>& packs, index_t entry) const {
+    const auto it = packs.find(entry);
+    return it == packs.end() ? nullptr : &it->second;
+  }
+
+  /// Forms one linear-combination operand: aliases the input block (keeping
+  /// its transpose flag) for a bare single-unit term, otherwise materializes
+  /// a plain row-major temporary via the (transposed) write-once combine.
+  Operand<T> form_operand(const std::vector<std::pair<index_t, double>>& terms_in,
+                          Operand<T> in, index_t grid_cols, index_t rows, index_t cols,
+                          PooledMatrix<T>& temp, int threads) const {
+    if (terms_in.size() == 1 && terms_in[0].second == 1.0) {
+      return input_block(in, terms_in[0].first, grid_cols, rows, cols);
+    }
+    std::vector<blas::Scaled<T>> terms;
+    terms.reserve(terms_in.size());
+    for (const auto& [entry, coeff] : terms_in) {
+      terms.push_back(
+          {static_cast<T>(coeff), input_block(in, entry, grid_cols, rows, cols).view});
+    }
+    temp = PooledMatrix<T>(rows, cols);
+    if (in.trans) {
+      blas::linear_combination_transposed<T>(terms, temp.view(), threads);
+    } else {
+      blas::linear_combination<T>(terms, temp.view(), threads);
+    }
+    return Operand<T>{temp.view().as_const(), false};
+  }
+
   /// Forms A_l and B_l (skipping the copy when a combination is a single
   /// unit-coefficient term) and multiplies into M_l.
   void compute_product(index_t l, int threads) {
     const auto& ut = rule_.u_terms[static_cast<std::size_t>(l)];
     const auto& vt = rule_.v_terms[static_cast<std::size_t>(l)];
 
-    PooledMatrix<T> a_temp;
-    MatrixView<const T> a_op;
-    if (ut.size() == 1 && ut[0].second == 1.0) {
-      a_op = input_block(a_, ut[0].first, rule_.k, bm_, bk_);
-    } else {
-      std::vector<blas::Scaled<T>> terms;
-      terms.reserve(ut.size());
-      for (const auto& [entry, coeff] : ut) {
-        terms.push_back({static_cast<T>(coeff), input_block(a_, entry, rule_.k, bm_, bk_)});
-      }
-      a_temp = PooledMatrix<T>(bm_, bk_);
-      blas::linear_combination<T>(terms, a_temp.view(), threads);
-      a_op = a_temp.view();
-    }
+    PooledMatrix<T> a_temp, b_temp;
+    const Operand<T> a_op = form_operand(ut, a_, rule_.k, bm_, bk_, a_temp, threads);
+    const Operand<T> b_op = form_operand(vt, b_, rule_.n, bk_, bn_, b_temp, threads);
 
-    PooledMatrix<T> b_temp;
-    MatrixView<const T> b_op;
-    if (vt.size() == 1 && vt[0].second == 1.0) {
-      b_op = input_block(b_, vt[0].first, rule_.n, bk_, bn_);
-    } else {
-      std::vector<blas::Scaled<T>> terms;
-      terms.reserve(vt.size());
-      for (const auto& [entry, coeff] : vt) {
-        terms.push_back({static_cast<T>(coeff), input_block(b_, entry, rule_.n, bk_, bn_)});
-      }
-      b_temp = PooledMatrix<T>(bk_, bn_);
-      blas::linear_combination<T>(terms, b_temp.view(), threads);
-      b_op = b_temp.view();
-    }
-
-    // Sub-multiplication: descend the chain while levels remain, else gemm.
+    // Sub-multiplication: descend the chain while levels remain, else gemm
+    // (reusing the prepacked panel when this product aliases a shared block).
     if (levels_.size() > 1) {
       run_chain<T>(levels_.subspan(1), a_op, b_op, product_view(l),
                    threads > 1 ? strategy_ : Strategy::kSequential, threads);
     } else {
-      blas::gemm<T>(a_op, b_op, product_view(l), T{1}, T{0}, threads);
+      const blas::PackedPanel<T>* a_pack =
+          (ut.size() == 1 && ut[0].second == 1.0) ? find_pack(a_packs_, ut[0].first)
+                                                  : nullptr;
+      const blas::PackedPanel<T>* b_pack =
+          (vt.size() == 1 && vt[0].second == 1.0) ? find_pack(b_packs_, vt[0].first)
+                                                  : nullptr;
+      blas::gemm_planned<T>(a_op.trans_flag(), a_op.view, a_pack, b_op.trans_flag(),
+                            b_op.view, b_pack, product_view(l), T{1}, T{0}, {},
+                            threads);
     }
   }
 
@@ -154,45 +220,60 @@ class LevelRunner {
 
   Levels levels_;
   const EvaluatedRule& rule_;
-  MatrixView<const T> a_;
-  MatrixView<const T> b_;
+  Operand<T> a_;
+  Operand<T> b_;
   MatrixView<T> c_;
   Strategy strategy_;
   index_t threads_;
   index_t bm_, bk_, bn_;
   PooledMatrix<T> products_;  // rank stacked (bm x bn) blocks
+  std::map<index_t, blas::PackedPanel<T>> a_packs_, b_packs_;  // bottom level only
 };
 
 template <class T>
-void run_chain(Levels levels, MatrixView<const T> a, MatrixView<const T> b,
-               MatrixView<T> c, Strategy strategy, int num_threads) {
-  APA_CHECK(a.cols == b.rows && c.rows == a.rows && c.cols == b.cols);
+void run_chain(Levels levels, Operand<T> a, Operand<T> b, MatrixView<T> c,
+               Strategy strategy, int num_threads) {
+  APA_CHECK(a.cols() == b.rows() && c.rows == a.rows() && c.cols == b.cols());
+  const auto fallback_gemm = [&] {
+    blas::gemm_planned<T>(a.trans_flag(), a.view, nullptr, b.trans_flag(), b.view,
+                          nullptr, c, T{1}, T{0}, {}, num_threads);
+  };
   if (levels.empty()) {
-    blas::gemm<T>(a, b, c, T{1}, T{0}, num_threads);
+    fallback_gemm();
     return;
   }
   const EvaluatedRule& rule = *levels.front();
 
   // Dimensions too small to split: skip this level (and any further ones).
-  if (a.rows < rule.m || a.cols < rule.k || b.cols < rule.n) {
-    blas::gemm<T>(a, b, c, T{1}, T{0}, num_threads);
+  if (a.rows() < rule.m || a.cols() < rule.k || b.cols() < rule.n) {
+    fallback_gemm();
     return;
   }
 
   // Dynamic padding: round each dimension up to a block multiple, run on the
   // padded copies, then crop. Padding is per level; deeper levels pad their
-  // own (smaller) operands as needed.
-  if (a.rows % rule.m != 0 || a.cols % rule.k != 0 || b.cols % rule.n != 0) {
-    const index_t pm = (a.rows + rule.m - 1) / rule.m * rule.m;
-    const index_t pk = (a.cols + rule.k - 1) / rule.k * rule.k;
-    const index_t pn = (b.cols + rule.n - 1) / rule.n * rule.n;
+  // own (smaller) operands as needed. Transposed operands resolve here via a
+  // blocked transpose into the padded buffer.
+  if (a.rows() % rule.m != 0 || a.cols() % rule.k != 0 || b.cols() % rule.n != 0) {
+    const index_t pm = (a.rows() + rule.m - 1) / rule.m * rule.m;
+    const index_t pk = (a.cols() + rule.k - 1) / rule.k * rule.k;
+    const index_t pn = (b.cols() + rule.n - 1) / rule.n * rule.n;
     PooledMatrix<T> a_pad(pm, pk), b_pad(pk, pn), c_pad(pm, pn);
     a_pad.set_zero();
     b_pad.set_zero();
-    copy(a, a_pad.view().block(0, 0, a.rows, a.cols));
-    copy(b, b_pad.view().block(0, 0, b.rows, b.cols));
-    run_chain<T>(levels, a_pad.view().as_const(), b_pad.view().as_const(), c_pad.view(),
-                 strategy, num_threads);
+    if (a.trans) {
+      blas::transpose<T>(a.view, a_pad.view().block(0, 0, a.rows(), a.cols()));
+    } else {
+      copy(a.view, a_pad.view().block(0, 0, a.rows(), a.cols()));
+    }
+    if (b.trans) {
+      blas::transpose<T>(b.view, b_pad.view().block(0, 0, b.rows(), b.cols()));
+    } else {
+      copy(b.view, b_pad.view().block(0, 0, b.rows(), b.cols()));
+    }
+    run_chain<T>(levels, Operand<T>{a_pad.view().as_const(), false},
+                 Operand<T>{b_pad.view().as_const(), false}, c_pad.view(), strategy,
+                 num_threads);
     copy(c_pad.view().block(0, 0, c.rows, c.cols).as_const(), c);
     return;
   }
@@ -215,23 +296,28 @@ const char* to_string(Strategy s) {
 
 template <class T>
 void multiply(const EvaluatedRule& rule, MatrixView<const T> a, MatrixView<const T> b,
-              MatrixView<T> c, int steps, Strategy strategy, int num_threads) {
+              MatrixView<T> c, int steps, Strategy strategy, int num_threads,
+              bool transpose_a, bool transpose_b) {
   std::vector<const EvaluatedRule*> levels(static_cast<std::size_t>(std::max(0, steps)),
                                            &rule);
-  run_chain<T>(levels, a, b, c, strategy, num_threads);
+  run_chain<T>(levels, Operand<T>{a, transpose_a}, Operand<T>{b, transpose_b}, c,
+               strategy, num_threads);
 }
 
 template <class T>
 void multiply_nonstationary(std::span<const EvaluatedRule* const> levels,
                             MatrixView<const T> a, MatrixView<const T> b,
-                            MatrixView<T> c, Strategy strategy, int num_threads) {
+                            MatrixView<T> c, Strategy strategy, int num_threads,
+                            bool transpose_a, bool transpose_b) {
   for (const EvaluatedRule* level : levels) APA_CHECK(level != nullptr);
-  run_chain<T>(levels, a, b, c, strategy, num_threads);
+  run_chain<T>(levels, Operand<T>{a, transpose_a}, Operand<T>{b, transpose_b}, c,
+               strategy, num_threads);
 }
 
 template <class T>
 void multiply(const Rule& rule, MatrixView<const T> a, MatrixView<const T> b,
-              MatrixView<T> c, const ExecOptions& options) {
+              MatrixView<T> c, const ExecOptions& options, bool transpose_a,
+              bool transpose_b) {
   double lambda_value = options.lambda;
   if (lambda_value == 0.0) {
     const AlgorithmParams params = analyze(rule);
@@ -239,28 +325,30 @@ void multiply(const Rule& rule, MatrixView<const T> a, MatrixView<const T> b,
     lambda_value = params.optimal_lambda(bits, std::max(1, options.steps));
   }
   const EvaluatedRule evaluated = EvaluatedRule::from(rule, lambda_value);
-  multiply<T>(evaluated, a, b, c, options.steps, options.strategy, options.num_threads);
+  multiply<T>(evaluated, a, b, c, options.steps, options.strategy, options.num_threads,
+              transpose_a, transpose_b);
 }
 
 template void multiply<float>(const Rule&, MatrixView<const float>,
                               MatrixView<const float>, MatrixView<float>,
-                              const ExecOptions&);
+                              const ExecOptions&, bool, bool);
 template void multiply<double>(const Rule&, MatrixView<const double>,
                                MatrixView<const double>, MatrixView<double>,
-                               const ExecOptions&);
+                               const ExecOptions&, bool, bool);
 template void multiply<float>(const EvaluatedRule&, MatrixView<const float>,
                               MatrixView<const float>, MatrixView<float>, int, Strategy,
-                              int);
+                              int, bool, bool);
 template void multiply<double>(const EvaluatedRule&, MatrixView<const double>,
                                MatrixView<const double>, MatrixView<double>, int,
-                               Strategy, int);
+                               Strategy, int, bool, bool);
 template void multiply_nonstationary<float>(std::span<const EvaluatedRule* const>,
                                             MatrixView<const float>,
                                             MatrixView<const float>, MatrixView<float>,
-                                            Strategy, int);
+                                            Strategy, int, bool, bool);
 template void multiply_nonstationary<double>(std::span<const EvaluatedRule* const>,
                                              MatrixView<const double>,
                                              MatrixView<const double>,
-                                             MatrixView<double>, Strategy, int);
+                                             MatrixView<double>, Strategy, int, bool,
+                                             bool);
 
 }  // namespace apa::core

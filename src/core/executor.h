@@ -35,16 +35,22 @@ struct ExecOptions {
   int num_threads = 1;
 };
 
-/// c = a * b using `rule` (approximately, for APA rules).
+/// c = op(a) * op(b) using `rule` (approximately, for APA rules).
+/// `transpose_a` / `transpose_b` take the logical transpose of the stored
+/// row-major view with zero copies: blocks flow through the recursion as
+/// transposed views and the transpose is resolved inside the gemm packing
+/// gather (multi-term combinations use a tile-blocked transposed combine).
 template <class T>
 void multiply(const Rule& rule, MatrixView<const T> a, MatrixView<const T> b,
-              MatrixView<T> c, const ExecOptions& options = {});
+              MatrixView<T> c, const ExecOptions& options = {},
+              bool transpose_a = false, bool transpose_b = false);
 
 /// Same, with a pre-evaluated rule (lambda already fixed); cheaper when the
 /// same rule is applied repeatedly, e.g. inside a training loop.
 template <class T>
 void multiply(const EvaluatedRule& rule, MatrixView<const T> a, MatrixView<const T> b,
-              MatrixView<T> c, int steps, Strategy strategy, int num_threads);
+              MatrixView<T> c, int steps, Strategy strategy, int num_threads,
+              bool transpose_a = false, bool transpose_b = false);
 
 /// Non-stationary (uniform) recursion, paper section 6: level i of the
 /// recursion applies levels[i]; sub-multiplications below the last level fall
@@ -55,26 +61,28 @@ void multiply(const EvaluatedRule& rule, MatrixView<const T> a, MatrixView<const
 template <class T>
 void multiply_nonstationary(std::span<const EvaluatedRule* const> levels,
                             MatrixView<const T> a, MatrixView<const T> b,
-                            MatrixView<T> c, Strategy strategy, int num_threads);
+                            MatrixView<T> c, Strategy strategy, int num_threads,
+                            bool transpose_a = false, bool transpose_b = false);
 
 extern template void multiply<float>(const Rule&, MatrixView<const float>,
                                      MatrixView<const float>, MatrixView<float>,
-                                     const ExecOptions&);
+                                     const ExecOptions&, bool, bool);
 extern template void multiply<double>(const Rule&, MatrixView<const double>,
                                       MatrixView<const double>, MatrixView<double>,
-                                      const ExecOptions&);
+                                      const ExecOptions&, bool, bool);
 extern template void multiply<float>(const EvaluatedRule&, MatrixView<const float>,
                                      MatrixView<const float>, MatrixView<float>, int,
-                                     Strategy, int);
+                                     Strategy, int, bool, bool);
 extern template void multiply<double>(const EvaluatedRule&, MatrixView<const double>,
                                       MatrixView<const double>, MatrixView<double>, int,
-                                      Strategy, int);
+                                      Strategy, int, bool, bool);
 extern template void multiply_nonstationary<float>(std::span<const EvaluatedRule* const>,
                                                    MatrixView<const float>,
                                                    MatrixView<const float>,
-                                                   MatrixView<float>, Strategy, int);
+                                                   MatrixView<float>, Strategy, int,
+                                                   bool, bool);
 extern template void multiply_nonstationary<double>(
     std::span<const EvaluatedRule* const>, MatrixView<const double>,
-    MatrixView<const double>, MatrixView<double>, Strategy, int);
+    MatrixView<const double>, MatrixView<double>, Strategy, int, bool, bool);
 
 }  // namespace apa::core

@@ -1,6 +1,6 @@
 #include "core/fastmm.h"
 
-#include "blas/gemm.h"
+#include "blas/plan.h"
 #include "core/registry.h"
 #include "support/check.h"
 
@@ -40,24 +40,35 @@ const AlgorithmParams& FastMatmul::params() const {
   return *params_;
 }
 
-void FastMatmul::multiply(MatrixView<const float> a, MatrixView<const float> b,
-                          MatrixView<float> c) const {
-  if (!rule_) {
-    blas::gemm<float>(a, b, c, 1.0f, 0.0f, options_.num_threads);
+namespace {
+
+template <class T>
+void multiply_impl(const std::optional<EvaluatedRule>& evaluated,
+                   const FastMatmulOptions& options, MatrixView<const T> a,
+                   MatrixView<const T> b, MatrixView<T> c, bool transpose_a,
+                   bool transpose_b) {
+  if (!evaluated) {
+    blas::gemm_fused<T>(transpose_a ? blas::Trans::kYes : blas::Trans::kNo,
+                        transpose_b ? blas::Trans::kYes : blas::Trans::kNo, a, b, c,
+                        T{1}, T{0}, {}, options.num_threads);
     return;
   }
-  core::multiply<float>(*evaluated_, a, b, c, options_.steps, options_.strategy,
-                        options_.num_threads);
+  core::multiply<T>(*evaluated, a, b, c, options.steps, options.strategy,
+                    options.num_threads, transpose_a, transpose_b);
+}
+
+}  // namespace
+
+void FastMatmul::multiply(MatrixView<const float> a, MatrixView<const float> b,
+                          MatrixView<float> c, bool transpose_a,
+                          bool transpose_b) const {
+  multiply_impl<float>(evaluated_, options_, a, b, c, transpose_a, transpose_b);
 }
 
 void FastMatmul::multiply(MatrixView<const double> a, MatrixView<const double> b,
-                          MatrixView<double> c) const {
-  if (!rule_) {
-    blas::gemm<double>(a, b, c, 1.0, 0.0, options_.num_threads);
-    return;
-  }
-  core::multiply<double>(*evaluated_, a, b, c, options_.steps, options_.strategy,
-                         options_.num_threads);
+                          MatrixView<double> c, bool transpose_a,
+                          bool transpose_b) const {
+  multiply_impl<double>(evaluated_, options_, a, b, c, transpose_a, transpose_b);
 }
 
 }  // namespace apa::core

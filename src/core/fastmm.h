@@ -36,10 +36,15 @@ class FastMatmul {
   /// Wrap an ad-hoc rule (e.g. a designer product) directly.
   FastMatmul(Rule rule, FastMatmulOptions options = {});
 
+  /// c = op(a) * op(b); transposed operands are zero-copy (resolved in the
+  /// gemm packing gather / the executor's transposed views), never
+  /// materialized.
   void multiply(MatrixView<const float> a, MatrixView<const float> b,
-                MatrixView<float> c) const;
+                MatrixView<float> c, bool transpose_a = false,
+                bool transpose_b = false) const;
   void multiply(MatrixView<const double> a, MatrixView<const double> b,
-                MatrixView<double> c) const;
+                MatrixView<double> c, bool transpose_a = false,
+                bool transpose_b = false) const;
 
   [[nodiscard]] bool is_classical() const { return !rule_.has_value(); }
   [[nodiscard]] const std::string& algorithm() const { return name_; }

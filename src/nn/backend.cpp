@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "blas/gemm.h"
-#include "blas/transpose.h"
+#include "blas/plan.h"
 #include "core/cost_model.h"
 #include "core/registry.h"
 #include "core/transforms.h"
@@ -89,9 +88,9 @@ const core::FastMatmul* MatmulBackend::dispatch_for(index_t m, index_t k,
   return chosen;
 }
 
-void MatmulBackend::matmul(MatrixView<const float> a, MatrixView<const float> b,
-                           MatrixView<float> c, bool transpose_a,
-                           bool transpose_b) const {
+void MatmulBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> b,
+                              MatrixView<float> c, bool transpose_a, bool transpose_b,
+                              const MatmulFusion& fusion) const {
   const index_t m = transpose_a ? a.cols : a.rows;
   const index_t k = transpose_a ? a.rows : a.cols;
   const index_t kb = transpose_b ? b.cols : b.rows;
@@ -103,65 +102,24 @@ void MatmulBackend::matmul(MatrixView<const float> a, MatrixView<const float> b,
 
   const core::FastMatmul* fast = dispatch_for(m, k, n);
   if (fast == nullptr) {
-    blas::gemm<float>(transpose_a ? blas::Trans::kYes : blas::Trans::kNo,
-                      transpose_b ? blas::Trans::kYes : blas::Trans::kNo, m, n, k, 1.0f,
-                      a.data, a.ld, b.data, b.ld, 0.0f, c.data, c.ld,
-                      options_.matmul.num_threads);
+    // Classical: transposes resolve inside the packing gather, the epilogue
+    // fuses into the tile loop, and any matching prepacked panels are reused.
+    const blas::PackedPanel<float>* pa =
+        fusion.plan != nullptr ? fusion.plan->packed_a_for(m, k) : nullptr;
+    const blas::PackedPanel<float>* pb =
+        fusion.plan != nullptr ? fusion.plan->packed_b_for(k, n) : nullptr;
+    blas::gemm_planned<float>(transpose_a ? blas::Trans::kYes : blas::Trans::kNo, a, pa,
+                              transpose_b ? blas::Trans::kYes : blas::Trans::kNo, b, pb,
+                              c, 1.0f, 0.0f, fusion.epilogue,
+                              options_.matmul.num_threads);
     return;
   }
 
-  // APA executors need plain row-major operands, so transposed ones must be
-  // materialized. Two equivalent evaluations differ only in transpose traffic:
-  //   direct:  C = op(A) op(B)        copies op-transposed inputs;
-  //   swapped: C^T = op(B)^T op(A)^T  copies the *un*-transposed inputs plus C.
-  // Pick the cheaper one — e.g. dx = dy W^T on VGG-19 would otherwise copy the
-  // 25088 x 4096 weight matrix every backward pass.
-  const double direct_cost = (transpose_a ? static_cast<double>(m) * k : 0.0) +
-                             (transpose_b ? static_cast<double>(k) * n : 0.0);
-  const double swapped_cost = (transpose_a ? 0.0 : static_cast<double>(m) * k) +
-                              (transpose_b ? 0.0 : static_cast<double>(k) * n) +
-                              static_cast<double>(m) * n;
-
-  Matrix<float> at, bt;
-  if (direct_cost <= swapped_cost) {
-    MatrixView<const float> a_op = a;
-    MatrixView<const float> b_op = b;
-    if (transpose_a) {
-      at = Matrix<float>(a.cols, a.rows);
-      blas::transpose<float>(a, at.view());
-      a_op = at.view();
-    }
-    if (transpose_b) {
-      bt = Matrix<float>(b.cols, b.rows);
-      blas::transpose<float>(b, bt.view());
-      b_op = bt.view();
-    }
-    fast->multiply(a_op, b_op, c);
-    return;
-  }
-
-  // Swapped: the rule orientation for the (n, k, m) product.
-  const core::FastMatmul* fast_swapped = dispatch_for(n, k, m);
-  MatrixView<const float> left = b;   // op(B)^T as stored
-  MatrixView<const float> right = a;  // op(A)^T as stored
-  if (!transpose_b) {
-    bt = Matrix<float>(b.cols, b.rows);
-    blas::transpose<float>(b, bt.view());
-    left = bt.view();
-  }
-  if (!transpose_a) {
-    at = Matrix<float>(a.cols, a.rows);
-    blas::transpose<float>(a, at.view());
-    right = at.view();
-  }
-  Matrix<float> c_t(n, m);
-  if (fast_swapped != nullptr) {
-    fast_swapped->multiply(left, right, c_t.view());
-  } else {
-    blas::gemm<float>(left, right, c_t.view(), 1.0f, 0.0f,
-                      options_.matmul.num_threads);
-  }
-  blas::transpose<float>(c_t.view().as_const(), c);
+  // APA: the executor threads transposed views through its recursion — no
+  // operand is ever materialized. The epilogue runs as one pass after the
+  // combine stage (the executor writes C blockwise, so it cannot fuse).
+  fast->multiply(a, b, c, transpose_a, transpose_b);
+  blas::apply_epilogue<float>(fusion.epilogue, c);
 }
 
 }  // namespace apa::nn

@@ -12,13 +12,19 @@
 //   * a minimum-dimension cutoff: problems with any dimension below the
 //     cutoff fall back to classical gemm, where one recursive step cannot pay.
 //
-// APA executors consume plain row-major operands, so transposed operands are
-// materialized; the classical backend uses gemm's native transpose support.
+// Transposed operands are zero-copy on every path: the classical backend uses
+// gemm's native pack-with-transpose, and the APA executor threads transposed
+// views through its recursion (core/executor.h). Callers can additionally pass
+// a MatmulFusion — a fused epilogue (bias add / ReLU / ReLU-backward mask)
+// plus an optional prepacked-operand GemmPlan — via matmul_ex; the classical
+// path fuses the epilogue into the gemm tile loop, the APA path applies it as
+// one pass after the combine stage.
 
 #include <array>
 #include <memory>
 #include <string>
 
+#include "blas/plan.h"
 #include "core/fastmm.h"
 
 namespace apa::nn {
@@ -40,6 +46,15 @@ struct BackendOptions {
   double assumed_add_bandwidth = 8e9;  // bytes/second
 };
 
+/// Optional extras for one matmul call: an elementwise epilogue applied to C
+/// after the product, and prepacked operand panels reused across calls (only
+/// panels whose shape matches the call's op-operands are consumed; the plan is
+/// ignored on APA dispatches, which pack per sub-block).
+struct MatmulFusion {
+  blas::Epilogue<float> epilogue;
+  const blas::GemmPlan<float>* plan = nullptr;
+};
+
 class MatmulBackend {
  public:
   /// `algorithm`: "classical" or a registry name.
@@ -53,12 +68,19 @@ class MatmulBackend {
   MatmulBackend& operator=(MatmulBackend&&) = default;
 
   /// c = op(a) * op(b), where op transposes the stored row-major matrix.
-  /// Virtual so policy wrappers (e.g. GuardedBackend) can interpose; note the
-  /// NN models that store backends by value slice wrappers away — pass
-  /// wrappers through the shared_ptr constructors instead.
-  virtual void matmul(MatrixView<const float> a, MatrixView<const float> b,
-                      MatrixView<float> c, bool transpose_a = false,
-                      bool transpose_b = false) const;
+  void matmul(MatrixView<const float> a, MatrixView<const float> b,
+              MatrixView<float> c, bool transpose_a = false,
+              bool transpose_b = false) const {
+    matmul_ex(a, b, c, transpose_a, transpose_b, MatmulFusion{});
+  }
+
+  /// matmul with a fused epilogue and/or prepacked operands. Virtual so policy
+  /// wrappers (e.g. GuardedBackend) can interpose; note the NN models that
+  /// store backends by value slice wrappers away — pass wrappers through the
+  /// shared_ptr constructors instead.
+  virtual void matmul_ex(MatrixView<const float> a, MatrixView<const float> b,
+                         MatrixView<float> c, bool transpose_a, bool transpose_b,
+                         const MatmulFusion& fusion) const;
 
   [[nodiscard]] const std::string& algorithm() const { return name_; }
   [[nodiscard]] bool is_classical() const { return orientations_.empty(); }

@@ -32,17 +32,18 @@ bool GuardedBackend::is_quarantined(index_t m, index_t k, index_t n) const {
   return it != state_->trips_by_shape.end() && it->second >= policy_.quarantine_after;
 }
 
-void GuardedBackend::matmul(MatrixView<const float> a, MatrixView<const float> b,
-                            MatrixView<float> c, bool transpose_a,
-                            bool transpose_b) const {
+void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> b,
+                               MatrixView<float> c, bool transpose_a, bool transpose_b,
+                               const MatmulFusion& fusion) const {
   const index_t m = transpose_a ? a.cols : a.rows;
   const index_t k = transpose_a ? a.rows : a.cols;
   const index_t n = transpose_b ? b.rows : b.cols;
 
-  // Classical dispatches are exact; nothing to certify.
+  // Classical dispatches are exact; nothing to certify (the epilogue fuses
+  // into the gemm there).
   const core::FastMatmul* fast = dispatch_for(m, k, n);
   if (fast == nullptr) {
-    MatmulBackend::matmul(a, b, c, transpose_a, transpose_b);
+    MatmulBackend::matmul_ex(a, b, c, transpose_a, transpose_b, fusion);
     return;
   }
 
@@ -64,37 +65,48 @@ void GuardedBackend::matmul(MatrixView<const float> a, MatrixView<const float> b
     }
   }
   if (quarantined) {
-    classical_.matmul(a, b, c, transpose_a, transpose_b);
+    classical_.matmul_ex(a, b, c, transpose_a, transpose_b, fusion);
     return;
   }
 
-  MatmulBackend::matmul(a, b, c, transpose_a, transpose_b);
-  if (!check_this_call) return;
+  // The probe must certify op(A)*op(B) itself, so run the product with the
+  // epilogue held back (prepacked panels still apply) and fold it in at the
+  // end, after verification settles which product the caller receives.
+  const MatmulFusion bare{.epilogue = {}, .plan = fusion.plan};
+  MatmulBackend::matmul_ex(a, b, c, transpose_a, transpose_b, bare);
 
-  const double bound = core::ProductGuard::model_error_bound(
-      fast->params(), fast->options().precision_bits, fast->options().steps);
-  const core::ProductGuard guard(bound, policy_.guard);
-  core::GuardReport report;
-  {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    report = guard.verify(a, b, c.as_const(), state_->rng, transpose_a, transpose_b);
-    ++state_->stats.checks_run;
-    state_->stats.worst_ratio =
-        std::max(state_->stats.worst_ratio, report.worst_ratio);
-    if (report.ok) return;
-    if (report.nonfinite_output) {
-      ++state_->stats.trips_nonfinite;
-    } else {
-      ++state_->stats.trips_tolerance;
+  bool rerun = false;
+  if (check_this_call) {
+    const double bound = core::ProductGuard::model_error_bound(
+        fast->params(), fast->options().precision_bits, fast->options().steps);
+    const core::ProductGuard guard(bound, policy_.guard);
+    core::GuardReport report;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      report = guard.verify(a, b, c.as_const(), state_->rng, transpose_a, transpose_b);
+      ++state_->stats.checks_run;
+      state_->stats.worst_ratio =
+          std::max(state_->stats.worst_ratio, report.worst_ratio);
+      if (!report.ok) {
+        if (report.nonfinite_output) {
+          ++state_->stats.trips_nonfinite;
+        } else {
+          ++state_->stats.trips_tolerance;
+        }
+        ++state_->stats.fallback_reruns;
+        const int trips = ++state_->trips_by_shape[key];
+        if (trips == policy_.quarantine_after) ++state_->stats.shapes_quarantined;
+        rerun = true;
+      }
     }
-    ++state_->stats.fallback_reruns;
-    const int trips = ++state_->trips_by_shape[key];
-    if (trips == policy_.quarantine_after) ++state_->stats.shapes_quarantined;
   }
-  // Rerun with exact gemm so the caller always receives a sound product. If
-  // the *inputs* carried the non-finite values this reproduces them — that is
-  // the correct answer, and the trip counter still records the event.
-  classical_.matmul(a, b, c, transpose_a, transpose_b);
+  if (rerun) {
+    // Rerun with exact gemm so the caller always receives a sound product. If
+    // the *inputs* carried the non-finite values this reproduces them — that
+    // is the correct answer, and the trip counter still records the event.
+    classical_.matmul_ex(a, b, c, transpose_a, transpose_b, bare);
+  }
+  blas::apply_epilogue<float>(fusion.epilogue, c);
 }
 
 }  // namespace apa::nn

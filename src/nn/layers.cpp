@@ -20,22 +20,44 @@ DenseLayer::DenseLayer(index_t in_features, index_t out_features, Rng& rng)
   db_.set_zero();
 }
 
-void DenseLayer::forward(MatrixView<const float> x, MatrixView<float> y,
-                         const MatmulBackend& backend) const {
-  APA_CHECK(x.cols == weights_.rows() && y.rows == x.rows && y.cols == weights_.cols());
-  backend.matmul(x, weights_.view(), y);
-  for (index_t i = 0; i < y.rows; ++i) {
-    const float* b = bias_.data();
-    float* row = &y(i, 0);
-    for (index_t j = 0; j < y.cols; ++j) row[j] += b[j];
+const blas::GemmPlan<float>* DenseLayer::forward_plan() const {
+  if (fwd_packed_version_ != weights_version_) {
+    fwd_plan_.set_packed_b(/*trans=*/false, weights_.view().as_const());
+    fwd_packed_version_ = weights_version_;
   }
+  return &fwd_plan_;
+}
+
+const blas::GemmPlan<float>* DenseLayer::dx_plan() const {
+  if (dx_packed_version_ != weights_version_) {
+    dx_plan_.set_packed_b(/*trans=*/true, weights_.view().as_const());
+    dx_packed_version_ = weights_version_;
+  }
+  return &dx_plan_;
+}
+
+void DenseLayer::forward(MatrixView<const float> x, MatrixView<float> y,
+                         const MatmulBackend& backend, bool fuse_relu) const {
+  APA_CHECK(x.cols == weights_.rows() && y.rows == x.rows && y.cols == weights_.cols());
+  MatmulFusion fusion;
+  fusion.epilogue.kind =
+      fuse_relu ? blas::EpilogueKind::kBiasAddRelu : blas::EpilogueKind::kBiasAdd;
+  fusion.epilogue.bias = bias_.data();
+  // Pack W once per optimizer step, but only when this shape dispatches to
+  // classical gemm — the APA executor packs per sub-block and ignores plans.
+  if (backend.dispatch_for(x.rows, x.cols, y.cols) == nullptr) {
+    fusion.plan = forward_plan();
+  }
+  backend.matmul_ex(x, weights_.view(), y, false, false, fusion);
 }
 
 void DenseLayer::backward(MatrixView<const float> x, MatrixView<const float> dy,
-                          MatrixView<float>* dx, const MatmulBackend& backend) {
+                          MatrixView<float>* dx, const MatmulBackend& backend,
+                          MatrixView<const float> relu_gate) {
   APA_CHECK(x.rows == dy.rows && x.cols == weights_.rows() &&
             dy.cols == weights_.cols());
-  // dW = x^T dy (dy already carries the 1/batch factor from the loss).
+  // dW = x^T dy (dy already carries the 1/batch factor from the loss); both
+  // operands change every step, so there is nothing to prepack.
   backend.matmul(x, dy, dw_.view(), /*transpose_a=*/true);
   // db = column sums of dy.
   db_.set_zero();
@@ -46,12 +68,24 @@ void DenseLayer::backward(MatrixView<const float> x, MatrixView<const float> dy,
   }
   if (dx != nullptr) {
     APA_CHECK(dx->rows == x.rows && dx->cols == x.cols);
-    // dx = dy W^T.
-    backend.matmul(dy, weights_.view(), *dx, false, /*transpose_b=*/true);
+    // dx = dy W^T; W^T is zero-copy (resolved in the packing gather), and a
+    // non-empty relu_gate folds the previous layer's ReLU mask into the same
+    // pass.
+    MatmulFusion fusion;
+    if (relu_gate.data != nullptr) {
+      APA_CHECK(relu_gate.rows == dx->rows && relu_gate.cols == dx->cols);
+      fusion.epilogue.kind = blas::EpilogueKind::kReluGrad;
+      fusion.epilogue.gate = relu_gate;
+    }
+    if (backend.dispatch_for(dy.rows, dy.cols, x.cols) == nullptr) {
+      fusion.plan = dx_plan();
+    }
+    backend.matmul_ex(dy, weights_.view(), *dx, false, /*transpose_b=*/true, fusion);
   }
 }
 
 void DenseLayer::apply_sgd(const SgdOptions& options) {
+  ++weights_version_;  // invalidates the cached weight packs
   weight_state_.update(weights_.view(), dw_.view().as_const(), options);
   SgdOptions bias_options = options;
   bias_options.weight_decay = 0.0f;  // decay regularizes weights, not biases

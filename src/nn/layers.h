@@ -3,6 +3,7 @@
 // matmul backend, ReLU, and fused softmax + cross-entropy. Row-major
 // activations, shape (batch, features). Gradients are batch means.
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/backend.h"
@@ -15,15 +16,28 @@ namespace apa::nn {
 /// y = x * W + b. The backend performs all three matmuls of the layer
 /// (forward, dW = x^T dy, dx = dy W^T), mirroring the paper's use of APA
 /// operators for both forward and backward propagation.
+///
+/// The bias add (and optionally the ReLU / ReLU-backward mask) is fused into
+/// the matmul as an epilogue instead of a separate full-matrix pass, and on
+/// classical dispatches the weight operand is packed once per optimizer step:
+/// the layer keeps one GemmPlan per weight orientation (W for the forward, W^T
+/// for dx) and repacks lazily after the weights change — any mutation through
+/// apply_sgd or the non-const accessors bumps a version that invalidates the
+/// cached packs (checkpoint restore / rollback mutate through weights()).
 class DenseLayer {
  public:
   DenseLayer(index_t in_features, index_t out_features, Rng& rng);
 
+  /// y = x*W + b; with `fuse_relu`, y = relu(x*W + b) in the same pass.
   void forward(MatrixView<const float> x, MatrixView<float> y,
-               const MatmulBackend& backend) const;
-  /// Computes dw_/db_ and, when dx is non-null, the input gradient.
+               const MatmulBackend& backend, bool fuse_relu = false) const;
+  /// Computes dw_/db_ and, when dx is non-null, the input gradient. A
+  /// non-empty `relu_gate` (the previous layer's post-ReLU activation, same
+  /// shape as dx) fuses the ReLU-backward mask into the dx matmul:
+  /// dx = gate > 0 ? dy W^T : 0.
   void backward(MatrixView<const float> x, MatrixView<const float> dy,
-                MatrixView<float>* dx, const MatmulBackend& backend);
+                MatrixView<float>* dx, const MatmulBackend& backend,
+                MatrixView<const float> relu_gate = {});
   /// SGD update: W -= lr * dW, b -= lr * db.
   void apply_sgd(float learning_rate) { apply_sgd({.learning_rate = learning_rate}); }
   /// Full update rule incl. momentum / weight decay (decay skips the bias).
@@ -31,7 +45,10 @@ class DenseLayer {
 
   [[nodiscard]] index_t in_features() const { return weights_.rows(); }
   [[nodiscard]] index_t out_features() const { return weights_.cols(); }
-  [[nodiscard]] Matrix<float>& weights() { return weights_; }
+  [[nodiscard]] Matrix<float>& weights() {
+    ++weights_version_;  // conservative: non-const access may mutate
+    return weights_;
+  }
   [[nodiscard]] const Matrix<float>& weights() const { return weights_; }
   [[nodiscard]] const Matrix<float>& bias() const { return bias_; }
   [[nodiscard]] Matrix<float>& mutable_bias() { return bias_; }
@@ -39,12 +56,22 @@ class DenseLayer {
   [[nodiscard]] const Matrix<float>& bias_grad() const { return db_; }
 
  private:
+  /// Plan holding W packed for the forward product, repacked iff stale.
+  [[nodiscard]] const blas::GemmPlan<float>* forward_plan() const;
+  /// Plan holding W^T packed for the dx product, repacked iff stale.
+  [[nodiscard]] const blas::GemmPlan<float>* dx_plan() const;
+
   Matrix<float> weights_;  // in x out
   Matrix<float> bias_;     // 1 x out
   Matrix<float> dw_;
   Matrix<float> db_;
   SgdState weight_state_;
   SgdState bias_state_;
+  std::uint64_t weights_version_ = 1;
+  mutable blas::GemmPlan<float> fwd_plan_;  // packed B = W
+  mutable blas::GemmPlan<float> dx_plan_;   // packed B = W^T
+  mutable std::uint64_t fwd_packed_version_ = 0;
+  mutable std::uint64_t dx_packed_version_ = 0;
 };
 
 /// Elementwise max(0, x).

@@ -43,39 +43,36 @@ double Mlp::train_step(MatrixView<const float> x, const std::vector<int>& labels
   const index_t batch = x.rows;
   const std::size_t num_layers = layers_.size();
 
-  // Forward: z[i] = pre-activation of layer i, act[i] = post-ReLU input of
-  // layer i (act[0] is the batch itself; the last layer emits raw logits).
-  std::vector<Matrix<float>> z(num_layers);
-  std::vector<Matrix<float>> act(num_layers);  // act[i] consumed by layer i, i >= 1
+  // Forward: act[i] = relu(act[i-1] * W + b), fused into the matmul epilogue
+  // (act[0] consumed by layer 1; the last layer emits raw logits, bias-only).
+  // Pre-activations are not stored: the ReLU-backward gate act > 0 is
+  // equivalent to z > 0 since act = max(0, z).
+  std::vector<Matrix<float>> act(num_layers);  // act.back() holds the logits
   MatrixView<const float> current = x;
   for (std::size_t i = 0; i < num_layers; ++i) {
-    z[i] = Matrix<float>(batch, layers_[i].out_features());
-    layers_[i].forward(current, z[i].view(), backend_for(i));
-    if (i + 1 < num_layers) {
-      act[i] = Matrix<float>(batch, layers_[i].out_features());
-      ReluLayer::forward(z[i].view(), act[i].view());
-      current = act[i].view().as_const();
-    }
+    act[i] = Matrix<float>(batch, layers_[i].out_features());
+    layers_[i].forward(current, act[i].view(), backend_for(i),
+                       /*fuse_relu=*/i + 1 < num_layers);
+    current = act[i].view().as_const();
   }
 
   Matrix<float> delta(batch, output_size());
   const double loss =
-      SoftmaxCrossEntropy::loss_and_grad(z.back().view(), labels, delta.view());
+      SoftmaxCrossEntropy::loss_and_grad(act.back().view(), labels, delta.view());
 
-  // Backward + SGD, output layer inward.
+  // Backward + SGD, output layer inward; the previous layer's ReLU mask fuses
+  // into the dx matmul as a kReluGrad epilogue.
   for (std::size_t idx = num_layers; idx-- > 0;) {
     const MatrixView<const float> input =
         idx == 0 ? x : act[idx - 1].view().as_const();
     if (idx == 0) {
       layers_[0].backward(input, delta.view().as_const(), nullptr, backend_for(0));
     } else {
-      Matrix<float> dact(batch, layers_[idx].in_features());
-      MatrixView<float> dact_view = dact.view();
-      layers_[idx].backward(input, delta.view().as_const(), &dact_view,
-                            backend_for(idx));
-      // ReLU gate against the pre-activation of the previous layer.
-      delta = Matrix<float>(batch, layers_[idx].in_features());
-      ReluLayer::backward(z[idx - 1].view(), dact.view(), delta.view());
+      Matrix<float> next_delta(batch, layers_[idx].in_features());
+      MatrixView<float> next_view = next_delta.view();
+      layers_[idx].backward(input, delta.view().as_const(), &next_view,
+                            backend_for(idx), act[idx - 1].view().as_const());
+      delta = std::move(next_delta);
     }
     layers_[idx].apply_sgd(SgdOptions{.learning_rate = config_.learning_rate,
                                       .momentum = config_.momentum,
@@ -95,8 +92,7 @@ void Mlp::predict(MatrixView<const float> x, MatrixView<float> logits) const {
       return;
     }
     Matrix<float> next(batch, layers_[i].out_features());
-    layers_[i].forward(current, next.view(), backend_for(i));
-    ReluLayer::forward(next.view(), next.view());
+    layers_[i].forward(current, next.view(), backend_for(i), /*fuse_relu=*/true);
     buffer = std::move(next);
     current = buffer.view().as_const();
   }

@@ -67,6 +67,36 @@ class BufferPool {
   std::size_t cached_count_ = 0;
 };
 
+/// RAII lease of a raw pool buffer (1-D). Acquired from the singleton pool on
+/// construction, returned on destruction — the zero-malloc replacement for a
+/// per-call AlignedBuffer in hot paths like gemm pack buffers.
+template <class T>
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  explicit PooledBuffer(std::size_t count)
+      : buffer_(BufferPool<T>::instance().acquire(count)) {}
+  ~PooledBuffer() { BufferPool<T>::instance().release(std::move(buffer_)); }
+  PooledBuffer(PooledBuffer&&) noexcept = default;
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      BufferPool<T>::instance().release(std::move(buffer_));
+      buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  [[nodiscard]] T* data() { return buffer_.data(); }
+  [[nodiscard]] const T* data() const { return buffer_.data(); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] bool empty() const { return buffer_.empty(); }
+
+ private:
+  AlignedBuffer<T> buffer_;
+};
+
 /// RAII lease of a pool buffer exposed as a row-major matrix view.
 template <class T>
 class PooledMatrix {

@@ -108,6 +108,52 @@ TEST(GuardedBackend, TransposedProductsAreVerifiedAndCorrected) {
   EXPECT_LT(relative_frobenius_error(dw.view(), ref.view()), 1e-5);
 }
 
+TEST(GuardedBackend, FusedEpilogueAppliedAfterVerification) {
+  // The guard certifies the raw product (epilogue held back), then folds the
+  // epilogue in — honest path: identical to plain backend + separate pass.
+  const MatmulBackend plain("bini322", small_cutoff());
+  const GuardedBackend guarded("bini322", small_cutoff());
+  Rng rng(8);
+  Matrix<float> a(48, 48), b(48, 48), bias(1, 48), c_plain(48, 48), c_guarded(48, 48);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  fill_random_uniform<float>(bias.view(), rng);
+
+  MatmulFusion fusion;
+  fusion.epilogue.kind = blas::EpilogueKind::kBiasAddRelu;
+  fusion.epilogue.bias = bias.data();
+  guarded.matmul_ex(a.view().as_const(), b.view().as_const(), c_guarded.view(), false,
+                    false, fusion);
+  EXPECT_EQ(guarded.stats().checks_run, 1u);
+
+  plain.matmul(a.view().as_const(), b.view().as_const(), c_plain.view());
+  blas::apply_epilogue<float>(fusion.epilogue, c_plain.view());
+  EXPECT_EQ(max_abs_diff(c_plain.view(), c_guarded.view()), 0.0);
+}
+
+TEST(GuardedBackend, FusedEpilogueAppliedAfterFallbackRerun) {
+  // When the guard trips and reruns classically, the epilogue must be applied
+  // to the corrected product exactly once.
+  const GuardedBackend guarded("bini322", small_cutoff(0.5));  // corrupt lambda
+  const MatmulBackend classical("classical");
+  Rng rng(9);
+  Matrix<float> a(48, 48), b(48, 48), bias(1, 48), c_guarded(48, 48), ref(48, 48);
+  fill_random_uniform<float>(a.view(), rng);
+  fill_random_uniform<float>(b.view(), rng);
+  fill_random_uniform<float>(bias.view(), rng);
+
+  MatmulFusion fusion;
+  fusion.epilogue.kind = blas::EpilogueKind::kBiasAdd;
+  fusion.epilogue.bias = bias.data();
+  guarded.matmul_ex(a.view().as_const(), b.view().as_const(), c_guarded.view(), false,
+                    false, fusion);
+  EXPECT_EQ(guarded.stats().fallback_reruns, 1u);
+
+  classical.matmul(a.view().as_const(), b.view().as_const(), ref.view());
+  blas::apply_epilogue<float>(fusion.epilogue, ref.view());
+  EXPECT_EQ(max_abs_diff(ref.view(), c_guarded.view()), 0.0);
+}
+
 TEST(GuardedBackend, PolymorphicUseInsideMlp) {
   // The shared_ptr constructor must preserve the wrapper: training through the
   // Mlp drives the guard, visible in its counters.

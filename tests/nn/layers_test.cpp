@@ -126,6 +126,58 @@ TEST(DenseLayer, SgdStepMovesAgainstGradient) {
   EXPECT_FLOAT_EQ(layer.weights()(0, 0), before - 0.5f * 1.0f);
 }
 
+TEST(DenseLayer, FusedReluForwardMatchesSeparateRelu) {
+  Rng rng(21);
+  DenseLayer layer(13, 9, rng);
+  Matrix<float> x(7, 13), y_fused(7, 9), y_plain(7, 9), y_relu(7, 9);
+  fill_random_uniform<float>(x.view(), rng);
+  layer.forward(x.view().as_const(), y_fused.view(), classical(), /*fuse_relu=*/true);
+  layer.forward(x.view().as_const(), y_plain.view(), classical());
+  ReluLayer::forward(y_plain.view().as_const(), y_relu.view());
+  EXPECT_EQ(max_abs_diff(y_fused.view(), y_relu.view()), 0.0);
+}
+
+TEST(DenseLayer, FusedReluGateMatchesSeparateBackward) {
+  Rng rng(22);
+  DenseLayer layer(11, 6, rng);
+  Matrix<float> x(5, 11), dy(5, 6), act(5, 11), dx_fused(5, 11), dx_raw(5, 11),
+      dx_masked(5, 11);
+  fill_random_uniform<float>(x.view(), rng);
+  fill_random_uniform<float>(dy.view(), rng);
+  fill_random_uniform<float>(act.view(), rng);  // mixed-sign stand-in activation
+
+  MatrixView<float> dx_view = dx_fused.view();
+  layer.backward(x.view().as_const(), dy.view().as_const(), &dx_view, classical(),
+                 act.view().as_const());
+
+  MatrixView<float> raw_view = dx_raw.view();
+  layer.backward(x.view().as_const(), dy.view().as_const(), &raw_view, classical());
+  ReluLayer::backward(act.view().as_const(), dx_raw.view().as_const(),
+                      dx_masked.view());
+  EXPECT_EQ(max_abs_diff(dx_fused.view(), dx_masked.view()), 0.0);
+}
+
+TEST(DenseLayer, CachedWeightPackTracksWeightMutation) {
+  // The forward plan packs W once; mutating W through the non-const accessor
+  // must invalidate it, or the layer computes with stale weights.
+  Rng rng(23);
+  DenseLayer layer(8, 4, rng);
+  Matrix<float> x(3, 8), y_before(3, 4), y_after(3, 4), y_expected(3, 4);
+  fill_random_uniform<float>(x.view(), rng);
+  layer.forward(x.view().as_const(), y_before.view(), classical());
+
+  for (auto& w : layer.weights().span()) w *= 2.0f;
+  layer.forward(x.view().as_const(), y_after.view(), classical());
+  // y = x*(2W) + b = 2*(x*W) - b; check one entry against the doubled product.
+  for (index_t i = 0; i < y_after.rows(); ++i) {
+    for (index_t j = 0; j < y_after.cols(); ++j) {
+      const float bias_j = layer.bias()(0, j);
+      EXPECT_NEAR(y_after(i, j), 2.0f * (y_before(i, j) - bias_j) + bias_j, 1e-5f)
+          << i << "," << j;
+    }
+  }
+}
+
 TEST(Relu, ForwardClampsNegatives) {
   Matrix<float> x(1, 4), y(1, 4);
   x(0, 0) = -1;
