@@ -246,7 +246,8 @@ void apply_epilogue(const Epilogue<T>& ep, MatrixView<T> c) {
 }
 
 template <class T>
-PackedPanel<T> PackedPanel<T>::pack_a(bool trans, MatrixView<const T> stored) {
+PackedPanel<T> PackedPanel<T>::pack_a(bool trans, MatrixView<const T> stored,
+                                      int num_threads) {
   constexpr index_t mr = MicroShape<T>::kMr;
   constexpr index_t mc_max = BlockShape<T>::kMc;
   constexpr index_t kc_max = BlockShape<T>::kKc;
@@ -262,21 +263,26 @@ PackedPanel<T> PackedPanel<T>::pack_a(bool trans, MatrixView<const T> stored) {
   p.slot_ = static_cast<std::size_t>(mc_fit) * std::min(kc_max, p.cols_);
   p.storage_ = PooledBuffer<T>(p.slot_ * static_cast<std::size_t>(p.outer_blocks_) *
                                static_cast<std::size_t>(p.k_blocks_));
-  for (index_t ic = 0; ic < p.rows_; ic += mc_max) {
+  // Blocks are independent and write disjoint slots, so the gather threads at
+  // block granularity with the exact serial layout.
+  const index_t total = p.outer_blocks_ * p.k_blocks_;
+  const int team = static_cast<int>(
+      std::min<index_t>(std::max(num_threads, 1), total));
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+  for (index_t blk = 0; blk < total; ++blk) {
+    const index_t ic = (blk / p.k_blocks_) * mc_max;
+    const index_t pc = (blk % p.k_blocks_) * kc_max;
     const index_t mc = std::min(mc_max, p.rows_ - ic);
-    for (index_t pc = 0; pc < p.cols_; pc += kc_max) {
-      const index_t kc = std::min(kc_max, p.cols_ - pc);
-      T* dst = p.storage_.data() +
-               static_cast<std::size_t>((ic / mc_max) * p.k_blocks_ + pc / kc_max) *
-                   p.slot_;
-      detail::pack_a(trans, stored.data, stored.ld, ic, pc, mc, kc, dst);
-    }
+    const index_t kc = std::min(kc_max, p.cols_ - pc);
+    T* dst = p.storage_.data() + static_cast<std::size_t>(blk) * p.slot_;
+    detail::pack_a(trans, stored.data, stored.ld, ic, pc, mc, kc, dst);
   }
   return p;
 }
 
 template <class T>
-PackedPanel<T> PackedPanel<T>::pack_b(bool trans, MatrixView<const T> stored) {
+PackedPanel<T> PackedPanel<T>::pack_b(bool trans, MatrixView<const T> stored,
+                                      int num_threads) {
   constexpr index_t nr = MicroShape<T>::kNr;
   constexpr index_t kc_max = BlockShape<T>::kKc;
   constexpr index_t nc_max = BlockShape<T>::kNc;
@@ -290,15 +296,17 @@ PackedPanel<T> PackedPanel<T>::pack_b(bool trans, MatrixView<const T> stored) {
   p.slot_ = static_cast<std::size_t>(std::min(kc_max, p.rows_)) * nc_fit;
   p.storage_ = PooledBuffer<T>(p.slot_ * static_cast<std::size_t>(p.outer_blocks_) *
                                static_cast<std::size_t>(p.k_blocks_));
-  for (index_t jc = 0; jc < p.cols_; jc += nc_max) {
+  const index_t total = p.outer_blocks_ * p.k_blocks_;
+  const int team = static_cast<int>(
+      std::min<index_t>(std::max(num_threads, 1), total));
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+  for (index_t blk = 0; blk < total; ++blk) {
+    const index_t jc = (blk / p.k_blocks_) * nc_max;
+    const index_t pc = (blk % p.k_blocks_) * kc_max;
     const index_t nc = std::min(nc_max, p.cols_ - jc);
-    for (index_t pc = 0; pc < p.rows_; pc += kc_max) {
-      const index_t kc = std::min(kc_max, p.rows_ - pc);
-      T* dst = p.storage_.data() +
-               static_cast<std::size_t>((jc / nc_max) * p.k_blocks_ + pc / kc_max) *
-                   p.slot_;
-      detail::pack_b(trans, stored.data, stored.ld, pc, jc, kc, nc, dst);
-    }
+    const index_t kc = std::min(kc_max, p.rows_ - pc);
+    T* dst = p.storage_.data() + static_cast<std::size_t>(blk) * p.slot_;
+    detail::pack_b(trans, stored.data, stored.ld, pc, jc, kc, nc, dst);
   }
   return p;
 }

@@ -70,9 +70,14 @@ class PackedPanel {
 
   /// Packs op(A) (logical m x k). `trans` means `stored` holds A^T, i.e. the
   /// logical operand is the transpose of the stored row-major matrix.
-  [[nodiscard]] static PackedPanel pack_a(bool trans, MatrixView<const T> stored);
+  /// `num_threads` > 1 splits the pack gather across an OpenMP team at cache
+  /// block granularity — the layout is identical to the serial pack, so
+  /// threaded and serial panels are interchangeable bit-for-bit.
+  [[nodiscard]] static PackedPanel pack_a(bool trans, MatrixView<const T> stored,
+                                          int num_threads = 1);
   /// Packs op(B) (logical k x n).
-  [[nodiscard]] static PackedPanel pack_b(bool trans, MatrixView<const T> stored);
+  [[nodiscard]] static PackedPanel pack_b(bool trans, MatrixView<const T> stored,
+                                          int num_threads = 1);
 
   [[nodiscard]] bool empty() const { return storage_.empty(); }
   [[nodiscard]] Side side() const { return side_; }
@@ -123,11 +128,11 @@ class GemmPlan {
  public:
   GemmPlan() = default;
 
-  void set_packed_a(bool trans, MatrixView<const T> stored) {
-    a_ = PackedPanel<T>::pack_a(trans, stored);
+  void set_packed_a(bool trans, MatrixView<const T> stored, int num_threads = 1) {
+    a_ = PackedPanel<T>::pack_a(trans, stored, num_threads);
   }
-  void set_packed_b(bool trans, MatrixView<const T> stored) {
-    b_ = PackedPanel<T>::pack_b(trans, stored);
+  void set_packed_b(bool trans, MatrixView<const T> stored, int num_threads = 1) {
+    b_ = PackedPanel<T>::pack_b(trans, stored, num_threads);
   }
   void reset() { a_ = {}; b_ = {}; }
   [[nodiscard]] bool has_packed_a() const { return !a_.empty(); }

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "support/check.h"
@@ -10,11 +12,17 @@
 namespace apa::nn {
 namespace {
 
-// Format v2: | magic | u64 layer count | per layer {u64 rows, u64 cols,
-// rows*cols floats} x {weights, bias} | u64 FNV-1a checksum |. The checksum
-// covers every byte between the magic and itself, so truncation and bit flips
-// are both rejected before any payload reaches the model.
-constexpr char kMagic[10] = {'A', 'P', 'A', 'M', 'M', '_', 'M', 'L', 'P', '2'};
+// Format v3: | magic | u64 layer count | per layer {matrix, momentum section}
+// x {weights, bias} | u64 FNV-1a checksum |, where a matrix is {u64 rows, u64
+// cols, rows*cols floats} and a momentum section is {u64 has_velocity,
+// [matrix]}. The checksum covers every byte between the magic and itself, so
+// truncation and bit flips are both rejected before any payload reaches the
+// model. v2 is the same layout without the momentum sections.
+constexpr char kMagicV3[10] = {'A', 'P', 'A', 'M', 'M', '_', 'M', 'L', 'P', '3'};
+constexpr char kMagicV2[10] = {'A', 'P', 'A', 'M', 'M', '_', 'M', 'L', 'P', '2'};
+// CNN v1: | magic | {matrix, momentum} x {conv filters, conv bias} | u64 dense
+// count | per dense layer as in v3 | checksum |.
+constexpr char kMagicCnn[10] = {'A', 'P', 'A', 'M', 'M', '_', 'C', 'N', '1', '\0'};
 
 // A dimension above this is certainly corruption, not a model.
 constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 32;
@@ -37,6 +45,11 @@ void write_matrix(std::ostream& out, const Matrix<float>& m) {
   write_u64(out, static_cast<std::uint64_t>(m.cols()));
   out.write(reinterpret_cast<const char*>(m.data()),
             static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+void write_state(std::ostream& out, const SgdState& state) {
+  write_u64(out, state.has_velocity() ? 1 : 0);
+  if (state.has_velocity()) write_matrix(out, state.velocity());
 }
 
 /// Bounds-checked sequential reader over the in-memory payload.
@@ -73,6 +86,7 @@ class Cursor {
   }
 
   [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   void require(std::size_t bytes, const char* what) {
@@ -87,34 +101,67 @@ class Cursor {
   const std::string& path_;
 };
 
-}  // namespace
+/// One parameter tensor staged out of the file: its value and (v3) momentum.
+/// Staging everything before touching the model keeps failed loads atomic.
+struct StagedTensor {
+  Matrix<float> value;
+  bool has_velocity = false;
+  Matrix<float> velocity;
+};
 
-void save_checkpoint(const std::string& path, Mlp& mlp) {
-  // Serialize the payload to memory first so the checksum is over exactly the
-  // bytes that land on disk.
-  std::ostringstream payload(std::ios::binary);
-  write_u64(payload, static_cast<std::uint64_t>(mlp.num_dense_layers()));
-  for (index_t i = 0; i < mlp.num_dense_layers(); ++i) {
-    write_matrix(payload, mlp.layer(i).weights());
-    write_matrix(payload, mlp.layer(i).bias());
+StagedTensor read_tensor(Cursor& cursor, index_t rows, index_t cols,
+                         const char* what, bool with_state) {
+  StagedTensor staged;
+  staged.value = Matrix<float>(rows, cols);
+  cursor.read_matrix_into(staged.value, what);
+  if (with_state) {
+    const std::uint64_t has = cursor.read_u64();
+    APA_CHECK_CODE(has <= 1, ErrorCode::kCorruptCheckpoint,
+                   cursor.path() << ": invalid momentum flag " << has << " for "
+                                 << what);
+    staged.has_velocity = has == 1;
+    if (staged.has_velocity) {
+      // The momentum buffer must match its parameter tensor: SgdState would
+      // silently re-zero a mismatched buffer on the next update, turning a
+      // bad file into a wrong trajectory instead of a load error.
+      staged.velocity = Matrix<float>(rows, cols);
+      cursor.read_matrix_into(staged.velocity, what);
+    }
   }
-  const std::string bytes = payload.str();
-  const std::uint64_t checksum =
-      fnv1a(reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size());
+  return staged;
+}
 
+void apply_tensor(StagedTensor& staged, MatrixView<float> param, SgdState& state) {
+  copy(staged.value.view().as_const(), param);
+  if (staged.has_velocity) {
+    state.restore_velocity(std::move(staged.velocity));
+  } else {
+    state.clear_velocity();
+  }
+}
+
+void write_file(const std::string& path, const char (&magic)[10],
+                const std::string& payload) {
+  const std::uint64_t checksum = fnv1a(
+      reinterpret_cast<const unsigned char*>(payload.data()), payload.size());
   std::ofstream out(path, std::ios::binary);
   APA_CHECK_MSG(out.good(), "cannot open " << path);
-  out.write(kMagic, sizeof(kMagic));
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.write(magic, sizeof(magic));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   write_u64(out, checksum);
   APA_CHECK_MSG(out.good(), "write failed for " << path);
 }
 
-void load_checkpoint(const std::string& path, Mlp& mlp) {
+/// Reads the whole file, validates a recognised magic and the checksum, and
+/// returns the raw bytes. `magics` lists the accepted headers; the index of
+/// the matching one is written to `*which`.
+std::vector<unsigned char> read_file(const std::string& path,
+                                     std::initializer_list<const char*> magics,
+                                     std::size_t* which) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint, "cannot open " << path);
   const auto file_size = static_cast<std::size_t>(in.tellg());
-  APA_CHECK_CODE(file_size >= sizeof(kMagic) + sizeof(std::uint64_t),
+  APA_CHECK_CODE(file_size >= sizeof(kMagicV3) + sizeof(std::uint64_t),
                  ErrorCode::kCorruptCheckpoint,
                  path << ": too small to be a checkpoint (" << file_size
                       << " bytes)");
@@ -124,21 +171,55 @@ void load_checkpoint(const std::string& path, Mlp& mlp) {
           static_cast<std::streamsize>(file_size));
   APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint, path << ": read failed");
 
-  APA_CHECK_CODE(std::memcmp(file.data(), kMagic, sizeof(kMagic)) == 0,
-                 ErrorCode::kCorruptCheckpoint,
-                 path << ": not an apamm MLP checkpoint");
+  *which = magics.size();
+  std::size_t idx = 0;
+  for (const char* magic : magics) {
+    if (std::memcmp(file.data(), magic, sizeof(kMagicV3)) == 0) {
+      *which = idx;
+      break;
+    }
+    ++idx;
+  }
+  APA_CHECK_CODE(*which < magics.size(), ErrorCode::kCorruptCheckpoint,
+                 path << ": not a recognised apamm checkpoint");
 
   const std::size_t payload_size =
-      file_size - sizeof(kMagic) - sizeof(std::uint64_t);
+      file_size - sizeof(kMagicV3) - sizeof(std::uint64_t);
   std::uint64_t stored_checksum = 0;
   std::memcpy(&stored_checksum, file.data() + file_size - sizeof(std::uint64_t),
               sizeof(stored_checksum));
   const std::uint64_t actual_checksum =
-      fnv1a(file.data() + sizeof(kMagic), payload_size);
+      fnv1a(file.data() + sizeof(kMagicV3), payload_size);
   APA_CHECK_CODE(stored_checksum == actual_checksum, ErrorCode::kCorruptCheckpoint,
                  path << ": checksum mismatch — file is corrupt");
+  return file;
+}
 
-  Cursor cursor(file.data() + sizeof(kMagic), payload_size, path);
+}  // namespace
+
+void save_checkpoint(const std::string& path, Mlp& mlp) {
+  // Serialize the payload to memory first so the checksum is over exactly the
+  // bytes that land on disk.
+  std::ostringstream payload(std::ios::binary);
+  write_u64(payload, static_cast<std::uint64_t>(mlp.num_dense_layers()));
+  for (index_t i = 0; i < mlp.num_dense_layers(); ++i) {
+    DenseLayer& layer = mlp.layer(i);
+    write_matrix(payload, layer.weights());
+    write_state(payload, layer.weight_state());
+    write_matrix(payload, layer.bias());
+    write_state(payload, layer.bias_state());
+  }
+  write_file(path, kMagicV3, payload.str());
+}
+
+void load_checkpoint(const std::string& path, Mlp& mlp) {
+  std::size_t which = 0;
+  const std::vector<unsigned char> file = read_file(path, {kMagicV3, kMagicV2},
+                                                    &which);
+  const bool with_state = which == 0;  // v2 carries no momentum sections
+
+  Cursor cursor(file.data() + sizeof(kMagicV3),
+                file.size() - sizeof(kMagicV3) - sizeof(std::uint64_t), path);
   const std::uint64_t layers = cursor.read_u64();
   APA_CHECK_CODE(layers < kMaxDim, ErrorCode::kCorruptCheckpoint,
                  path << ": implausible layer count " << layers);
@@ -147,23 +228,84 @@ void load_checkpoint(const std::string& path, Mlp& mlp) {
                  path << ": checkpoint has " << layers << " layers, model has "
                       << mlp.num_dense_layers());
   // Stage into scratch so a failure partway leaves the model untouched.
-  std::vector<Matrix<float>> weights(static_cast<std::size_t>(layers));
-  std::vector<Matrix<float>> biases(static_cast<std::size_t>(layers));
+  std::vector<StagedTensor> weights(static_cast<std::size_t>(layers));
+  std::vector<StagedTensor> biases(static_cast<std::size_t>(layers));
   for (index_t i = 0; i < static_cast<index_t>(layers); ++i) {
+    const DenseLayer& layer = std::as_const(mlp).layer(i);
     weights[static_cast<std::size_t>(i)] =
-        Matrix<float>(mlp.layer(i).weights().rows(), mlp.layer(i).weights().cols());
-    biases[static_cast<std::size_t>(i)] =
-        Matrix<float>(mlp.layer(i).bias().rows(), mlp.layer(i).bias().cols());
-    cursor.read_matrix_into(weights[static_cast<std::size_t>(i)], "weights");
-    cursor.read_matrix_into(biases[static_cast<std::size_t>(i)], "bias");
+        read_tensor(cursor, layer.weights().rows(), layer.weights().cols(),
+                    "weights", with_state);
+    biases[static_cast<std::size_t>(i)] = read_tensor(
+        cursor, layer.bias().rows(), layer.bias().cols(), "bias", with_state);
   }
   APA_CHECK_CODE(cursor.remaining() == 0, ErrorCode::kCorruptCheckpoint,
                  path << ": " << cursor.remaining() << " trailing bytes");
   for (index_t i = 0; i < static_cast<index_t>(layers); ++i) {
-    copy(weights[static_cast<std::size_t>(i)].view().as_const(),
-         mlp.layer(i).weights().view());
-    copy(biases[static_cast<std::size_t>(i)].view().as_const(),
-         mlp.layer(i).mutable_bias().view());
+    DenseLayer& layer = mlp.layer(i);
+    apply_tensor(weights[static_cast<std::size_t>(i)], layer.weights().view(),
+                 layer.weight_state());
+    apply_tensor(biases[static_cast<std::size_t>(i)],
+                 layer.mutable_bias().view(), layer.bias_state());
+  }
+}
+
+void save_checkpoint(const std::string& path, Cnn& cnn) {
+  std::ostringstream payload(std::ios::binary);
+  ConvLayer& conv = cnn.conv();
+  write_matrix(payload, conv.filters());
+  write_state(payload, conv.filter_state());
+  write_matrix(payload, conv.bias());
+  write_state(payload, conv.bias_state());
+  write_u64(payload, 2);  // dense layer count
+  for (DenseLayer* layer : {&cnn.dense1(), &cnn.dense2()}) {
+    write_matrix(payload, layer->weights());
+    write_state(payload, layer->weight_state());
+    write_matrix(payload, layer->bias());
+    write_state(payload, layer->bias_state());
+  }
+  write_file(path, kMagicCnn, payload.str());
+}
+
+void load_checkpoint(const std::string& path, Cnn& cnn) {
+  std::size_t which = 0;
+  const std::vector<unsigned char> file = read_file(path, {kMagicCnn}, &which);
+
+  Cursor cursor(file.data() + sizeof(kMagicCnn),
+                file.size() - sizeof(kMagicCnn) - sizeof(std::uint64_t), path);
+  const ConvLayer& conv = std::as_const(cnn).conv();
+  StagedTensor filters =
+      read_tensor(cursor, conv.filters().rows(), conv.filters().cols(),
+                  "conv filters", /*with_state=*/true);
+  StagedTensor conv_bias =
+      read_tensor(cursor, conv.bias().rows(), conv.bias().cols(), "conv bias",
+                  /*with_state=*/true);
+  const std::uint64_t dense_count = cursor.read_u64();
+  APA_CHECK_CODE(dense_count == 2, ErrorCode::kShapeMismatch,
+                 path << ": checkpoint has " << dense_count
+                      << " dense layers, model has 2");
+  std::vector<StagedTensor> weights(2);
+  std::vector<StagedTensor> biases(2);
+  const DenseLayer* dense[2] = {&std::as_const(cnn).dense1(),
+                                &std::as_const(cnn).dense2()};
+  for (std::size_t i = 0; i < 2; ++i) {
+    weights[i] = read_tensor(cursor, dense[i]->weights().rows(),
+                             dense[i]->weights().cols(), "weights",
+                             /*with_state=*/true);
+    biases[i] = read_tensor(cursor, dense[i]->bias().rows(),
+                            dense[i]->bias().cols(), "bias", /*with_state=*/true);
+  }
+  APA_CHECK_CODE(cursor.remaining() == 0, ErrorCode::kCorruptCheckpoint,
+                 path << ": " << cursor.remaining() << " trailing bytes");
+
+  ConvLayer& mconv = cnn.conv();
+  apply_tensor(filters, mconv.filters().view(), mconv.filter_state());
+  apply_tensor(conv_bias, mconv.mutable_bias().view(), mconv.bias_state());
+  DenseLayer* mdense[2] = {&cnn.dense1(), &cnn.dense2()};
+  for (std::size_t i = 0; i < 2; ++i) {
+    apply_tensor(weights[i], mdense[i]->weights().view(),
+                 mdense[i]->weight_state());
+    apply_tensor(biases[i], mdense[i]->mutable_bias().view(),
+                 mdense[i]->bias_state());
   }
 }
 

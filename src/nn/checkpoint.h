@@ -1,26 +1,46 @@
 #pragma once
-// MLP weight checkpointing: a minimal binary format (little-endian host
-// floats) so trained models survive process restarts and experiments can
-// resume. Topology is stored and verified on load.
+// Model checkpointing: a minimal binary format (little-endian host floats) so
+// trained models survive process restarts and experiments can resume.
+// Topology is stored and verified on load.
 //
-// Format v2 ("APAMM_MLP2") appends an FNV-1a checksum over the payload and
-// every read is bounds-checked against the file size, so truncated or
-// bit-flipped files are rejected (ApaError{kCorruptCheckpoint}) instead of
-// silently feeding garbage weights into a resume — a load that fails partway
-// leaves the destination model untouched.
+// Format v3 ("APAMM_MLP3") stores, after each parameter tensor, its SGD
+// momentum buffer (when one exists): rolling training back to a checkpoint is
+// a bit-exact rewind only if the velocity rewinds with the parameters — a
+// restored weight plus a stale velocity walks a different trajectory on the
+// very next step. The trainer's divergence rollback relies on this. Legacy v2
+// ("APAMM_MLP2") files still load; their velocities are cleared, matching the
+// momentum-free training they were saved from.
+//
+// A CNN checkpoint ("APAMM_CNN1") covers the conv layer's filters/bias and
+// both dense layers, all with momentum sections.
+//
+// Every format appends an FNV-1a checksum over the payload and every read is
+// bounds-checked against the file size, so truncated or bit-flipped files are
+// rejected (ApaError{kCorruptCheckpoint}) instead of silently feeding garbage
+// into a resume — a load that fails partway leaves the destination model
+// untouched.
 
 #include <string>
 
+#include "nn/cnn.h"
 #include "nn/mlp.h"
 
 namespace apa::nn {
 
-/// Writes every dense layer's weights and biases.
+/// Writes every dense layer's weights, biases, and momentum buffers.
 void save_checkpoint(const std::string& path, Mlp& mlp);
 
 /// Loads into an Mlp of identical topology. Throws ApaError with
 /// kCorruptCheckpoint (unreadable/truncated/checksum-failed file) or
-/// kShapeMismatch (valid file, different topology).
+/// kShapeMismatch (valid file, different topology — including a momentum
+/// buffer whose shape does not match its parameter tensor).
 void load_checkpoint(const std::string& path, Mlp& mlp);
+
+/// Writes the conv layer (filters + bias) and both dense layers, with
+/// momentum buffers.
+void save_checkpoint(const std::string& path, Cnn& cnn);
+
+/// Loads into a Cnn of identical topology; error contract as the Mlp loader.
+void load_checkpoint(const std::string& path, Cnn& cnn);
 
 }  // namespace apa::nn

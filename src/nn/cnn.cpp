@@ -1,5 +1,7 @@
 #include "nn/cnn.h"
 
+#include "support/check.h"
+
 namespace apa::nn {
 namespace {
 
@@ -26,6 +28,11 @@ PoolShape make_pool_shape(const ConvShape& conv) {
 }  // namespace
 
 Cnn::Cnn(const CnnConfig& config, MatmulBackend fast, MatmulBackend classical)
+    : Cnn(config, std::make_shared<const MatmulBackend>(std::move(fast)),
+          std::make_shared<const MatmulBackend>(std::move(classical))) {}
+
+Cnn::Cnn(const CnnConfig& config, std::shared_ptr<const MatmulBackend> fast,
+         std::shared_ptr<const MatmulBackend> classical)
     : config_(config),
       fast_(std::move(fast)),
       classical_(std::move(classical)),
@@ -35,25 +42,30 @@ Cnn::Cnn(const CnnConfig& config, MatmulBackend fast, MatmulBackend classical)
       conv_(conv_shape_, rng_),
       pool_(pool_shape_),
       dense1_(pool_shape_.out_size(), config.hidden, rng_),
-      dense2_(config.hidden, config.classes, rng_) {}
+      dense2_(config.hidden, config.classes, rng_) {
+  APA_CHECK_MSG(fast_ != nullptr && classical_ != nullptr, "backends must be non-null");
+}
+
+void Cnn::set_fast_backend(std::shared_ptr<const MatmulBackend> fast) {
+  APA_CHECK_MSG(fast != nullptr, "fast backend must be non-null");
+  fast_ = std::move(fast);
+}
 
 double Cnn::train_step(MatrixView<const float> x, const std::vector<int>& labels) {
   const index_t batch = x.rows;
   APA_CHECK(x.cols == input_size());
 
-  // Forward.
-  Matrix<float> conv_out(batch, conv_shape_.out_size());
-  conv_.forward(x, conv_out.view(), fast_);
+  // Forward. Both ReLUs ride their matmul's epilogue; only post-activation
+  // tensors are kept (act > 0 gates the backward identically to pre > 0).
   Matrix<float> conv_act(batch, conv_shape_.out_size());
-  ReluLayer::forward(conv_out.view(), conv_act.view());
+  conv_.forward(x, conv_act.view(), *fast_, /*fuse_relu=*/true);
   Matrix<float> pooled(batch, pool_shape_.out_size());
   pool_.forward(conv_act.view().as_const(), pooled.view());
-  Matrix<float> hidden_pre(batch, config_.hidden);
-  dense1_.forward(pooled.view().as_const(), hidden_pre.view(), fast_);
   Matrix<float> hidden_act(batch, config_.hidden);
-  ReluLayer::forward(hidden_pre.view(), hidden_act.view());
+  dense1_.forward(pooled.view().as_const(), hidden_act.view(), *fast_,
+                  /*fuse_relu=*/true);
   Matrix<float> logits(batch, config_.classes);
-  dense2_.forward(hidden_act.view().as_const(), logits.view(), classical_);
+  dense2_.forward(hidden_act.view().as_const(), logits.view(), *classical_);
 
   // Loss.
   Matrix<float> dlogits(batch, config_.classes);
@@ -61,30 +73,29 @@ double Cnn::train_step(MatrixView<const float> x, const std::vector<int>& labels
       SoftmaxCrossEntropy::loss_and_grad(logits.view().as_const(), labels,
                                          dlogits.view());
 
-  // Backward.
+  // Backward. The hidden ReLU's mask fuses into dense2's dx product; the conv
+  // ReLU's mask is applied after the pool backward (the pool sits between the
+  // conv activation and dense1, so it cannot ride a matmul epilogue).
   const SgdOptions sgd{.learning_rate = config_.learning_rate,
                        .momentum = config_.momentum};
-  Matrix<float> dhidden_act(batch, config_.hidden);
-  MatrixView<float> dhidden_act_view = dhidden_act.view();
+  Matrix<float> dhidden(batch, config_.hidden);
+  MatrixView<float> dhidden_view = dhidden.view();
   dense2_.backward(hidden_act.view().as_const(), dlogits.view().as_const(),
-                   &dhidden_act_view, classical_);
+                   &dhidden_view, *classical_, hidden_act.view().as_const());
   dense2_.apply_sgd(sgd);
 
-  Matrix<float> dhidden_pre(batch, config_.hidden);
-  ReluLayer::backward(hidden_pre.view().as_const(), dhidden_act.view().as_const(),
-                      dhidden_pre.view());
   Matrix<float> dpooled(batch, pool_shape_.out_size());
   MatrixView<float> dpooled_view = dpooled.view();
-  dense1_.backward(pooled.view().as_const(), dhidden_pre.view().as_const(),
-                   &dpooled_view, fast_);
+  dense1_.backward(pooled.view().as_const(), dhidden.view().as_const(),
+                   &dpooled_view, *fast_);
   dense1_.apply_sgd(sgd);
 
   Matrix<float> dconv_act(batch, conv_shape_.out_size());
   pool_.backward(dpooled.view().as_const(), dconv_act.view());
   Matrix<float> dconv_out(batch, conv_shape_.out_size());
-  ReluLayer::backward(conv_out.view().as_const(), dconv_act.view().as_const(),
+  ReluLayer::backward(conv_act.view().as_const(), dconv_act.view().as_const(),
                       dconv_out.view());
-  conv_.backward(x, dconv_out.view().as_const(), nullptr, fast_);
+  conv_.backward(x, dconv_out.view().as_const(), nullptr, *fast_);
   conv_.apply_sgd(sgd);
 
   return loss;
@@ -92,15 +103,14 @@ double Cnn::train_step(MatrixView<const float> x, const std::vector<int>& labels
 
 void Cnn::predict(MatrixView<const float> x, MatrixView<float> logits) {
   const index_t batch = x.rows;
-  Matrix<float> conv_out(batch, conv_shape_.out_size());
-  conv_.forward(x, conv_out.view(), fast_);
-  ReluLayer::forward(conv_out.view(), conv_out.view());
+  Matrix<float> conv_act(batch, conv_shape_.out_size());
+  conv_.forward(x, conv_act.view(), *fast_, /*fuse_relu=*/true);
   Matrix<float> pooled(batch, pool_shape_.out_size());
-  pool_.forward(conv_out.view().as_const(), pooled.view());
+  pool_.forward(conv_act.view().as_const(), pooled.view());
   Matrix<float> hidden(batch, config_.hidden);
-  dense1_.forward(pooled.view().as_const(), hidden.view(), fast_);
-  ReluLayer::forward(hidden.view(), hidden.view());
-  dense2_.forward(hidden.view().as_const(), logits, classical_);
+  dense1_.forward(pooled.view().as_const(), hidden.view(), *fast_,
+                  /*fuse_relu=*/true);
+  dense2_.forward(hidden.view().as_const(), logits, *classical_);
 }
 
 }  // namespace apa::nn

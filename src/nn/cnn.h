@@ -3,6 +3,13 @@
 // -> dense) over 28x28 images: the minimal end-to-end network exercising the
 // conv-as-gemm path (paper intro refs [9,11]) under APA backends, alongside
 // the paper's MLPs.
+//
+// Both ReLUs are fused into their producing matmul's epilogue (the conv gemm
+// and the hidden dense gemm), and the backward pass feeds the post-activation
+// tensors back as kReluGrad gates — act > 0 is the same predicate as
+// pre-activation > 0, so no pre-activation tensor is kept.
+
+#include <memory>
 
 #include "nn/conv.h"
 #include "nn/layers.h"
@@ -23,8 +30,15 @@ struct CnnConfig {
 class Cnn {
  public:
   /// `fast` drives the conv and hidden-dense matmuls; input-adjacent and
-  /// output layers use `classical`, mirroring the paper's MLP convention.
+  /// output layers use `classical`, mirroring the paper's MLP convention. This
+  /// overload copies the concrete MatmulBackend (wrapper subclasses would
+  /// slice — use the shared_ptr overload for those).
   Cnn(const CnnConfig& config, MatmulBackend fast, MatmulBackend classical);
+  /// Polymorphic variant: `fast` may be any MatmulBackend subclass, e.g. a
+  /// GuardedBackend whose verification/fallback policy must survive into the
+  /// training loop — this routes all three conv products through the guard.
+  Cnn(const CnnConfig& config, std::shared_ptr<const MatmulBackend> fast,
+      std::shared_ptr<const MatmulBackend> classical);
 
   /// One SGD step; x is (batch, image_side^2), returns mean loss.
   double train_step(MatrixView<const float> x, const std::vector<int>& labels);
@@ -32,12 +46,24 @@ class Cnn {
 
   [[nodiscard]] index_t input_size() const { return config_.image_side * config_.image_side; }
   [[nodiscard]] index_t output_size() const { return config_.classes; }
+  [[nodiscard]] const CnnConfig& config() const { return config_; }
   [[nodiscard]] const ConvLayer& conv() const { return conv_; }
+  [[nodiscard]] ConvLayer& conv() { return conv_; }
+  [[nodiscard]] const DenseLayer& dense1() const { return dense1_; }
+  [[nodiscard]] DenseLayer& dense1() { return dense1_; }
+  [[nodiscard]] const DenseLayer& dense2() const { return dense2_; }
+  [[nodiscard]] DenseLayer& dense2() { return dense2_; }
+
+  [[nodiscard]] const MatmulBackend& fast_backend() const { return *fast_; }
+  [[nodiscard]] const MatmulBackend& classical_backend() const { return *classical_; }
+  /// Swap the fast backend mid-training — the trainer's divergence recovery
+  /// uses this to shrink lambda or retreat to classical gemm.
+  void set_fast_backend(std::shared_ptr<const MatmulBackend> fast);
 
  private:
   CnnConfig config_;
-  MatmulBackend fast_;
-  MatmulBackend classical_;
+  std::shared_ptr<const MatmulBackend> fast_;
+  std::shared_ptr<const MatmulBackend> classical_;
   Rng rng_;
   ConvShape conv_shape_;
   PoolShape pool_shape_;

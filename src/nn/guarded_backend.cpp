@@ -32,6 +32,12 @@ bool GuardedBackend::is_quarantined(index_t m, index_t k, index_t n) const {
   return it != state_->trips_by_shape.end() && it->second >= policy_.quarantine_after;
 }
 
+int GuardedBackend::trips_for(index_t m, index_t k, index_t n) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  const auto it = state_->trips_by_shape.find(ShapeKey{m, k, n});
+  return it != state_->trips_by_shape.end() ? it->second : 0;
+}
+
 void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> b,
                                MatrixView<float> c, bool transpose_a, bool transpose_b,
                                const MatmulFusion& fusion) const {
@@ -74,6 +80,7 @@ void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float
   // end, after verification settles which product the caller receives.
   const MatmulFusion bare{.epilogue = {}, .plan = fusion.plan};
   MatmulBackend::matmul_ex(a, b, c, transpose_a, transpose_b, bare);
+  if (policy_.inject_fault) policy_.inject_fault(m, k, n, c);
 
   bool rerun = false;
   if (check_this_call) {

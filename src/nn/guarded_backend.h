@@ -16,6 +16,7 @@
 // single thread and fan out *inside* gemm, so the lock is uncontended.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,13 @@ struct GuardPolicy {
   int check_period = 1;
   /// Probe-sign stream seed; fixed for reproducible experiments.
   std::uint64_t seed = 0x9d5fca11u;
+  /// Test-only fault injection: called on the raw APA output (before the
+  /// Freivalds check and before the epilogue), with the call's logical shape.
+  /// Lets tests corrupt one product of a full training step in place and
+  /// assert the guard catches, falls back, and quarantines. Never set in
+  /// production policies.
+  std::function<void(index_t m, index_t k, index_t n, MatrixView<float> c)>
+      inject_fault;
 };
 
 struct GuardStats {
@@ -70,6 +78,9 @@ class GuardedBackend : public MatmulBackend {
   [[nodiscard]] const GuardPolicy& policy() const { return policy_; }
   /// True when shape (m, k, n) has been quarantined to classical gemm.
   [[nodiscard]] bool is_quarantined(index_t m, index_t k, index_t n) const;
+  /// Trip count recorded against shape (m, k, n) — quarantine is per-shape,
+  /// and tests assert a corrupted product charges only its own shape.
+  [[nodiscard]] int trips_for(index_t m, index_t k, index_t n) const;
 
  private:
   using ShapeKey = std::tuple<index_t, index_t, index_t>;

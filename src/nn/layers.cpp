@@ -20,17 +20,17 @@ DenseLayer::DenseLayer(index_t in_features, index_t out_features, Rng& rng)
   db_.set_zero();
 }
 
-const blas::GemmPlan<float>* DenseLayer::forward_plan() const {
+const blas::GemmPlan<float>* DenseLayer::forward_plan(int num_threads) const {
   if (fwd_packed_version_ != weights_version_) {
-    fwd_plan_.set_packed_b(/*trans=*/false, weights_.view().as_const());
+    fwd_plan_.set_packed_b(/*trans=*/false, weights_.view().as_const(), num_threads);
     fwd_packed_version_ = weights_version_;
   }
   return &fwd_plan_;
 }
 
-const blas::GemmPlan<float>* DenseLayer::dx_plan() const {
+const blas::GemmPlan<float>* DenseLayer::dx_plan(int num_threads) const {
   if (dx_packed_version_ != weights_version_) {
-    dx_plan_.set_packed_b(/*trans=*/true, weights_.view().as_const());
+    dx_plan_.set_packed_b(/*trans=*/true, weights_.view().as_const(), num_threads);
     dx_packed_version_ = weights_version_;
   }
   return &dx_plan_;
@@ -46,7 +46,7 @@ void DenseLayer::forward(MatrixView<const float> x, MatrixView<float> y,
   // Pack W once per optimizer step, but only when this shape dispatches to
   // classical gemm — the APA executor packs per sub-block and ignores plans.
   if (backend.dispatch_for(x.rows, x.cols, y.cols) == nullptr) {
-    fusion.plan = forward_plan();
+    fusion.plan = forward_plan(backend.num_threads());
   }
   backend.matmul_ex(x, weights_.view(), y, false, false, fusion);
 }
@@ -78,7 +78,7 @@ void DenseLayer::backward(MatrixView<const float> x, MatrixView<const float> dy,
       fusion.epilogue.gate = relu_gate;
     }
     if (backend.dispatch_for(dy.rows, dy.cols, x.cols) == nullptr) {
-      fusion.plan = dx_plan();
+      fusion.plan = dx_plan(backend.num_threads());
     }
     backend.matmul_ex(dy, weights_.view(), *dx, false, /*transpose_b=*/true, fusion);
   }

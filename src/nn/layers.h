@@ -54,12 +54,17 @@ class DenseLayer {
   [[nodiscard]] Matrix<float>& mutable_bias() { return bias_; }
   [[nodiscard]] const Matrix<float>& weight_grad() const { return dw_; }
   [[nodiscard]] const Matrix<float>& bias_grad() const { return db_; }
+  /// Optimizer state, exposed for momentum checkpointing.
+  [[nodiscard]] SgdState& weight_state() { return weight_state_; }
+  [[nodiscard]] const SgdState& weight_state() const { return weight_state_; }
+  [[nodiscard]] SgdState& bias_state() { return bias_state_; }
+  [[nodiscard]] const SgdState& bias_state() const { return bias_state_; }
 
  private:
   /// Plan holding W packed for the forward product, repacked iff stale.
-  [[nodiscard]] const blas::GemmPlan<float>* forward_plan() const;
+  [[nodiscard]] const blas::GemmPlan<float>* forward_plan(int num_threads) const;
   /// Plan holding W^T packed for the dx product, repacked iff stale.
-  [[nodiscard]] const blas::GemmPlan<float>* dx_plan() const;
+  [[nodiscard]] const blas::GemmPlan<float>* dx_plan(int num_threads) const;
 
   Matrix<float> weights_;  // in x out
   Matrix<float> bias_;     // 1 x out

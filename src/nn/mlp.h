@@ -51,6 +51,9 @@ class Mlp {
     return mask_[static_cast<std::size_t>(layer)];
   }
   [[nodiscard]] DenseLayer& layer(index_t i) { return layers_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const DenseLayer& layer(index_t i) const {
+    return layers_[static_cast<std::size_t>(i)];
+  }
   [[nodiscard]] const MlpConfig& config() const { return config_; }
 
   [[nodiscard]] const MatmulBackend& fast_backend() const { return *fast_; }

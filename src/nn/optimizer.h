@@ -46,6 +46,18 @@ class SgdState {
 
   [[nodiscard]] bool has_velocity() const { return velocity_.size() > 0; }
 
+  /// Momentum buffer, exposed for checkpointing: rolling training back to a
+  /// checkpoint is a bit-exact rewind only if the velocity rewinds with the
+  /// parameters (a restored weight plus a stale velocity walks a different
+  /// trajectory on the very next step).
+  [[nodiscard]] const Matrix<float>& velocity() const { return velocity_; }
+  /// Checkpoint restore: overwrite the momentum buffer. Callers must pass a
+  /// matrix matching the parameter shape (the checkpoint loader enforces this;
+  /// a mismatched buffer would be silently re-zeroed by the next update).
+  void restore_velocity(Matrix<float> velocity) { velocity_ = std::move(velocity); }
+  /// Checkpoint restore from a momentum-free save: drop any accumulated state.
+  void clear_velocity() { velocity_ = Matrix<float>(); }
+
  private:
   Matrix<float> velocity_;
 };

@@ -18,12 +18,16 @@
 namespace apa::nn {
 namespace {
 
+// The loops below are templated over the model (Mlp or Cnn): both expose
+// train_step/predict, fast_backend/set_fast_backend, and a save/load_checkpoint
+// overload, which is all the guard machinery needs.
+
 /// Collision-safe default location for auto-checkpoints: distinct per process
 /// and per model instance, so concurrent guarded runs never clobber each other.
-std::string default_guard_checkpoint_path(const Mlp& mlp) {
+std::string default_guard_checkpoint_path(const void* model) {
   std::ostringstream name;
   name << "apamm_guard_" << ::getpid() << "_"
-       << reinterpret_cast<std::uintptr_t>(&mlp) << ".ckpt";
+       << reinterpret_cast<std::uintptr_t>(model) << ".ckpt";
   return (std::filesystem::temp_directory_path() / name.str()).string();
 }
 
@@ -43,9 +47,10 @@ std::shared_ptr<const MatmulBackend> rebuild_backend(const MatmulBackend& protot
 /// optimal value — shrink from above (approximation error too large), snap up
 /// from below (roundoff amplification too large) — and once lambda is already
 /// at the optimum (or the rule is lambda-free) retreat to classical gemm.
-void derisk_fast_backend(Mlp& mlp, const TrainGuardOptions& guard,
+template <class Model>
+void derisk_fast_backend(Model& model, const TrainGuardOptions& guard,
                          TrainGuardReport& report) {
-  const MatmulBackend& fast = mlp.fast_backend();
+  const MatmulBackend& fast = model.fast_backend();
   if (fast.is_classical()) return;  // nothing left to de-risk
 
   BackendOptions options = fast.options();
@@ -58,17 +63,17 @@ void derisk_fast_backend(Mlp& mlp, const TrainGuardOptions& guard,
                             : optimal;
   if (std::abs(target - current) > 1e-3 * current) {
     options.matmul.lambda = target;
-    mlp.set_fast_backend(rebuild_backend(fast, fast.algorithm(), options));
+    model.set_fast_backend(rebuild_backend(fast, fast.algorithm(), options));
     ++report.lambda_shrinks;
   } else {
-    mlp.set_fast_backend(rebuild_backend(fast, "classical", options));
+    model.set_fast_backend(rebuild_backend(fast, "classical", options));
     report.fell_back_to_classical = true;
   }
 }
 
-}  // namespace
-
-EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng) {
+template <class Model>
+EpochStats train_epoch_plain(Model& model, data::Dataset& dataset, index_t batch,
+                             Rng* rng) {
   if (rng != nullptr) data::shuffle(dataset, *rng);
   EpochStats stats;
   double loss_acc = 0;
@@ -76,7 +81,7 @@ EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng
     const auto x = dataset.batch_images(first, batch);
     const auto labels = dataset.batch_labels(first, batch);
     WallTimer timer;
-    loss_acc += mlp.train_step(x, labels);
+    loss_acc += model.train_step(x, labels);
     stats.seconds += timer.seconds();
     ++stats.steps;
   }
@@ -85,23 +90,25 @@ EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng
   return stats;
 }
 
-EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng,
-                       const TrainGuardOptions& guard, TrainGuardReport* report) {
+template <class Model>
+EpochStats train_epoch_guarded(Model& model, data::Dataset& dataset, index_t batch,
+                               Rng* rng, const TrainGuardOptions& guard,
+                               TrainGuardReport* report) {
   TrainGuardReport local_report;
   TrainGuardReport& out = report != nullptr ? *report : local_report;
   out = TrainGuardReport{};
   if (!guard.enabled) {
-    const EpochStats stats = train_epoch(mlp, dataset, batch, rng);
-    out.final_lambda = mlp.fast_backend().effective_lambda();
+    const EpochStats stats = train_epoch_plain(model, dataset, batch, rng);
+    out.final_lambda = model.fast_backend().effective_lambda();
     return stats;
   }
 
   if (rng != nullptr) data::shuffle(dataset, *rng);
 
   const std::string checkpoint = guard.checkpoint_path.empty()
-                                     ? default_guard_checkpoint_path(mlp)
+                                     ? default_guard_checkpoint_path(&model)
                                      : guard.checkpoint_path;
-  save_checkpoint(checkpoint, mlp);
+  save_checkpoint(checkpoint, model);
   ++out.checkpoints_written;
 
   EpochStats stats;
@@ -117,7 +124,7 @@ EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng
     const auto x = dataset.batch_images(first, batch);
     const auto labels = dataset.batch_labels(first, batch);
     WallTimer timer;
-    const double loss = mlp.train_step(x, labels);
+    const double loss = model.train_step(x, labels);
     stats.seconds += timer.seconds();
 
     const bool spiked = ewma_steps >= guard.warmup_steps &&
@@ -129,8 +136,8 @@ EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng
                          << out.recoveries
                          << " recovery attempts — backend exhausted");
       ++out.recoveries;
-      load_checkpoint(checkpoint, mlp);
-      derisk_fast_backend(mlp, guard, out);
+      load_checkpoint(checkpoint, model);
+      derisk_fast_backend(model, guard, out);
       ewma = 0;
       ewma_steps = 0;
       continue;  // retry the same batch with restored weights
@@ -143,7 +150,7 @@ EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng
     loss_acc += loss;
     ++stats.steps;
     if (guard.checkpoint_every > 0 && stats.steps % guard.checkpoint_every == 0) {
-      save_checkpoint(checkpoint, mlp);
+      save_checkpoint(checkpoint, model);
       ++out.checkpoints_written;
     }
     first += batch;
@@ -151,19 +158,21 @@ EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng
 
   stats.mean_loss = stats.steps > 0 ? loss_acc / static_cast<double>(stats.steps) : 0;
   stats.dropped_samples = batch > 0 ? dataset.size() % batch : index_t{0};
-  out.final_lambda = mlp.fast_backend().effective_lambda();
+  out.final_lambda = model.fast_backend().effective_lambda();
   if (guard.checkpoint_path.empty()) std::remove(checkpoint.c_str());
   return stats;
 }
 
-double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset, index_t batch) {
+template <class Model>
+double evaluate_accuracy_impl(Model& model, const data::Dataset& dataset,
+                              index_t batch, index_t output_size) {
   index_t correct_weighted = 0;
   index_t total = 0;
   Matrix<float> logits;
   for (index_t first = 0; first < dataset.size(); first += batch) {
     const index_t count = std::min(batch, dataset.size() - first);
-    logits = Matrix<float>(count, mlp.output_size());
-    mlp.predict(dataset.batch_images(first, count), logits.view());
+    logits = Matrix<float>(count, output_size);
+    model.predict(dataset.batch_images(first, count), logits.view());
     const double acc =
         SoftmaxCrossEntropy::accuracy(logits.view(), dataset.batch_labels(first, count));
     correct_weighted += static_cast<index_t>(acc * static_cast<double>(count) + 0.5);
@@ -171,6 +180,34 @@ double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset, index_t b
   }
   return total > 0 ? static_cast<double>(correct_weighted) / static_cast<double>(total)
                    : 0.0;
+}
+
+}  // namespace
+
+EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng) {
+  return train_epoch_plain(mlp, dataset, batch, rng);
+}
+
+EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng,
+                       const TrainGuardOptions& guard, TrainGuardReport* report) {
+  return train_epoch_guarded(mlp, dataset, batch, rng, guard, report);
+}
+
+double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset, index_t batch) {
+  return evaluate_accuracy_impl(mlp, dataset, batch, mlp.output_size());
+}
+
+EpochStats train_epoch(Cnn& cnn, data::Dataset& dataset, index_t batch, Rng* rng) {
+  return train_epoch_plain(cnn, dataset, batch, rng);
+}
+
+EpochStats train_epoch(Cnn& cnn, data::Dataset& dataset, index_t batch, Rng* rng,
+                       const TrainGuardOptions& guard, TrainGuardReport* report) {
+  return train_epoch_guarded(cnn, dataset, batch, rng, guard, report);
+}
+
+double evaluate_accuracy(Cnn& cnn, const data::Dataset& dataset, index_t batch) {
+  return evaluate_accuracy_impl(cnn, dataset, batch, cnn.output_size());
 }
 
 }  // namespace apa::nn

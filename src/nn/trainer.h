@@ -16,6 +16,7 @@
 #include <string>
 
 #include "data/dataset.h"
+#include "nn/cnn.h"
 #include "nn/mlp.h"
 
 namespace apa::nn {
@@ -81,6 +82,18 @@ EpochStats train_epoch(Mlp& mlp, data::Dataset& dataset, index_t batch, Rng* rng
 
 /// Classification accuracy over the dataset, evaluated in batches.
 [[nodiscard]] double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset,
+                                       index_t batch = 512);
+
+/// CNN variants of the loop above — identical batching methodology, guard
+/// semantics, and rollback contract (the CNN checkpoint carries conv filters,
+/// dense layers, and every momentum buffer, so a recovery is a bit-exact
+/// rewind). Cnn is taken non-const throughout because its forward pass stores
+/// pooling argmax state.
+EpochStats train_epoch(Cnn& cnn, data::Dataset& dataset, index_t batch, Rng* rng);
+EpochStats train_epoch(Cnn& cnn, data::Dataset& dataset, index_t batch, Rng* rng,
+                       const TrainGuardOptions& guard,
+                       TrainGuardReport* report = nullptr);
+[[nodiscard]] double evaluate_accuracy(Cnn& cnn, const data::Dataset& dataset,
                                        index_t batch = 512);
 
 }  // namespace apa::nn

@@ -39,4 +39,23 @@ double time_vgg_fc_step(Mlp& head, index_t batch, int reps, std::uint64_t seed) 
   return times.front();  // min: interference on shared hosts only adds time
 }
 
+std::vector<NamedConvShape> vgg19_conv_shapes() {
+  const auto conv = [](index_t in_c, index_t out_c, index_t side) {
+    ConvShape s;
+    s.in_channels = in_c;
+    s.in_height = side;
+    s.in_width = side;
+    s.out_channels = out_c;
+    s.kernel = 3;
+    s.stride = 1;
+    s.padding = 1;
+    return s;
+  };
+  return {
+      {"conv1_1", conv(3, 64, 224)},   {"conv1_2", conv(64, 64, 224)},
+      {"conv2_1", conv(64, 128, 112)}, {"conv3_1", conv(128, 256, 56)},
+      {"conv4_1", conv(256, 512, 28)}, {"conv5_1", conv(512, 512, 14)},
+  };
+}
+
 }  // namespace apa::nn

@@ -4,6 +4,9 @@
 // replaces the matmuls of these layers with the <4,4,2> algorithm and times
 // training per batch; this module builds that exact configuration.
 
+#include <vector>
+
+#include "nn/conv.h"
 #include "nn/mlp.h"
 
 namespace apa::nn {
@@ -26,5 +29,18 @@ struct VggFcConfig {
 /// fastest of `reps` timed repetitions after one warmup.
 [[nodiscard]] double time_vgg_fc_step(Mlp& head, index_t batch, int reps = 3,
                                       std::uint64_t seed = 5);
+
+/// One named VGG-19 conv layer shape, for benchmarks that sweep the conv
+/// stack's distinct gemm geometries.
+struct NamedConvShape {
+  const char* name;
+  ConvShape shape;
+};
+
+/// The distinct conv layer shapes of VGG-19 (one representative per block
+/// transition; all 3x3, stride 1, pad 1). The im2col gemm geometry per layer
+/// is (batch * H * W) x (9 * C_in) x C_out — the shapes bench/micro_conv
+/// sweeps for BENCH_conv.json.
+[[nodiscard]] std::vector<NamedConvShape> vgg19_conv_shapes();
 
 }  // namespace apa::nn

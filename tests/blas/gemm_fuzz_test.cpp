@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "blas/gemm.h"
+#include "blas/plan.h"
 #include "support/matrix.h"
 #include "support/rng.h"
 
@@ -68,6 +69,92 @@ TEST(GemmFuzz, EmbeddedBlocksWithRandomOffsets) {
     gemm_reference<float>(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a_blk.data, a_blk.ld,
                           b_blk.data, b_blk.ld, 0.0f, ref.data(), ref.ld());
     ASSERT_LT(relative_frobenius_error(c_blk, ref.view()), 1e-4) << "trial " << trial;
+  }
+}
+
+TEST(GemmFuzz, PlannedPrepackTransposeEpilogueCombos) {
+  // gemm_planned under randomized prepack sides, transposes, scalars, thread
+  // counts, and every epilogue kind. Two invariants per trial:
+  //   1. prepacked panels are bit-identical to on-the-fly packing (the pack
+  //      layout contract the NN plans rely on);
+  //   2. the fused result tracks reference gemm + unfused epilogue pass.
+  Rng rng(20260805);
+  for (int trial = 0; trial < 60; ++trial) {
+    const index_t m = 1 + static_cast<index_t>(rng.next_below(120));
+    const index_t n = 1 + static_cast<index_t>(rng.next_below(120));
+    const index_t k = 1 + static_cast<index_t>(rng.next_below(160));
+    const Trans ta = rng.next_below(2) ? Trans::kYes : Trans::kNo;
+    const Trans tb = rng.next_below(2) ? Trans::kYes : Trans::kNo;
+    const float alpha = static_cast<float>(rng.uniform(-2, 2));
+    const float beta = rng.next_below(2) ? 0.0f : static_cast<float>(rng.uniform(-1, 1));
+    const int pack_threads = 1 + static_cast<int>(rng.next_below(4));
+    const int threads = 1 + static_cast<int>(rng.next_below(4));
+
+    const index_t a_rows = ta == Trans::kYes ? k : m;
+    const index_t a_cols = ta == Trans::kYes ? m : k;
+    const index_t b_rows = tb == Trans::kYes ? n : k;
+    const index_t b_cols = tb == Trans::kYes ? k : n;
+    Matrix<float> a(a_rows, a_cols), b(b_rows, b_cols);
+    Matrix<float> c_planned(m, n), c_fused(m, n), ref(m, n);
+    fill_random_uniform<float>(a.view(), rng, -1.0f, 1.0f);
+    fill_random_uniform<float>(b.view(), rng, -1.0f, 1.0f);
+    fill_random_uniform<float>(c_planned.view(), rng, -1.0f, 1.0f);
+    copy(c_planned.view(), c_fused.view());
+    copy(c_planned.view(), ref.view());
+
+    Epilogue<float> ep;
+    Matrix<float> bias(1, n), gate(m, n);
+    fill_random_uniform<float>(bias.view(), rng, -1.0f, 1.0f);
+    fill_random_uniform<float>(gate.view(), rng, -1.0f, 1.0f);
+    switch (rng.next_below(5)) {
+      case 0:
+        break;
+      case 1:
+        ep.kind = EpilogueKind::kBiasAdd;
+        ep.bias = bias.data();
+        break;
+      case 2:
+        ep.kind = EpilogueKind::kRelu;
+        break;
+      case 3:
+        ep.kind = EpilogueKind::kBiasAddRelu;
+        ep.bias = bias.data();
+        break;
+      default:
+        ep.kind = EpilogueKind::kReluGrad;
+        ep.gate = gate.view().as_const();
+        break;
+    }
+
+    const bool prepack_a = rng.next_below(2) != 0;
+    const bool prepack_b = rng.next_below(2) != 0;
+    PackedPanel<float> pa, pb;
+    if (prepack_a) {
+      pa = PackedPanel<float>::pack_a(ta == Trans::kYes, a.view().as_const(),
+                                      pack_threads);
+    }
+    if (prepack_b) {
+      pb = PackedPanel<float>::pack_b(tb == Trans::kYes, b.view().as_const(),
+                                      pack_threads);
+    }
+
+    gemm_planned<float>(ta, a.view().as_const(), prepack_a ? &pa : nullptr, tb,
+                        b.view().as_const(), prepack_b ? &pb : nullptr,
+                        c_planned.view(), alpha, beta, ep, threads);
+    gemm_fused<float>(ta, tb, a.view().as_const(), b.view().as_const(),
+                      c_fused.view(), alpha, beta, ep, threads);
+    ASSERT_EQ(max_abs_diff(c_planned.view(), c_fused.view()), 0.0)
+        << "prepack changed bits: trial " << trial << " m=" << m << " n=" << n
+        << " k=" << k << " ta=" << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes)
+        << " packA=" << prepack_a << " packB=" << prepack_b
+        << " ep=" << static_cast<int>(ep.kind);
+
+    gemm_reference<float>(ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+                          beta, ref.data(), ref.ld());
+    apply_epilogue<float>(ep, ref.view());
+    ASSERT_LT(relative_frobenius_error(c_planned.view(), ref.view()), 1e-4)
+        << "trial " << trial << " ep=" << static_cast<int>(ep.kind) << " m=" << m
+        << " n=" << n << " k=" << k << " alpha=" << alpha << " beta=" << beta;
   }
 }
 

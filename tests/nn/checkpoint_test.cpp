@@ -190,5 +190,198 @@ TEST_F(CheckpointTest, FailedLoadLeavesModelUntouched) {
   EXPECT_EQ(max_abs_diff(before.view(), after.view()), 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Momentum (format v3) and CNN checkpoints.
+// ---------------------------------------------------------------------------
+
+MlpConfig momentum_config(std::uint64_t seed) {
+  MlpConfig config = config_of({12, 16, 5}, seed);
+  config.momentum = 0.9f;
+  return config;
+}
+
+TEST_F(CheckpointTest, MomentumRoundTripStepBitIdentical) {
+  // Save mid-training, load into a perturbed (differently seeded) model, take
+  // one more SGD step on each: with the velocity buffers restored the two
+  // trajectories must stay bit-identical. A loader that dropped momentum would
+  // diverge on this very step.
+  Mlp original(momentum_config(1), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+  Rng rng(2);
+  Matrix<float> x(8, 12);
+  fill_random_uniform<float>(x.view(), rng);
+  const std::vector<int> labels = {0, 1, 2, 3, 4, 0, 1, 2};
+  for (int i = 0; i < 5; ++i) original.train_step(x.view().as_const(), labels);
+  save_checkpoint(path_, original);
+
+  Mlp restored(momentum_config(999), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+  load_checkpoint(path_, restored);
+
+  original.train_step(x.view().as_const(), labels);
+  restored.train_step(x.view().as_const(), labels);
+  Matrix<float> logits_a(8, 5), logits_b(8, 5);
+  original.predict(x.view().as_const(), logits_a.view());
+  restored.predict(x.view().as_const(), logits_b.view());
+  EXPECT_EQ(max_abs_diff(logits_a.view(), logits_b.view()), 0.0);
+}
+
+TEST_F(CheckpointTest, MomentumBitFlipFuzzEveryRegionRejected) {
+  // Like BitFlipFuzzEveryRegionRejected, but over a checkpoint that carries
+  // velocity sections, so the corruption sweep also lands inside momentum
+  // flags and buffers.
+  Mlp mlp(momentum_config(1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  Rng rng(41);
+  Matrix<float> x(8, 12);
+  fill_random_uniform<float>(x.view(), rng);
+  const std::vector<int> labels = {0, 1, 2, 3, 4, 0, 1, 2};
+  for (int i = 0; i < 3; ++i) mlp.train_step(x.view().as_const(), labels);
+  save_checkpoint(path_, mlp);
+
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> pristine((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t offset = static_cast<std::size_t>(rng.next_below(pristine.size()));
+    std::vector<char> corrupted = pristine;
+    corrupted[offset] ^= static_cast<char>(1 << rng.next_below(8));
+
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    out.close();
+
+    Mlp victim(momentum_config(2), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+    EXPECT_THROW(load_checkpoint(path_, victim), ApaError)
+        << "bit flip at offset " << offset << " was silently accepted";
+  }
+}
+
+TEST_F(CheckpointTest, LegacyV2WithoutMomentumStillLoads) {
+  // Hand-craft a v2 file (no momentum sections) for the current topology: the
+  // loader must accept it and clear any live velocity in the target model.
+  Mlp donor(momentum_config(1), MatmulBackend("classical"),
+            MatmulBackend("classical"));
+  std::string payload;
+  const auto append_u64 = [&payload](std::uint64_t v) {
+    payload.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const auto append_matrix = [&](const Matrix<float>& m) {
+    append_u64(static_cast<std::uint64_t>(m.rows()));
+    append_u64(static_cast<std::uint64_t>(m.cols()));
+    payload.append(reinterpret_cast<const char*>(m.data()), m.size() * sizeof(float));
+  };
+  append_u64(static_cast<std::uint64_t>(donor.num_dense_layers()));
+  for (index_t i = 0; i < donor.num_dense_layers(); ++i) {
+    append_matrix(std::as_const(donor).layer(i).weights());
+    append_matrix(std::as_const(donor).layer(i).bias());
+  }
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (const char byte : payload) {
+    checksum ^= static_cast<unsigned char>(byte);
+    checksum *= 0x100000001b3ULL;
+  }
+  std::ofstream out(path_, std::ios::binary);
+  out.write("APAMM_MLP2", 10);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.close();
+
+  // Target has live momentum state from training; the v2 load must clear it
+  // so the restored model behaves exactly like the donor (zero velocity).
+  Mlp restored(momentum_config(7), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+  Rng rng(42);
+  Matrix<float> x(8, 12);
+  fill_random_uniform<float>(x.view(), rng);
+  const std::vector<int> labels = {0, 1, 2, 3, 4, 0, 1, 2};
+  restored.train_step(x.view().as_const(), labels);  // allocates velocity
+  load_checkpoint(path_, restored);
+
+  restored.train_step(x.view().as_const(), labels);
+  donor.train_step(x.view().as_const(), labels);
+  Matrix<float> logits_a(8, 5), logits_b(8, 5);
+  donor.predict(x.view().as_const(), logits_a.view());
+  restored.predict(x.view().as_const(), logits_b.view());
+  EXPECT_EQ(max_abs_diff(logits_a.view(), logits_b.view()), 0.0);
+}
+
+CnnConfig small_cnn_config(std::uint64_t seed) {
+  CnnConfig config;
+  config.image_side = 8;
+  config.conv_channels = 3;
+  config.hidden = 16;
+  config.classes = 4;
+  config.momentum = 0.9f;
+  config.seed = seed;
+  return config;
+}
+
+TEST_F(CheckpointTest, CnnRoundTripWithMomentumStepBitIdentical) {
+  Cnn original(small_cnn_config(1), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+  Rng rng(43);
+  Matrix<float> x(6, 8 * 8);
+  fill_random_uniform<float>(x.view(), rng);
+  const std::vector<int> labels = {0, 1, 2, 3, 0, 1};
+  for (int i = 0; i < 4; ++i) original.train_step(x.view().as_const(), labels);
+  save_checkpoint(path_, original);
+
+  Cnn restored(small_cnn_config(999), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+  load_checkpoint(path_, restored);
+
+  original.train_step(x.view().as_const(), labels);
+  restored.train_step(x.view().as_const(), labels);
+  Matrix<float> logits_a(6, 4), logits_b(6, 4);
+  original.predict(x.view().as_const(), logits_a.view());
+  restored.predict(x.view().as_const(), logits_b.view());
+  EXPECT_EQ(max_abs_diff(logits_a.view(), logits_b.view()), 0.0);
+}
+
+TEST_F(CheckpointTest, CnnTopologyMismatchRejected) {
+  Cnn cnn(small_cnn_config(1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  save_checkpoint(path_, cnn);
+
+  CnnConfig wider = small_cnn_config(1);
+  wider.conv_channels = 5;
+  Cnn wrong(wider, MatmulBackend("classical"), MatmulBackend("classical"));
+  try {
+    load_checkpoint(path_, wrong);
+    FAIL() << "conv topology mismatch must throw";
+  } catch (const ApaError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kShapeMismatch);
+  }
+
+  // An MLP checkpoint is not a CNN checkpoint (and vice versa).
+  Mlp mlp(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  save_checkpoint(path_, mlp);
+  EXPECT_THROW(load_checkpoint(path_, cnn), ApaError);
+}
+
+TEST_F(CheckpointTest, CnnFailedLoadLeavesModelUntouched) {
+  Cnn cnn(small_cnn_config(1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  Rng rng(44);
+  Matrix<float> x(4, 8 * 8);
+  fill_random_uniform<float>(x.view(), rng);
+  Matrix<float> before(4, 4), after(4, 4);
+  cnn.predict(x.view().as_const(), before.view());
+
+  CnnConfig other_config = small_cnn_config(9);
+  other_config.hidden = 24;  // dense mismatch fires after the conv tensors parse
+  Cnn other(other_config, MatmulBackend("classical"), MatmulBackend("classical"));
+  save_checkpoint(path_, other);
+  EXPECT_THROW(load_checkpoint(path_, cnn), ApaError);
+
+  cnn.predict(x.view().as_const(), after.view());
+  EXPECT_EQ(max_abs_diff(before.view(), after.view()), 0.0);
+}
+
 }  // namespace
 }  // namespace apa::nn

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "blas/gemm.h"
+#include "nn/conv.h"
 #include "nn/mlp.h"
 #include "support/rng.h"
 
@@ -152,6 +153,168 @@ TEST(GuardedBackend, FusedEpilogueAppliedAfterFallbackRerun) {
   classical.matmul(a.view().as_const(), b.view().as_const(), ref.view());
   blas::apply_epilogue<float>(fusion.epilogue, ref.view());
   EXPECT_EQ(max_abs_diff(ref.view(), c_guarded.view()), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Conv fault injection: every matmul of a conv training step (forward
+// product, dfilters, dx) must be Freivalds-verified, quarantined per-shape,
+// and corrected by the exact-gemm fallback — restoring output bit-identical
+// to the same ConvLayer run on a classical backend.
+// ---------------------------------------------------------------------------
+
+/// 4ch 8x8 -> 32ch, k3 s1 p1, batch 1. All three conv products then clear the
+/// fast cutoff (32) with three DISTINCT gemm shapes:
+///   forward  (rows, patch, out) = (64, 36, 32)
+///   dfilters (patch, rows, out) = (36, 64, 32)
+///   dx       (rows, out, patch) = (64, 32, 36)
+ConvShape guard_conv_shape() {
+  ConvShape s;
+  s.in_channels = 4;
+  s.in_height = 8;
+  s.in_width = 8;
+  s.out_channels = 32;
+  s.kernel = 3;
+  s.stride = 1;
+  s.padding = 1;
+  return s;
+}
+
+/// Policy that corrupts one entry of the raw APA product whenever the
+/// dispatch shape matches (m, k, n), before the guard's verification probe.
+/// A single entry (rather than a tile) keeps the Freivalds residual from ever
+/// cancelling: a +-1 probe scales it by one nonzero weight, so a miss is
+/// impossible rather than merely improbable.
+GuardPolicy tile_fault_at(index_t m, index_t k, index_t n) {
+  GuardPolicy policy;
+  policy.check_period = 1;
+  policy.inject_fault = [m, k, n](index_t cm, index_t ck, index_t cn,
+                                  MatrixView<float> c) {
+    if (cm == m && ck == k && cn == n) c(0, 0) += 1000.0f;
+  };
+  return policy;
+}
+
+/// Two ConvLayers with identical weights/bias plus a shared input batch.
+struct ConvPair {
+  static ConvLayer make_layer(const ConvShape& shape) {
+    Rng rng(21);
+    return ConvLayer(shape, rng);
+  }
+
+  ConvShape shape = guard_conv_shape();
+  ConvLayer guarded_layer;
+  ConvLayer classical_layer;
+  Matrix<float> x;
+  Matrix<float> dy;
+
+  ConvPair()
+      : guarded_layer(make_layer(shape)),
+        classical_layer(make_layer(shape)),
+        x(1, shape.in_size()),
+        dy(1, shape.out_size()) {
+    Rng rng(22);
+    fill_random_uniform<float>(guarded_layer.mutable_bias().view(), rng, -0.5f, 0.5f);
+    copy(guarded_layer.bias().view().as_const(), classical_layer.mutable_bias().view());
+    fill_random_uniform<float>(x.view(), rng, -1.0f, 1.0f);
+    fill_random_uniform<float>(dy.view(), rng, -1.0f, 1.0f);
+  }
+};
+
+TEST(GuardedConv, ForwardFaultCaughtAndCorrected) {
+  ConvPair pair;
+  const GuardedBackend guarded("bini322", small_cutoff(), tile_fault_at(64, 36, 32));
+  const MatmulBackend classical("classical");
+
+  Matrix<float> y(1, pair.shape.out_size()), y_ref(1, pair.shape.out_size());
+  pair.classical_layer.forward(pair.x.view().as_const(), y_ref.view(), classical,
+                               /*fuse_relu=*/true);
+  pair.guarded_layer.forward(pair.x.view().as_const(), y.view(), guarded,
+                             /*fuse_relu=*/true);
+
+  EXPECT_EQ(guarded.stats().trips_tolerance, 1u);
+  EXPECT_EQ(guarded.stats().fallback_reruns, 1u);
+  EXPECT_EQ(guarded.trips_for(64, 36, 32), 1);
+  EXPECT_EQ(guarded.trips_for(36, 64, 32), 0);
+  EXPECT_EQ(guarded.trips_for(64, 32, 36), 0);
+  // The exact fallback reruns the held-back product classically and folds the
+  // bias+ReLU epilogue in afterwards: bit-identical to the classical path.
+  EXPECT_EQ(max_abs_diff(y.view(), y_ref.view()), 0.0);
+}
+
+TEST(GuardedConv, FilterGradientFaultCaughtAndCorrected) {
+  ConvPair pair;
+  const GuardedBackend guarded("bini322", small_cutoff(), tile_fault_at(36, 64, 32));
+  const MatmulBackend classical("classical");
+
+  pair.classical_layer.backward(pair.x.view().as_const(), pair.dy.view().as_const(),
+                                nullptr, classical);
+  pair.guarded_layer.backward(pair.x.view().as_const(), pair.dy.view().as_const(),
+                              nullptr, guarded);
+
+  EXPECT_EQ(guarded.trips_for(36, 64, 32), 1);
+  EXPECT_EQ(guarded.trips_for(64, 36, 32), 0);
+  EXPECT_EQ(guarded.stats().fallback_reruns, 1u);
+  EXPECT_EQ(max_abs_diff(pair.guarded_layer.filter_grad().view(),
+                         pair.classical_layer.filter_grad().view()),
+            0.0);
+  EXPECT_EQ(max_abs_diff(pair.guarded_layer.bias_grad().view(),
+                         pair.classical_layer.bias_grad().view()),
+            0.0);
+}
+
+TEST(GuardedConv, InputGradientFaultCaughtAndCorrected) {
+  ConvPair pair;
+  const GuardedBackend guarded("bini322", small_cutoff(), tile_fault_at(64, 32, 36));
+  const MatmulBackend classical("classical");
+
+  Matrix<float> dx(1, pair.shape.in_size()), dx_ref(1, pair.shape.in_size());
+  MatrixView<float> dx_view = dx.view(), dx_ref_view = dx_ref.view();
+  // relu_gate = x exercises the fused kReluGrad epilogue, which the guard must
+  // hold back until the dx product itself is certified.
+  pair.classical_layer.backward(pair.x.view().as_const(), pair.dy.view().as_const(),
+                                &dx_ref_view, classical, pair.x.view().as_const());
+  pair.guarded_layer.backward(pair.x.view().as_const(), pair.dy.view().as_const(),
+                              &dx_view, guarded, pair.x.view().as_const());
+
+  EXPECT_EQ(guarded.trips_for(64, 32, 36), 1);
+  EXPECT_EQ(guarded.stats().fallback_reruns, 1u);
+  EXPECT_EQ(max_abs_diff(dx.view(), dx_ref.view()), 0.0);
+}
+
+TEST(GuardedConv, QuarantineTripsPerShapeOnly) {
+  ConvPair pair;
+  GuardPolicy policy = tile_fault_at(64, 36, 32);
+  policy.quarantine_after = 2;
+  const GuardedBackend guarded("bini322", small_cutoff(), policy);
+  const MatmulBackend classical("classical");
+
+  Matrix<float> y(1, pair.shape.out_size()), y_ref(1, pair.shape.out_size());
+  pair.classical_layer.forward(pair.x.view().as_const(), y_ref.view(), classical,
+                               /*fuse_relu=*/true);
+
+  pair.guarded_layer.forward(pair.x.view().as_const(), y.view(), guarded, true);
+  EXPECT_EQ(guarded.trips_for(64, 36, 32), 1);
+  EXPECT_FALSE(guarded.is_quarantined(64, 36, 32));
+
+  pair.guarded_layer.forward(pair.x.view().as_const(), y.view(), guarded, true);
+  EXPECT_EQ(guarded.trips_for(64, 36, 32), 2);
+  EXPECT_TRUE(guarded.is_quarantined(64, 36, 32));
+  EXPECT_EQ(guarded.stats().shapes_quarantined, 1u);
+
+  // Third call routes the shape straight to exact gemm (no fast product, so
+  // the injector never fires) and stays bit-identical.
+  pair.guarded_layer.forward(pair.x.view().as_const(), y.view(), guarded, true);
+  EXPECT_EQ(guarded.stats().quarantined_calls, 1u);
+  EXPECT_EQ(guarded.trips_for(64, 36, 32), 2);
+  EXPECT_EQ(max_abs_diff(y.view(), y_ref.view()), 0.0);
+
+  // The backward shapes were never corrupted and stay un-quarantined.
+  Matrix<float> dx(1, pair.shape.in_size());
+  MatrixView<float> dx_view = dx.view();
+  pair.guarded_layer.backward(pair.x.view().as_const(), pair.dy.view().as_const(),
+                              &dx_view, guarded, pair.x.view().as_const());
+  EXPECT_FALSE(guarded.is_quarantined(36, 64, 32));
+  EXPECT_FALSE(guarded.is_quarantined(64, 32, 36));
 }
 
 TEST(GuardedBackend, PolymorphicUseInsideMlp) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "data/synthetic_mnist.h"
 #include "support/rng.h"
 
@@ -91,6 +93,102 @@ TEST(Trainer, AccuracyBoundsOnUntrainedModel) {
   const auto data = tiny_dataset(200);
   const auto mlp = tiny_mlp();
   const double acc = evaluate_accuracy(mlp, data, 64);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// CNN variants: same loop, batching methodology, and guard contract.
+// ---------------------------------------------------------------------------
+
+Cnn tiny_cnn() {
+  CnnConfig config;
+  config.conv_channels = 2;
+  config.hidden = 24;
+  config.learning_rate = 0.05f;
+  return Cnn(config, MatmulBackend("classical"), MatmulBackend("classical"));
+}
+
+TEST(Trainer, CnnEpochStatsFieldsConsistent) {
+  auto data = tiny_dataset(250);
+  auto cnn = tiny_cnn();
+  const auto stats = train_epoch(cnn, data, 100, nullptr);
+  EXPECT_EQ(stats.steps, 2);  // 250 / 100, partial batch dropped
+  EXPECT_EQ(stats.dropped_samples, 50);
+  EXPECT_GT(stats.mean_loss, 0);
+  EXPECT_GT(stats.seconds, 0);
+}
+
+TEST(Trainer, CnnGuardedEpochMatchesUnguardedWhenDisabled) {
+  auto data_a = tiny_dataset(300);
+  auto data_b = tiny_dataset(300);
+  auto cnn_a = tiny_cnn();
+  auto cnn_b = tiny_cnn();
+  Rng rng_a(7), rng_b(7);
+  const auto plain = train_epoch(cnn_a, data_a, 100, &rng_a);
+  TrainGuardOptions guard;  // enabled defaults to false
+  TrainGuardReport report;
+  const auto guarded = train_epoch(cnn_b, data_b, 100, &rng_b, guard, &report);
+  EXPECT_DOUBLE_EQ(plain.mean_loss, guarded.mean_loss);
+  EXPECT_EQ(plain.dropped_samples, guarded.dropped_samples);
+  EXPECT_EQ(report.recoveries, 0);
+  EXPECT_EQ(report.checkpoints_written, 0);
+}
+
+TEST(Trainer, CnnGuardedEnabledWithoutDivergenceIsBitNeutral) {
+  // Auto-checkpointing must never perturb the trajectory: a guarded epoch with
+  // no trips produces exactly the unguarded loss.
+  auto data_a = tiny_dataset(300);
+  auto data_b = tiny_dataset(300);
+  auto cnn_a = tiny_cnn();
+  auto cnn_b = tiny_cnn();
+  Rng rng_a(11), rng_b(11);
+  const auto plain = train_epoch(cnn_a, data_a, 100, &rng_a);
+  TrainGuardOptions guard;
+  guard.enabled = true;
+  guard.checkpoint_every = 1;
+  TrainGuardReport report;
+  const auto guarded = train_epoch(cnn_b, data_b, 100, &rng_b, guard, &report);
+  EXPECT_DOUBLE_EQ(plain.mean_loss, guarded.mean_loss);
+  EXPECT_EQ(report.recoveries, 0);
+  EXPECT_GE(report.checkpoints_written, 3);  // initial + one per step
+}
+
+TEST(Trainer, CnnRollbackRecoversFromRoundoffExplosion) {
+  // lambda = 1e-12 amplifies APA roundoff until activations explode; the guard
+  // must roll the CNN back (conv filters, dense layers, and momentum buffers)
+  // and finish the epoch with healthy numbers on a de-risked backend.
+  auto data = tiny_dataset(600);
+  BackendOptions bad;
+  bad.matmul.lambda = 1e-12;
+  bad.min_dim_for_fast = 16;
+  CnnConfig config;
+  config.conv_channels = 2;
+  config.hidden = 64;
+  config.momentum = 0.9f;  // rollback must rewind velocity too
+  config.learning_rate = 0.05f;
+  Cnn cnn(config, MatmulBackend("bini322", bad), MatmulBackend("classical"));
+
+  TrainGuardOptions guard;
+  guard.enabled = true;
+  guard.checkpoint_every = 3;
+  guard.warmup_steps = 1;
+  TrainGuardReport report;
+  Rng rng(22);
+  const EpochStats stats = train_epoch(cnn, data, 64, &rng, guard, &report);
+
+  EXPECT_GE(report.recoveries, 1);
+  EXPECT_TRUE(std::isfinite(stats.mean_loss));
+  EXPECT_GT(stats.steps, 0);
+  Matrix<float> logits(4, 10);
+  cnn.predict(data.batch_images(0, 4), logits.view());
+  for (const float v : logits.span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Trainer, CnnAccuracyBoundsOnUntrainedModel) {
+  const auto data = tiny_dataset(200);
+  auto cnn = tiny_cnn();
+  const double acc = evaluate_accuracy(cnn, data, 64);
   EXPECT_GE(acc, 0.0);
   EXPECT_LE(acc, 1.0);
 }
