@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "benchutil/gbench_json.h"
 #include "blas/combine.h"
 #include "blas/gemm.h"
 #include "blas/transpose.h"
@@ -101,4 +102,7 @@ BENCHMARK(BM_Transpose)->Arg(512)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return apa::bench::run_gbench_with_json(argc, argv, "micro_blas",
+                                          "BENCH_micro_blas.json");
+}

@@ -16,6 +16,7 @@
 // Usage: micro_conv [--batch=4] [--reps=3] [--scale=1] [--algo=classical]
 //                   [--threads=N] [--layers=conv1_1,conv3_1,...]
 //                   [--json=BENCH_conv.json]
+//                   [--trace-out=trace.json] [--metrics-out=metrics.jsonl]
 //
 // --scale divides the spatial side of every layer (min 4) for quick smoke
 // runs; published numbers use scale 1.
@@ -26,15 +27,18 @@
 #include <vector>
 
 #include "benchutil/harness.h"
+#include "benchutil/json_writer.h"
 #include "nn/conv.h"
 #include "nn/layers.h"
 #include "nn/vgg.h"
+#include "obs/session.h"
 #include "support/cli.h"
 #include "support/rng.h"
 #include "support/table.h"
 
 namespace {
 
+/// Per-layer result kept for the aggregate "total" row.
 struct Row {
   std::string layer;
   long batch = 0;
@@ -43,26 +47,17 @@ struct Row {
   double planned_s = 0;
 };
 
-void write_json(const std::string& path, const std::vector<Row>& rows) {
-  if (path.empty()) return;
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "micro_conv: cannot open %s for writing\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"micro_conv\",\n  \"rows\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"layer\": \"%s\", \"batch\": %ld, \"m\": %ld, \"k\": %ld, "
-                 "\"n\": %ld, \"seed_seconds\": %.6g, \"planned_seconds\": %.6g, "
-                 "\"speedup_planned\": %.4f}%s\n",
-                 r.layer.c_str(), r.batch, r.m, r.k, r.n, r.seed_s, r.planned_s,
-                 r.seed_s / r.planned_s, i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path.c_str());
+apa::obs::JsonRecord to_record(const Row& r) {
+  apa::obs::JsonRecord rec;
+  rec.set("layer", r.layer)
+      .set("batch", r.batch)
+      .set("m", r.m)
+      .set("k", r.k)
+      .set("n", r.n)
+      .set("seed_seconds", r.seed_s)
+      .set("planned_seconds", r.planned_s)
+      .set("speedup_planned", r.seed_s / r.planned_s);
+  return rec;
 }
 
 }  // namespace
@@ -70,6 +65,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
 int main(int argc, char** argv) {
   using namespace apa;
   const CliArgs args(argc, argv);
+  obs::ObsSession obs_session(args.get("trace-out", ""), args.get("metrics-out", ""));
   const long batch = static_cast<long>(args.get_int("batch", 4));
   const long scale = static_cast<long>(args.get_int("scale", 1));
   const int threads = static_cast<int>(args.get_int("threads", 1));
@@ -182,6 +178,8 @@ int main(int argc, char** argv) {
   }
 
   table.print();
-  write_json(args.get("json", "BENCH_conv.json"), rows);
+  bench::BenchJsonWriter writer("micro_conv");
+  for (const Row& r : rows) writer.add_row(to_record(r));
+  writer.write(args.get("json", "BENCH_conv.json"));
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "benchutil/gbench_json.h"
 #include "blas/gemm.h"
 #include "core/designer.h"
 #include "core/executor.h"
@@ -86,4 +87,7 @@ BENCHMARK(BM_LambdaEvaluate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return apa::bench::run_gbench_with_json(argc, argv, "micro_core",
+                                          "BENCH_micro_core.json");
+}

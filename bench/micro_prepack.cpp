@@ -17,59 +17,26 @@
 // Usage: micro_prepack [--batches=128,512,2048,4096] [--dim=4096]
 //                      [--algos=classical,bini322] [--reps=3]
 //                      [--json=BENCH_prepack.json]
+//                      [--trace-out=trace.json] [--metrics-out=metrics.jsonl]
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "benchutil/harness.h"
+#include "benchutil/json_writer.h"
 #include "blas/plan.h"
 #include "nn/backend.h"
+#include "obs/session.h"
 #include "support/cli.h"
 #include "support/rng.h"
 #include "support/table.h"
 #include "support/timer.h"
 
-namespace {
-
-struct Row {
-  std::string backend;
-  long batch = 0;
-  long dim = 0;
-  double plain_s = 0;
-  double prepacked_s = 0;
-  double fused_s = 0;
-};
-
-void write_json(const std::string& path, const std::vector<Row>& rows) {
-  if (path.empty()) return;
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "micro_prepack: cannot open %s for writing\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"micro_prepack\",\n  \"rows\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"backend\": \"%s\", \"batch\": %ld, \"dim\": %ld, "
-                 "\"plain_seconds\": %.6g, \"prepacked_seconds\": %.6g, "
-                 "\"fused_seconds\": %.6g, \"speedup_prepacked\": %.4f, "
-                 "\"speedup_fused\": %.4f}%s\n",
-                 r.backend.c_str(), r.batch, r.dim, r.plain_s, r.prepacked_s,
-                 r.fused_s, r.plain_s / r.prepacked_s, r.plain_s / r.fused_s,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path.c_str());
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace apa;
   const CliArgs args(argc, argv);
+  obs::ObsSession obs_session(args.get("trace-out", ""), args.get("metrics-out", ""));
   const auto batches = args.get_int_list("batches", {128, 512, 2048, 4096});
   const long dim = static_cast<long>(args.get_int("dim", 4096));
   const auto algos = args.get_list("algos", {"classical", "bini322"});
@@ -81,7 +48,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"backend", "batch", "plain-s", "prepacked-s", "fused-s",
                       "x-prepacked", "x-fused", "fused-GFLOPS"});
 
-  std::vector<Row> rows;
+  bench::BenchJsonWriter writer("micro_prepack");
   for (const auto& algo : algos) {
     nn::BackendOptions options;
     const nn::MatmulBackend backend(algo, options);
@@ -136,8 +103,16 @@ int main(int argc, char** argv) {
           },
           timing);
 
-      rows.push_back(Row{algo, batch, dim, plain.min_seconds, prepacked.min_seconds,
-                         fused.min_seconds});
+      obs::JsonRecord row;
+      row.set("backend", algo)
+          .set("batch", batch)
+          .set("dim", dim)
+          .set("plain_seconds", plain.min_seconds)
+          .set("prepacked_seconds", prepacked.min_seconds)
+          .set("fused_seconds", fused.min_seconds)
+          .set("speedup_prepacked", plain.min_seconds / prepacked.min_seconds)
+          .set("speedup_fused", plain.min_seconds / fused.min_seconds);
+      writer.add_row(std::move(row));
       table.add_row(
           {algo, std::to_string(batch), format_double(plain.min_seconds, 4),
            format_double(prepacked.min_seconds, 4), format_double(fused.min_seconds, 4),
@@ -148,6 +123,6 @@ int main(int argc, char** argv) {
   }
 
   table.print();
-  write_json(args.get("json", "BENCH_prepack.json"), rows);
+  writer.write(args.get("json", "BENCH_prepack.json"));
   return 0;
 }

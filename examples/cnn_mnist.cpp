@@ -3,17 +3,24 @@
 // the conv-as-gemm direction the paper's introduction motivates.
 //
 //   ./cnn_mnist [--algo=fast444] [--epochs=4] [--train=4000] [--batch=128]
+//               [--trace-out=trace.json] [--metrics-out=metrics.jsonl]
+//
+// --trace-out / --metrics-out enable the observability layer: a Chrome-trace
+// JSON of every instrumented phase and a JSONL stream of per-epoch records
+// (see docs/OBSERVABILITY.md).
 
 #include <cstdio>
 
 #include "data/synthetic_mnist.h"
 #include "nn/cnn.h"
+#include "nn/trainer.h"
+#include "obs/session.h"
 #include "support/cli.h"
-#include "support/timer.h"
 
 int main(int argc, char** argv) {
   using namespace apa;
   const CliArgs args(argc, argv);
+  obs::ObsSession obs_session(args.get("trace-out", ""), args.get("metrics-out", ""));
   const std::string algo = args.get("algo", "fast444");
   const int epochs = static_cast<int>(args.get_int("epochs", 4));
   const index_t batch = args.get_int("batch", 128);
@@ -21,7 +28,7 @@ int main(int argc, char** argv) {
   data::SyntheticMnistOptions gen;
   gen.train_size = args.get_int("train", 4000);
   gen.test_size = 1000;
-  const auto splits = data::make_synthetic_mnist(gen);
+  auto splits = data::make_synthetic_mnist(gen);
 
   nn::CnnConfig config;
   config.conv_channels = 8;
@@ -35,20 +42,14 @@ int main(int argc, char** argv) {
               static_cast<long>(batch), algo.c_str());
 
   for (int epoch = 1; epoch <= epochs; ++epoch) {
-    WallTimer timer;
-    double loss = 0;
-    index_t steps = 0;
-    for (index_t first = 0; first + batch <= splits.train.size(); first += batch) {
-      loss += cnn.train_step(splits.train.batch_images(first, batch),
-                             splits.train.batch_labels(first, batch));
-      ++steps;
-    }
-    Matrix<float> logits(splits.test.size(), 10);
-    cnn.predict(splits.test.batch_images(0, splits.test.size()), logits.view());
-    const double acc = nn::SoftmaxCrossEntropy::accuracy(logits.view().as_const(),
-                                                         splits.test.labels);
+    // No shuffle (nullptr rng) keeps the seed example's fixed batch order.
+    const auto stats = nn::train_epoch(cnn, splits.train, batch, nullptr);
+    const double acc = nn::evaluate_accuracy(cnn, splits.test);
     std::printf("epoch %d  loss %.4f  test-acc %.4f  (%.2fs)\n", epoch,
-                loss / static_cast<double>(steps), acc, timer.seconds());
+                stats.mean_loss, acc, stats.seconds);
+    if (obs_session.telemetry() != nullptr) {
+      nn::append_epoch_record(*obs_session.telemetry(), epoch, stats, acc);
+    }
   }
   return 0;
 }

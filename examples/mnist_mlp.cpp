@@ -3,21 +3,32 @@
 // runnable example.
 //
 //   ./mnist_mlp [--algo=bini322] [--epochs=5] [--train=8000] [--test=2000]
-//               [--batch=300] [--lr=0.1] [--mnist-dir=PATH]
+//               [--batch=300] [--lr=0.1] [--mnist-dir=PATH] [--guard]
+//               [--trace-out=trace.json] [--metrics-out=metrics.jsonl]
+//
+// --trace-out records every instrumented phase (pack/combine/gemm/epilogue/
+// verify/...) to a Chrome-trace JSON viewable in Perfetto; --metrics-out
+// streams one JSONL record per epoch (plus per-step records when --guard is
+// on) and a final counters snapshot. See docs/OBSERVABILITY.md.
 
 #include <cstdio>
+#include <memory>
 
 #include "data/idx.h"
 #include "data/synthetic_mnist.h"
+#include "nn/guarded_backend.h"
 #include "nn/trainer.h"
+#include "obs/session.h"
 #include "support/cli.h"
 
 int main(int argc, char** argv) {
   using namespace apa;
   const CliArgs args(argc, argv);
+  obs::ObsSession obs_session(args.get("trace-out", ""), args.get("metrics-out", ""));
   const std::string algo = args.get("algo", "bini322");
   const int epochs = static_cast<int>(args.get_int("epochs", 5));
   const index_t batch = args.get_int("batch", 300);
+  const bool guard = args.get_bool("guard", false);
 
   data::Dataset train, test;
   if (auto mnist = data::try_load_mnist(args.get("mnist-dir", "data/mnist"))) {
@@ -38,16 +49,30 @@ int main(int argc, char** argv) {
   nn::MlpConfig config;
   config.layer_sizes = {784, 300, 300, 10};
   config.learning_rate = static_cast<float>(args.get_double("lr", 0.1));
-  nn::Mlp mlp(config, nn::MatmulBackend(algo), nn::MatmulBackend("classical"));
+  // The guarded wrapper must go through the shared_ptr overload — the value
+  // constructor would slice its verification policy away.
+  const std::shared_ptr<const nn::MatmulBackend> fast =
+      guard ? std::make_shared<const nn::GuardedBackend>(algo)
+            : std::make_shared<const nn::MatmulBackend>(algo);
+  nn::Mlp mlp(config, fast, std::make_shared<const nn::MatmulBackend>("classical"));
 
-  std::printf("MLP 784-300-300-10, batch %ld, middle layer on '%s'\n\n",
-              static_cast<long>(batch), algo.c_str());
+  std::printf("MLP 784-300-300-10, batch %ld, middle layer on '%s'%s\n\n",
+              static_cast<long>(batch), algo.c_str(), guard ? " (guarded)" : "");
   Rng rng(3);
+  nn::TrainGuardOptions guard_options;
+  guard_options.enabled = guard;
+  guard_options.telemetry = obs_session.telemetry();
   for (int epoch = 1; epoch <= epochs; ++epoch) {
-    const auto stats = nn::train_epoch(mlp, train, batch, &rng);
+    nn::TrainGuardReport report;
+    const auto stats = nn::train_epoch(mlp, train, batch, &rng, guard_options, &report);
+    const double test_acc = nn::evaluate_accuracy(mlp, test);
     std::printf("epoch %2d  loss %.4f  train-acc %.4f  test-acc %.4f  (%.2fs)\n", epoch,
-                stats.mean_loss, nn::evaluate_accuracy(mlp, train),
-                nn::evaluate_accuracy(mlp, test), stats.seconds);
+                stats.mean_loss, nn::evaluate_accuracy(mlp, train), test_acc,
+                stats.seconds);
+    if (obs_session.telemetry() != nullptr) {
+      nn::append_epoch_record(*obs_session.telemetry(), epoch, stats, test_acc,
+                              guard ? &report : nullptr);
+    }
   }
   return 0;
 }

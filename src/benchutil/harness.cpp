@@ -3,15 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace apa::bench {
 
 TimingResult time_workload(const std::function<void()>& fn, const TimingOptions& options) {
-  for (int i = 0; i < options.warmup; ++i) fn();
+  {
+    APA_TRACE_SCOPE("bench.warmup");
+    for (int i = 0; i < options.warmup; ++i) fn();
+  }
   std::vector<double> times;
   double total = 0;
   while (static_cast<int>(times.size()) < options.reps ||
          (total < options.min_total_seconds &&
           static_cast<int>(times.size()) < options.max_reps)) {
+    APA_TRACE_SCOPE_ID("bench.rep", times.size());
     WallTimer timer;
     fn();
     times.push_back(timer.seconds());

@@ -1,6 +1,7 @@
 #include "blas/gemm.h"
 
 #include "blas/plan.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace apa::blas {
@@ -10,6 +11,7 @@ void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha, const T*
           index_t lda, const T* b, index_t ldb, T beta, T* c, index_t ldc,
           int num_threads) {
   APA_CHECK(m >= 0 && n >= 0 && k >= 0);
+  APA_COUNTER_INC("blas.gemm.legacy_calls");
   if (m == 0 || n == 0) return;
   if (k == 0 || alpha == T{0}) {
     for (index_t i = 0; i < m; ++i) {

@@ -6,6 +6,8 @@
 
 #include "blas/microkernel.h"
 #include "blas/packing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace apa::blas {
@@ -116,6 +118,7 @@ void engine_serial(bool ta, const T* a, index_t lda, const PackedPanel<T>* pa, b
       if (pb != nullptr) {
         b_block = pb->block(jc / nc_max, pc / kc_max);
       } else {
+        APA_TRACE_SCOPE("blas.pack_b");
         detail::pack_b(tb, b, ldb, pc, jc, kc, nc, b_buf.data());
         b_block = b_buf.data();
       }
@@ -125,9 +128,11 @@ void engine_serial(bool ta, const T* a, index_t lda, const PackedPanel<T>* pa, b
         if (pa != nullptr) {
           a_block = pa->block(ic / mc_max, pc / kc_max);
         } else {
+          APA_TRACE_SCOPE("blas.pack_a");
           detail::pack_a(ta, a, lda, ic, pc, mc, kc, a_buf.data());
           a_block = a_buf.data();
         }
+        APA_TRACE_SCOPE("blas.kernel");
         macro_kernel(mc, nc, kc, alpha, a_block, b_block, beta_eff, c + ic * ldc + jc,
                      ldc, tile_ep, ic, jc);
       }
@@ -171,6 +176,8 @@ void engine_parallel(bool ta, const T* a, index_t lda, const PackedPanel<T>* pa,
         if (pb != nullptr) {
           b_block = pb->block(jc / nc_max, pc / kc_max);
         } else {
+          // Span covers this thread's share of the pack plus the barrier wait.
+          APA_TRACE_SCOPE("blas.pack_b");
 #pragma omp for schedule(static)
           for (index_t q = 0; q < n_panels; ++q) {
             detail::pack_b_panel(tb, b, ldb, pc, jc + q * nr, kc,
@@ -185,6 +192,7 @@ void engine_parallel(bool ta, const T* a, index_t lda, const PackedPanel<T>* pa,
             a_block = pa->block(ic / mc_max, pc / kc_max);
           } else {
             const index_t m_panels = (mc + mr - 1) / mr;
+            APA_TRACE_SCOPE("blas.pack_a");
 #pragma omp for schedule(static)
             for (index_t p = 0; p < m_panels; ++p) {
               detail::pack_a_panel(ta, a, lda, ic + p * mr, pc,
@@ -193,6 +201,7 @@ void engine_parallel(bool ta, const T* a, index_t lda, const PackedPanel<T>* pa,
             }
             a_block = a_shared;
           }
+          APA_TRACE_SCOPE("blas.kernel");
 #pragma omp for schedule(static)
           for (index_t q = 0; q < n_panels; ++q) {
             const index_t j = q * nr;
@@ -241,6 +250,7 @@ void validate_epilogue(const Epilogue<T>& ep, index_t m, index_t n) {
 template <class T>
 void apply_epilogue(const Epilogue<T>& ep, MatrixView<T> c) {
   if (ep.kind == EpilogueKind::kNone) return;
+  APA_TRACE_SCOPE("blas.epilogue");
   validate_epilogue(ep, c.rows, c.cols);
   epilogue_region(ep, c.data, c.ld, c.rows, c.cols, 0, 0);
 }
@@ -248,6 +258,7 @@ void apply_epilogue(const Epilogue<T>& ep, MatrixView<T> c) {
 template <class T>
 PackedPanel<T> PackedPanel<T>::pack_a(bool trans, MatrixView<const T> stored,
                                       int num_threads) {
+  APA_TRACE_SCOPE("blas.prepack_a");
   constexpr index_t mr = MicroShape<T>::kMr;
   constexpr index_t mc_max = BlockShape<T>::kMc;
   constexpr index_t kc_max = BlockShape<T>::kKc;
@@ -283,6 +294,7 @@ PackedPanel<T> PackedPanel<T>::pack_a(bool trans, MatrixView<const T> stored,
 template <class T>
 PackedPanel<T> PackedPanel<T>::pack_b(bool trans, MatrixView<const T> stored,
                                       int num_threads) {
+  APA_TRACE_SCOPE("blas.prepack_b");
   constexpr index_t nr = MicroShape<T>::kNr;
   constexpr index_t kc_max = BlockShape<T>::kKc;
   constexpr index_t nc_max = BlockShape<T>::kNc;
@@ -316,6 +328,12 @@ void gemm_planned(Trans ta, MatrixView<const T> a, const PackedPanel<T>* a_packe
                   Trans tb, MatrixView<const T> b, const PackedPanel<T>* b_packed,
                   MatrixView<T> c, T alpha, T beta, const Epilogue<T>& epilogue,
                   int num_threads) {
+  APA_TRACE_SCOPE("blas.gemm");
+  if (a_packed != nullptr || b_packed != nullptr) {
+    APA_COUNTER_INC("blas.gemm.prepack_hits");
+  } else {
+    APA_COUNTER_INC("blas.gemm.prepack_misses");
+  }
   const bool tra = (ta == Trans::kYes);
   const bool trb = (tb == Trans::kYes);
   const index_t m = tra ? a.cols : a.rows;

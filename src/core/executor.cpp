@@ -10,6 +10,8 @@
 #include "blas/plan.h"
 #include "blas/transpose.h"
 #include "core/params.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/aligned.h"
 #include "support/pool.h"
 
@@ -125,6 +127,7 @@ class LevelRunner {
   /// gemms. Pack each such block once up front; the packs are read-only during
   /// the (possibly concurrent) product computations.
   void prepack_shared_blocks() {
+    APA_TRACE_SCOPE("core.prepack");
     std::map<index_t, int> a_uses, b_uses;
     for (index_t l = 0; l < rule_.rank; ++l) {
       const auto& ut = rule_.u_terms[static_cast<std::size_t>(l)];
@@ -136,11 +139,13 @@ class LevelRunner {
       if (uses < 2) continue;
       const Operand<T> blk = input_block(a_, entry, rule_.k, bm_, bk_);
       a_packs_.emplace(entry, blas::PackedPanel<T>::pack_a(blk.trans, blk.view));
+      APA_COUNTER_INC("core.prepack.shared_blocks");
     }
     for (const auto& [entry, uses] : b_uses) {
       if (uses < 2) continue;
       const Operand<T> blk = input_block(b_, entry, rule_.n, bk_, bn_);
       b_packs_.emplace(entry, blas::PackedPanel<T>::pack_b(blk.trans, blk.view));
+      APA_COUNTER_INC("core.prepack.shared_blocks");
     }
   }
 
@@ -157,8 +162,10 @@ class LevelRunner {
                           Operand<T> in, index_t grid_cols, index_t rows, index_t cols,
                           PooledMatrix<T>& temp, int threads) const {
     if (terms_in.size() == 1 && terms_in[0].second == 1.0) {
+      APA_COUNTER_INC("core.operand.aliased");
       return input_block(in, terms_in[0].first, grid_cols, rows, cols);
     }
+    APA_COUNTER_INC("core.operand.materialized");
     std::vector<blas::Scaled<T>> terms;
     terms.reserve(terms_in.size());
     for (const auto& [entry, coeff] : terms_in) {
@@ -181,11 +188,18 @@ class LevelRunner {
     const auto& vt = rule_.v_terms[static_cast<std::size_t>(l)];
 
     PooledMatrix<T> a_temp, b_temp;
-    const Operand<T> a_op = form_operand(ut, a_, rule_.k, bm_, bk_, a_temp, threads);
-    const Operand<T> b_op = form_operand(vt, b_, rule_.n, bk_, bn_, b_temp, threads);
+    const Operand<T> a_op = [&] {
+      APA_TRACE_SCOPE_ID("core.combine_a", l);
+      return form_operand(ut, a_, rule_.k, bm_, bk_, a_temp, threads);
+    }();
+    const Operand<T> b_op = [&] {
+      APA_TRACE_SCOPE_ID("core.combine_b", l);
+      return form_operand(vt, b_, rule_.n, bk_, bn_, b_temp, threads);
+    }();
 
     // Sub-multiplication: descend the chain while levels remain, else gemm
     // (reusing the prepacked panel when this product aliases a shared block).
+    APA_TRACE_SCOPE_ID("core.submul", l);
     if (levels_.size() > 1) {
       run_chain<T>(levels_.subspan(1), a_op, b_op, product_view(l),
                    threads > 1 ? strategy_ : Strategy::kSequential, threads);
@@ -206,6 +220,7 @@ class LevelRunner {
   /// inside each combination (memory-bandwidth bound, paper section 3.2).
   void combine_outputs(int threads) {
     for (index_t e = 0; e < rule_.m * rule_.n; ++e) {
+      APA_TRACE_SCOPE_ID("core.combine_c", e);
       const auto& wt = rule_.w_terms[static_cast<std::size_t>(e)];
       std::vector<blas::Scaled<T>> terms;
       terms.reserve(wt.size());
@@ -255,6 +270,8 @@ void run_chain(Levels levels, Operand<T> a, Operand<T> b, MatrixView<T> c,
   // own (smaller) operands as needed. Transposed operands resolve here via a
   // blocked transpose into the padded buffer.
   if (a.rows() % rule.m != 0 || a.cols() % rule.k != 0 || b.cols() % rule.n != 0) {
+    APA_TRACE_SCOPE("core.pad");
+    APA_COUNTER_INC("core.pad.levels");
     const index_t pm = (a.rows() + rule.m - 1) / rule.m * rule.m;
     const index_t pk = (a.cols() + rule.k - 1) / rule.k * rule.k;
     const index_t pn = (b.cols() + rule.n - 1) / rule.n * rule.n;

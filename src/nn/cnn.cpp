@@ -1,5 +1,6 @@
 #include "nn/cnn.h"
 
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace apa::nn {
@@ -58,14 +59,17 @@ double Cnn::train_step(MatrixView<const float> x, const std::vector<int>& labels
   // Forward. Both ReLUs ride their matmul's epilogue; only post-activation
   // tensors are kept (act > 0 gates the backward identically to pre > 0).
   Matrix<float> conv_act(batch, conv_shape_.out_size());
-  conv_.forward(x, conv_act.view(), *fast_, /*fuse_relu=*/true);
   Matrix<float> pooled(batch, pool_shape_.out_size());
-  pool_.forward(conv_act.view().as_const(), pooled.view());
   Matrix<float> hidden_act(batch, config_.hidden);
-  dense1_.forward(pooled.view().as_const(), hidden_act.view(), *fast_,
-                  /*fuse_relu=*/true);
   Matrix<float> logits(batch, config_.classes);
-  dense2_.forward(hidden_act.view().as_const(), logits.view(), *classical_);
+  {
+    APA_TRACE_SCOPE("nn.forward");
+    conv_.forward(x, conv_act.view(), *fast_, /*fuse_relu=*/true);
+    pool_.forward(conv_act.view().as_const(), pooled.view());
+    dense1_.forward(pooled.view().as_const(), hidden_act.view(), *fast_,
+                    /*fuse_relu=*/true);
+    dense2_.forward(hidden_act.view().as_const(), logits.view(), *classical_);
+  }
 
   // Loss.
   Matrix<float> dlogits(batch, config_.classes);
@@ -78,6 +82,7 @@ double Cnn::train_step(MatrixView<const float> x, const std::vector<int>& labels
   // conv activation and dense1, so it cannot ride a matmul epilogue).
   const SgdOptions sgd{.learning_rate = config_.learning_rate,
                        .momentum = config_.momentum};
+  APA_TRACE_SCOPE("nn.backward");
   Matrix<float> dhidden(batch, config_.hidden);
   MatrixView<float> dhidden_view = dhidden.view();
   dense2_.backward(hidden_act.view().as_const(), dlogits.view().as_const(),

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "blas/transpose.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace apa::nn {
@@ -13,6 +15,7 @@ namespace {
 /// independent, so the expansion threads across the batch.
 void im2col_batch(const ConvShape& shape, MatrixView<const float> x,
                   MatrixView<float> patches, int num_threads) {
+  APA_TRACE_SCOPE("conv.im2col");
   const index_t batch = x.rows;
   const index_t positions = shape.out_height() * shape.out_width();
   const int team = static_cast<int>(
@@ -183,6 +186,7 @@ ConvLayer::ConvLayer(const ConvShape& shape, Rng& rng)
 
 const blas::GemmPlan<float>* ConvLayer::forward_plan(int num_threads) const {
   if (fwd_packed_version_ != filters_version_) {
+    APA_COUNTER_INC("conv.filter_pack.rebuilds");
     fwd_plan_.set_packed_b(/*trans=*/false, filters_.view().as_const(), num_threads);
     fwd_packed_version_ = filters_version_;
   }
@@ -191,6 +195,7 @@ const blas::GemmPlan<float>* ConvLayer::forward_plan(int num_threads) const {
 
 const blas::GemmPlan<float>* ConvLayer::dx_plan(int num_threads) const {
   if (dx_packed_version_ != filters_version_) {
+    APA_COUNTER_INC("conv.filter_pack.rebuilds");
     dx_plan_.set_packed_b(/*trans=*/true, filters_.view().as_const(), num_threads);
     dx_packed_version_ = filters_version_;
   }
@@ -233,6 +238,7 @@ void ConvLayer::forward(MatrixView<const float> x, MatrixView<float> y,
                     false, false, fusion);
 
   // (positions, channels) -> NCHW per sample; samples are independent.
+  APA_TRACE_SCOPE("conv.restack");
   const int team = static_cast<int>(
       std::min<index_t>(std::max(threads, 1), std::max<index_t>(batch, 1)));
 #pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
@@ -261,7 +267,10 @@ void ConvLayer::backward(MatrixView<const float> x, MatrixView<const float> dy,
   const bool cache_hit = patches_input_ == x.data && patches_batch_ == batch &&
                          patches_.rows() == rows &&
                          patches_.cols() == shape_.patch_size();
-  if (!cache_hit) {
+  if (cache_hit) {
+    APA_COUNTER_INC("conv.patch_cache.hits");
+  } else {
+    APA_COUNTER_INC("conv.patch_cache.misses");
     if (patches_.rows() != rows || patches_.cols() != shape_.patch_size()) {
       patches_ = Matrix<float>(rows, shape_.patch_size());
     }
@@ -274,12 +283,15 @@ void ConvLayer::backward(MatrixView<const float> x, MatrixView<const float> dy,
   Matrix<float> dy_mat(rows, shape_.out_channels);
   const int team = static_cast<int>(
       std::min<index_t>(std::max(threads, 1), std::max<index_t>(batch, 1)));
+  {
+    APA_TRACE_SCOPE("conv.restack");
 #pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
-  for (index_t s = 0; s < batch; ++s) {
-    MatrixView<const float> grad(&dy(s, 0), shape_.out_channels, positions,
-                                 positions);
-    blas::transpose<float>(
-        grad, dy_mat.view().block(s * positions, 0, positions, shape_.out_channels));
+    for (index_t s = 0; s < batch; ++s) {
+      MatrixView<const float> grad(&dy(s, 0), shape_.out_channels, positions,
+                                   positions);
+      blas::transpose<float>(
+          grad, dy_mat.view().block(s * positions, 0, positions, shape_.out_channels));
+    }
   }
 
   // dW = patches^T dy_mat; dbias = column sums of dy_mat. Both operands are
@@ -321,6 +333,7 @@ void ConvLayer::backward(MatrixView<const float> x, MatrixView<const float> dy,
     }
     backend.matmul_ex(dy_mat.view().as_const(), filters_.view(), dpatches.view(),
                       false, /*transpose_b=*/true, fusion);
+    APA_TRACE_SCOPE("conv.col2im");
 #pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
     for (index_t s = 0; s < batch; ++s) {
       auto drow = dx->block(s, 0, 1, dx->cols);

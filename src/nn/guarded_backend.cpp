@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace apa::nn {
+
+GuardStats guard_stats_delta(const GuardStats& before, const GuardStats& after) {
+  GuardStats d;
+  d.fast_calls = after.fast_calls - before.fast_calls;
+  d.checks_run = after.checks_run - before.checks_run;
+  d.trips_tolerance = after.trips_tolerance - before.trips_tolerance;
+  d.trips_nonfinite = after.trips_nonfinite - before.trips_nonfinite;
+  d.fallback_reruns = after.fallback_reruns - before.fallback_reruns;
+  d.quarantined_calls = after.quarantined_calls - before.quarantined_calls;
+  d.shapes_quarantined = after.shapes_quarantined - before.shapes_quarantined;
+  d.worst_ratio = after.worst_ratio;
+  return d;
+}
 
 GuardedBackend::GuardedBackend(const std::string& algorithm, BackendOptions options,
                                GuardPolicy policy)
@@ -71,9 +86,11 @@ void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float
     }
   }
   if (quarantined) {
+    APA_COUNTER_INC("guard.quarantined_calls");
     classical_.matmul_ex(a, b, c, transpose_a, transpose_b, fusion);
     return;
   }
+  APA_COUNTER_INC("guard.fast_calls");
 
   // The probe must certify op(A)*op(B) itself, so run the product with the
   // epilogue held back (prepacked panels still apply) and fold it in at the
@@ -84,6 +101,8 @@ void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float
 
   bool rerun = false;
   if (check_this_call) {
+    APA_TRACE_SCOPE("guard.verify");
+    APA_COUNTER_INC("guard.checks_run");
     const double bound = core::ProductGuard::model_error_bound(
         fast->params(), fast->options().precision_bits, fast->options().steps);
     const core::ProductGuard guard(bound, policy_.guard);
@@ -102,8 +121,18 @@ void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float
         }
         ++state_->stats.fallback_reruns;
         const int trips = ++state_->trips_by_shape[key];
-        if (trips == policy_.quarantine_after) ++state_->stats.shapes_quarantined;
+        if (trips == policy_.quarantine_after) {
+          ++state_->stats.shapes_quarantined;
+          APA_COUNTER_INC("guard.shapes_quarantined");
+        }
         rerun = true;
+      }
+    }
+    if (!report.ok) {
+      if (report.nonfinite_output) {
+        APA_COUNTER_INC("guard.trips_nonfinite");
+      } else {
+        APA_COUNTER_INC("guard.trips_tolerance");
       }
     }
   }
@@ -111,6 +140,8 @@ void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float
     // Rerun with exact gemm so the caller always receives a sound product. If
     // the *inputs* carried the non-finite values this reproduces them — that
     // is the correct answer, and the trip counter still records the event.
+    APA_TRACE_SCOPE("guard.fallback");
+    APA_COUNTER_INC("guard.fallback_reruns");
     classical_.matmul_ex(a, b, c, transpose_a, transpose_b, bare);
   }
   blas::apply_epilogue<float>(fusion.epilogue, c);

@@ -61,6 +61,13 @@ struct GuardStats {
   }
 };
 
+/// Per-interval guard activity: counter fields are after - before,
+/// worst_ratio is the running max as of `after` (it is monotone, not
+/// resettable per interval). Used to fold per-epoch guard stats into
+/// EpochStats and the telemetry stream.
+[[nodiscard]] GuardStats guard_stats_delta(const GuardStats& before,
+                                           const GuardStats& after);
+
 class GuardedBackend : public MatmulBackend {
  public:
   GuardedBackend(const std::string& algorithm, BackendOptions options = {},

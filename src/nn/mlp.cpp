@@ -1,5 +1,6 @@
 #include "nn/mlp.h"
 
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace apa::nn {
@@ -49,11 +50,14 @@ double Mlp::train_step(MatrixView<const float> x, const std::vector<int>& labels
   // equivalent to z > 0 since act = max(0, z).
   std::vector<Matrix<float>> act(num_layers);  // act.back() holds the logits
   MatrixView<const float> current = x;
-  for (std::size_t i = 0; i < num_layers; ++i) {
-    act[i] = Matrix<float>(batch, layers_[i].out_features());
-    layers_[i].forward(current, act[i].view(), backend_for(i),
-                       /*fuse_relu=*/i + 1 < num_layers);
-    current = act[i].view().as_const();
+  {
+    APA_TRACE_SCOPE("nn.forward");
+    for (std::size_t i = 0; i < num_layers; ++i) {
+      act[i] = Matrix<float>(batch, layers_[i].out_features());
+      layers_[i].forward(current, act[i].view(), backend_for(i),
+                         /*fuse_relu=*/i + 1 < num_layers);
+      current = act[i].view().as_const();
+    }
   }
 
   Matrix<float> delta(batch, output_size());
@@ -62,6 +66,7 @@ double Mlp::train_step(MatrixView<const float> x, const std::vector<int>& labels
 
   // Backward + SGD, output layer inward; the previous layer's ReLU mask fuses
   // into the dx matmul as a kReluGrad epilogue.
+  APA_TRACE_SCOPE("nn.backward");
   for (std::size_t idx = num_layers; idx-- > 0;) {
     const MatrixView<const float> input =
         idx == 0 ? x : act[idx - 1].view().as_const();

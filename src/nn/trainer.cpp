@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -12,11 +13,59 @@
 #include "core/registry.h"
 #include "nn/checkpoint.h"
 #include "nn/guarded_backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/timer.h"
 
 namespace apa::nn {
 namespace {
+
+/// Accumulates per-epoch guard activity across fast-backend swaps: the guard
+/// loop replaces the backend on de-risk, which resets its GuardStats to zero,
+/// so a single before/after delta would underflow. Call segment_end() before
+/// every swap and rebase() after it.
+class GuardFold {
+ public:
+  template <class Model>
+  explicit GuardFold(const Model& model) {
+    rebase(model);
+  }
+
+  template <class Model>
+  void segment_end(const Model& model) {
+    const auto* guarded = dynamic_cast<const GuardedBackend*>(&model.fast_backend());
+    if (guarded == nullptr) return;
+    const GuardStats d = guard_stats_delta(base_, guarded->stats());
+    acc_.fast_calls += d.fast_calls;
+    acc_.checks_run += d.checks_run;
+    acc_.trips_tolerance += d.trips_tolerance;
+    acc_.trips_nonfinite += d.trips_nonfinite;
+    acc_.fallback_reruns += d.fallback_reruns;
+    acc_.quarantined_calls += d.quarantined_calls;
+    acc_.shapes_quarantined += d.shapes_quarantined;
+    acc_.worst_ratio = std::max(acc_.worst_ratio, d.worst_ratio);
+  }
+
+  template <class Model>
+  void rebase(const Model& model) {
+    const auto* guarded = dynamic_cast<const GuardedBackend*>(&model.fast_backend());
+    seen_guarded_ = seen_guarded_ || guarded != nullptr;
+    base_ = guarded != nullptr ? guarded->stats() : GuardStats{};
+  }
+
+  template <class Model>
+  void finish(const Model& model, EpochStats& stats) {
+    segment_end(model);
+    stats.guarded = seen_guarded_;
+    stats.guard = acc_;
+  }
+
+ private:
+  bool seen_guarded_ = false;
+  GuardStats base_;
+  GuardStats acc_;
+};
 
 // The loops below are templated over the model (Mlp or Cnn): both expose
 // train_step/predict, fast_backend/set_fast_backend, and a save/load_checkpoint
@@ -76,17 +125,24 @@ EpochStats train_epoch_plain(Model& model, data::Dataset& dataset, index_t batch
                              Rng* rng) {
   if (rng != nullptr) data::shuffle(dataset, *rng);
   EpochStats stats;
+  GuardFold fold(model);
+  const auto phases_before = obs::phase_totals();
   double loss_acc = 0;
   for (index_t first = 0; first + batch <= dataset.size(); first += batch) {
     const auto x = dataset.batch_images(first, batch);
     const auto labels = dataset.batch_labels(first, batch);
     WallTimer timer;
-    loss_acc += model.train_step(x, labels);
+    {
+      APA_TRACE_SCOPE_ID("train.step", stats.steps);
+      loss_acc += model.train_step(x, labels);
+    }
     stats.seconds += timer.seconds();
     ++stats.steps;
   }
   stats.mean_loss = stats.steps > 0 ? loss_acc / static_cast<double>(stats.steps) : 0;
   stats.dropped_samples = batch > 0 ? dataset.size() % batch : index_t{0};
+  fold.finish(model, stats);
+  stats.phases = obs::phase_delta(obs::phase_totals(), phases_before);
   return stats;
 }
 
@@ -108,10 +164,16 @@ EpochStats train_epoch_guarded(Model& model, data::Dataset& dataset, index_t bat
   const std::string checkpoint = guard.checkpoint_path.empty()
                                      ? default_guard_checkpoint_path(&model)
                                      : guard.checkpoint_path;
-  save_checkpoint(checkpoint, model);
+  {
+    APA_TRACE_SCOPE("train.checkpoint");
+    save_checkpoint(checkpoint, model);
+  }
+  APA_COUNTER_INC("train.checkpoints");
   ++out.checkpoints_written;
 
   EpochStats stats;
+  GuardFold fold(model);
+  const auto phases_before = obs::phase_totals();
   double loss_acc = 0;
   // Running loss mean for spike detection; reset after every rollback since
   // the restored weights re-live an earlier loss regime.
@@ -124,8 +186,13 @@ EpochStats train_epoch_guarded(Model& model, data::Dataset& dataset, index_t bat
     const auto x = dataset.batch_images(first, batch);
     const auto labels = dataset.batch_labels(first, batch);
     WallTimer timer;
-    const double loss = model.train_step(x, labels);
-    stats.seconds += timer.seconds();
+    double loss;
+    {
+      APA_TRACE_SCOPE_ID("train.step", stats.steps);
+      loss = model.train_step(x, labels);
+    }
+    const double step_seconds = timer.seconds();
+    stats.seconds += step_seconds;
 
     const bool spiked = ewma_steps >= guard.warmup_steps &&
                         loss > guard.loss_spike_factor * ewma + kSpikeAbsoluteSlack;
@@ -136,8 +203,32 @@ EpochStats train_epoch_guarded(Model& model, data::Dataset& dataset, index_t bat
                          << out.recoveries
                          << " recovery attempts — backend exhausted");
       ++out.recoveries;
-      load_checkpoint(checkpoint, model);
-      derisk_fast_backend(model, guard, out);
+      APA_COUNTER_INC("train.rollbacks");
+      const int lambda_shrinks_before = out.lambda_shrinks;
+      {
+        APA_TRACE_SCOPE("train.rollback");
+        fold.segment_end(model);  // de-risking may replace the backend
+        load_checkpoint(checkpoint, model);
+        derisk_fast_backend(model, guard, out);
+        fold.rebase(model);
+      }
+      if (out.lambda_shrinks > lambda_shrinks_before) {
+        APA_COUNTER_INC("train.lambda_shrinks");
+      }
+      if (out.fell_back_to_classical) {
+        APA_COUNTER_INC("train.classical_fallbacks");
+      }
+      if (guard.telemetry != nullptr) {
+        obs::JsonRecord rec;
+        rec.set("type", "rollback")
+            .set("step", static_cast<long long>(stats.steps))
+            .set("loss", loss)
+            .set("running_mean", ewma)
+            .set("recoveries", out.recoveries)
+            .set("lambda", model.fast_backend().effective_lambda())
+            .set("classical_fallback", out.fell_back_to_classical);
+        guard.telemetry->write(rec);
+      }
       ewma = 0;
       ewma_steps = 0;
       continue;  // retry the same batch with restored weights
@@ -149,8 +240,18 @@ EpochStats train_epoch_guarded(Model& model, data::Dataset& dataset, index_t bat
     ++ewma_steps;
     loss_acc += loss;
     ++stats.steps;
+    if (guard.telemetry != nullptr) {
+      obs::JsonRecord rec;
+      rec.set("type", "step")
+          .set("step", static_cast<long long>(stats.steps - 1))
+          .set("loss", loss)
+          .set("seconds", step_seconds);
+      guard.telemetry->write(rec);
+    }
     if (guard.checkpoint_every > 0 && stats.steps % guard.checkpoint_every == 0) {
+      APA_TRACE_SCOPE("train.checkpoint");
       save_checkpoint(checkpoint, model);
+      APA_COUNTER_INC("train.checkpoints");
       ++out.checkpoints_written;
     }
     first += batch;
@@ -158,6 +259,8 @@ EpochStats train_epoch_guarded(Model& model, data::Dataset& dataset, index_t bat
 
   stats.mean_loss = stats.steps > 0 ? loss_acc / static_cast<double>(stats.steps) : 0;
   stats.dropped_samples = batch > 0 ? dataset.size() % batch : index_t{0};
+  fold.finish(model, stats);
+  stats.phases = obs::phase_delta(obs::phase_totals(), phases_before);
   out.final_lambda = model.fast_backend().effective_lambda();
   if (guard.checkpoint_path.empty()) std::remove(checkpoint.c_str());
   return stats;
@@ -208,6 +311,52 @@ EpochStats train_epoch(Cnn& cnn, data::Dataset& dataset, index_t batch, Rng* rng
 
 double evaluate_accuracy(Cnn& cnn, const data::Dataset& dataset, index_t batch) {
   return evaluate_accuracy_impl(cnn, dataset, batch, cnn.output_size());
+}
+
+void append_epoch_record(obs::TelemetrySink& sink, int epoch,
+                         const EpochStats& stats, double accuracy,
+                         const TrainGuardReport* report) {
+  obs::JsonRecord rec;
+  rec.set("type", "epoch")
+      .set("epoch", epoch)
+      .set("mean_loss", stats.mean_loss)
+      .set("seconds", stats.seconds)
+      .set("steps", static_cast<long long>(stats.steps))
+      .set("dropped_samples", static_cast<long long>(stats.dropped_samples));
+  if (accuracy >= 0.0) rec.set("accuracy", accuracy);
+  rec.set("guarded", stats.guarded);
+  if (stats.guarded) {
+    obs::JsonRecord g;
+    g.set("fast_calls", stats.guard.fast_calls)
+        .set("checks_run", stats.guard.checks_run)
+        .set("trips_tolerance", stats.guard.trips_tolerance)
+        .set("trips_nonfinite", stats.guard.trips_nonfinite)
+        .set("fallback_reruns", stats.guard.fallback_reruns)
+        .set("quarantined_calls", stats.guard.quarantined_calls)
+        .set("shapes_quarantined", stats.guard.shapes_quarantined)
+        .set("worst_ratio", stats.guard.worst_ratio);
+    rec.set_raw("guard", g.to_json());
+  }
+  if (!stats.phases.empty()) {
+    obs::JsonRecord phases;
+    for (const auto& p : stats.phases) {
+      obs::JsonRecord entry;
+      entry.set("seconds", static_cast<double>(p.total_ns) * 1e-9)
+          .set("count", p.count);
+      phases.set_raw(p.name, entry.to_json());
+    }
+    rec.set_raw("phases", phases.to_json());
+  }
+  if (report != nullptr) {
+    obs::JsonRecord g;
+    g.set("recoveries", report->recoveries)
+        .set("lambda_shrinks", report->lambda_shrinks)
+        .set("fell_back_to_classical", report->fell_back_to_classical)
+        .set("final_lambda", report->final_lambda)
+        .set("checkpoints_written", static_cast<long long>(report->checkpoints_written));
+    rec.set_raw("guard_report", g.to_json());
+  }
+  sink.write(rec);
 }
 
 }  // namespace apa::nn

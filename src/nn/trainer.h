@@ -14,10 +14,14 @@
 // dropped each epoch, so no example is systematically excluded.
 
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "nn/cnn.h"
+#include "nn/guarded_backend.h"
 #include "nn/mlp.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace apa::nn {
 
@@ -27,6 +31,14 @@ struct EpochStats {
   index_t steps = 0;
   /// Trailing samples skipped by the fixed-batch methodology (see header).
   index_t dropped_samples = 0;
+  /// True when the model's fast backend is a GuardedBackend; `guard` then
+  /// holds that backend's activity during this epoch (delta, robust to the
+  /// guard loop swapping the backend mid-epoch on de-risk).
+  bool guarded = false;
+  GuardStats guard;
+  /// Per-phase time breakdown accumulated by APA_TRACE_SCOPE spans during the
+  /// epoch (delta of obs::phase_totals). Empty in APAMM_OBS=OFF builds.
+  std::vector<obs::PhaseTotal> phases;
 };
 
 /// Divergence-protection policy for train_epoch. Default-constructed options
@@ -54,6 +66,10 @@ struct TrainGuardOptions {
   /// Auto-checkpoint location; empty derives a collision-safe path in the
   /// system temp directory (removed on clean completion).
   std::string checkpoint_path;
+  /// Optional JSONL sink: the guarded loop emits one "step" record per
+  /// training step and a "rollback" record per recovery. Not owned; must
+  /// outlive the epoch. nullptr (default) emits nothing.
+  obs::TelemetrySink* telemetry = nullptr;
 };
 
 /// What the guard actually did during an epoch — exposed for tests, logging,
@@ -95,5 +111,13 @@ EpochStats train_epoch(Cnn& cnn, data::Dataset& dataset, index_t batch, Rng* rng
                        TrainGuardReport* report = nullptr);
 [[nodiscard]] double evaluate_accuracy(Cnn& cnn, const data::Dataset& dataset,
                                        index_t batch = 512);
+
+/// Appends one "epoch" JSONL record to `sink`: loss/time/step counts, the
+/// embedded per-epoch GuardStats when the epoch was guarded, the per-phase
+/// time breakdown, and (when provided) evaluation accuracy and the guard
+/// loop's TrainGuardReport.
+void append_epoch_record(obs::TelemetrySink& sink, int epoch,
+                         const EpochStats& stats, double accuracy = -1.0,
+                         const TrainGuardReport* report = nullptr);
 
 }  // namespace apa::nn

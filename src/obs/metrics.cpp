@@ -1,0 +1,122 @@
+#include "obs/metrics.h"
+
+#if defined(APAMM_OBS_ENABLED)
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace apa::obs {
+
+#if defined(APAMM_OBS_ENABLED)
+
+namespace {
+
+template <class T>
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<T>, std::less<>> entries;
+
+  T* intern(const char* name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(std::string_view(name));
+    if (it == entries.end()) {
+      it = entries
+               .emplace(std::string(name),
+                        std::unique_ptr<T>(new T(std::string(name))))
+               .first;
+    }
+    return it->second.get();
+  }
+};
+
+Registry<Counter>& counter_registry() {
+  static Registry<Counter>* r = new Registry<Counter>();  // leaked: outlives threads
+  return *r;
+}
+
+Registry<Histogram>& histogram_registry() {
+  static Registry<Histogram>* r = new Registry<Histogram>();
+  return *r;
+}
+
+}  // namespace
+
+Counter* Counter::intern(const char* name) { return counter_registry().intern(name); }
+
+Histogram* Histogram::intern(const char* name) {
+  return histogram_registry().intern(name);
+}
+
+void Histogram::record(std::uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<CounterSample> counter_samples() {
+  Registry<Counter>& reg = counter_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<CounterSample> out;
+  out.reserve(reg.entries.size());
+  for (const auto& [name, counter] : reg.entries) {
+    out.push_back({name, counter->value()});
+  }
+  return out;
+}
+
+std::uint64_t counter_value(std::string_view name) {
+  Registry<Counter>& reg = counter_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.entries.find(name);
+  return it == reg.entries.end() ? 0 : it->second->value();
+}
+
+std::vector<HistogramSample> histogram_samples() {
+  Registry<Histogram>& reg = histogram_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<HistogramSample> out;
+  out.reserve(reg.entries.size());
+  for (const auto& [name, hist] : reg.entries) {
+    HistogramSample s;
+    s.name = name;
+    s.count = hist->count_.load(std::memory_order_relaxed);
+    s.sum = hist->sum_.load(std::memory_order_relaxed);
+    s.buckets.resize(Histogram::kBuckets);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      s.buckets[static_cast<std::size_t>(i)] =
+          hist->buckets_[i].load(std::memory_order_relaxed);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void reset_counters() {
+  {
+    Registry<Counter>& reg = counter_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& [name, counter] : reg.entries) {
+      counter->value_.store(0, std::memory_order_relaxed);
+    }
+  }
+  Registry<Histogram>& reg = histogram_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& [name, hist] : reg.entries) {
+    hist->count_.store(0, std::memory_order_relaxed);
+    hist->sum_.store(0, std::memory_order_relaxed);
+    for (auto& b : hist->buckets_) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+#else  // !APAMM_OBS_ENABLED
+
+std::vector<CounterSample> counter_samples() { return {}; }
+std::uint64_t counter_value(std::string_view) { return 0; }
+std::vector<HistogramSample> histogram_samples() { return {}; }
+void reset_counters() {}
+
+#endif  // APAMM_OBS_ENABLED
+
+}  // namespace apa::obs

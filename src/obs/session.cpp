@@ -1,0 +1,44 @@
+#include "obs/session.h"
+
+#include <cstdio>
+
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace apa::obs {
+
+ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)) {
+  if (!trace_path_.empty()) {
+    if (!kCompiledIn) {
+      std::fprintf(stderr,
+                   "obs: built with APAMM_OBS=OFF — %s will contain no spans\n",
+                   trace_path_.c_str());
+    }
+    reset_trace();
+    set_tracing(true);
+    tracing_started_ = true;
+  }
+  if (!metrics_path.empty()) {
+    sink_ = std::make_unique<TelemetrySink>(metrics_path);
+  }
+}
+
+ObsSession::~ObsSession() { flush(); }
+
+void ObsSession::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (tracing_started_) set_tracing(false);
+  if (sink_ != nullptr && sink_->ok()) {
+    sink_->write(counters_record());
+    std::printf("wrote %s\n", sink_->path().c_str());
+  }
+  if (!trace_path_.empty() && write_chrome_trace(trace_path_)) {
+    std::printf("wrote %s (%llu spans%s)\n", trace_path_.c_str(),
+                static_cast<unsigned long long>(trace_events().size()),
+                trace_dropped() > 0 ? ", ring overflowed — oldest dropped" : "");
+  }
+}
+
+}  // namespace apa::obs

@@ -1,0 +1,40 @@
+#pragma once
+// One-call observability wiring for example/bench binaries: construct an
+// ObsSession from the --trace-out / --metrics-out flag values and the outputs
+// are produced at scope exit. Enables ring recording only when a trace path
+// was given, so binaries run without flags pay only the dormant span cost.
+
+#include <memory>
+#include <string>
+
+#include "obs/telemetry.h"
+
+namespace apa::obs {
+
+class ObsSession {
+ public:
+  /// Empty paths disable the corresponding output. A non-empty `trace_path`
+  /// turns on ring recording (obs::set_tracing) for the session's lifetime.
+  ObsSession(std::string trace_path, std::string metrics_path);
+  /// Calls flush().
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// The JSONL sink for --metrics-out, or nullptr when the flag was absent.
+  /// Feed it per-epoch records (nn::append_epoch_record) or pass it to
+  /// TrainGuardOptions::telemetry for per-step records.
+  [[nodiscard]] TelemetrySink* telemetry() const { return sink_.get(); }
+
+  /// Appends the final counters record to the metrics stream and writes the
+  /// Chrome trace. Idempotent; called by the destructor.
+  void flush();
+
+ private:
+  std::string trace_path_;
+  std::unique_ptr<TelemetrySink> sink_;
+  bool tracing_started_ = false;
+  bool flushed_ = false;
+};
+
+}  // namespace apa::obs

@@ -1,0 +1,71 @@
+#include "obs/telemetry.h"
+
+#include "obs/metrics.h"
+
+namespace apa::obs {
+
+std::string JsonRecord::to_json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_quote(fields_[i].first);
+    out += ": ";
+    out += fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+TelemetrySink::TelemetrySink(const std::string& path) : path_(path) {
+  if (path_.empty()) return;
+  file_ = std::fopen(path_.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "obs: cannot open telemetry output %s\n", path_.c_str());
+  }
+}
+
+TelemetrySink::~TelemetrySink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TelemetrySink::write(const JsonRecord& record) {
+  if (file_ == nullptr) return;
+  const std::string line = record.to_json();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+JsonRecord counters_record() {
+  JsonRecord record;
+  record.set("type", "counters");
+
+  std::string counters = "{";
+  bool first = true;
+  for (const CounterSample& c : counter_samples()) {
+    if (!first) counters += ", ";
+    first = false;
+    counters += json_quote(c.name) + ": " + std::to_string(c.value);
+  }
+  counters += "}";
+  record.set_raw("counters", std::move(counters));
+
+  std::string hists = "{";
+  first = true;
+  for (const HistogramSample& h : histogram_samples()) {
+    if (!first) hists += ", ";
+    first = false;
+    hists += json_quote(h.name) + ": {\"count\": " + std::to_string(h.count) +
+             ", \"sum\": " + std::to_string(h.sum) + ", \"mean\": " +
+             json_double(h.count > 0 ? static_cast<double>(h.sum) /
+                                           static_cast<double>(h.count)
+                                     : 0.0) +
+             "}";
+  }
+  hists += "}";
+  record.set_raw("histograms", std::move(hists));
+  return record;
+}
+
+}  // namespace apa::obs

@@ -1,0 +1,91 @@
+#pragma once
+// Structured telemetry: an ordered JSON-object builder and a line-per-record
+// JSONL sink. Unlike the span/counter macros, the sink is explicit API and
+// stays fully functional in APAMM_OBS=OFF builds — a training run's loss
+// curve is observability the user asked for by passing --metrics-out, not
+// ambient instrumentation.
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace apa::obs {
+
+/// One flat JSON object with insertion-ordered keys. Values are rendered
+/// eagerly; set_raw splices pre-rendered JSON (for nested objects).
+class JsonRecord {
+ public:
+  JsonRecord& set(std::string_view key, double v) {
+    return set_raw(key, json_double(v));
+  }
+  JsonRecord& set(std::string_view key, bool v) {
+    return set_raw(key, v ? "true" : "false");
+  }
+  JsonRecord& set(std::string_view key, int v) {
+    return set(key, static_cast<long long>(v));
+  }
+  JsonRecord& set(std::string_view key, long v) {
+    return set(key, static_cast<long long>(v));
+  }
+  JsonRecord& set(std::string_view key, long long v) {
+    return set_raw(key, std::to_string(v));
+  }
+  JsonRecord& set(std::string_view key, unsigned v) {
+    return set(key, static_cast<unsigned long long>(v));
+  }
+  JsonRecord& set(std::string_view key, unsigned long v) {
+    return set(key, static_cast<unsigned long long>(v));
+  }
+  JsonRecord& set(std::string_view key, unsigned long long v) {
+    return set_raw(key, std::to_string(v));
+  }
+  JsonRecord& set(std::string_view key, std::string_view v) {
+    return set_raw(key, json_quote(v));
+  }
+  JsonRecord& set(std::string_view key, const char* v) {
+    return set(key, std::string_view(v));
+  }
+  /// `json` must already be a valid JSON value (object, array, number, ...).
+  JsonRecord& set_raw(std::string_view key, std::string json) {
+    fields_.emplace_back(std::string(key), std::move(json));
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Appending JSONL writer: one record per line, flushed per write so a crashed
+/// or killed run keeps every completed record. Writes are mutex-serialized.
+class TelemetrySink {
+ public:
+  /// Opens `path` for writing (truncates). ok() reports failure; writes to a
+  /// failed sink are dropped silently so callers need no error handling.
+  explicit TelemetrySink(const std::string& path);
+  ~TelemetrySink();
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void write(const JsonRecord& record);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+};
+
+/// The current counter/histogram registry as one JsonRecord (type "counters"),
+/// with nested "counters" and "histograms" objects. Empty objects in
+/// APAMM_OBS=OFF builds.
+[[nodiscard]] JsonRecord counters_record();
+
+}  // namespace apa::obs

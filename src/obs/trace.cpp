@@ -1,0 +1,210 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace apa::obs {
+
+#if defined(APAMM_OBS_ENABLED)
+
+namespace detail {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<bool> g_tracing{false};
+
+namespace {
+
+/// Fixed ring capacity per thread: 64k events x 32 bytes = 2 MiB. On overflow
+/// the oldest events are overwritten and counted as dropped.
+constexpr std::uint64_t kRingCapacity = 1u << 16;
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< interned Phase name — stable for process life
+  std::int64_t id = -1;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Single-producer ring: only the owning thread writes; readers drain under
+/// the registry mutex using the release-published count.
+struct ThreadRing {
+  explicit ThreadRing(int tid_) : ring(kRingCapacity), tid(tid_) {}
+  std::vector<TraceEvent> ring;
+  std::atomic<std::uint64_t> count{0};  ///< total events ever pushed
+  int tid;
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  // Owned here, never freed: a thread that exits leaves its ring readable, and
+  // a dangling thread_local pointer can never observe a destroyed ring.
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+};
+
+RingRegistry& registry() {
+  static RingRegistry* r = new RingRegistry();  // leaked: outlives all threads
+  return *r;
+}
+
+thread_local ThreadRing* tls_ring = nullptr;
+
+ThreadRing* this_thread_ring() {
+  if (tls_ring == nullptr) {
+    RingRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.rings.push_back(
+        std::make_unique<ThreadRing>(static_cast<int>(reg.rings.size())));
+    tls_ring = reg.rings.back().get();
+  }
+  return tls_ring;
+}
+
+struct PhaseRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Phase>, std::less<>> phases;
+};
+
+PhaseRegistry& phase_registry() {
+  static PhaseRegistry* r = new PhaseRegistry();
+  return *r;
+}
+
+}  // namespace
+
+void record_event(const char* name, std::int64_t id, std::uint64_t start_ns,
+                  std::uint64_t dur_ns) {
+  ThreadRing* ring = this_thread_ring();
+  const std::uint64_t n = ring->count.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring->ring[n % kRingCapacity];
+  slot.name = name;
+  slot.id = id;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+Phase* Phase::intern(const char* name) {
+  detail::PhaseRegistry& reg = detail::phase_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.phases.find(std::string_view(name));
+  if (it == reg.phases.end()) {
+    it = reg.phases
+             .emplace(std::string(name),
+                      std::unique_ptr<Phase>(new Phase(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Span::finish() {
+  const std::uint64_t dur = detail::now_ns() - start_;
+  phase_->record(dur);
+  if (detail::g_tracing.load(std::memory_order_relaxed)) {
+    detail::record_event(phase_->name(), id_, start_, dur);
+  }
+}
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+void set_tracing(bool on) { detail::g_tracing.store(on, std::memory_order_relaxed); }
+bool tracing() { return detail::g_tracing.load(std::memory_order_relaxed); }
+
+std::vector<PhaseTotal> phase_totals() {
+  detail::PhaseRegistry& reg = detail::phase_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<PhaseTotal> out;
+  out.reserve(reg.phases.size());
+  for (const auto& [name, phase] : reg.phases) {
+    out.push_back({name, phase->total_ns_.load(std::memory_order_relaxed),
+                   phase->count_.load(std::memory_order_relaxed)});
+  }
+  return out;  // map iteration order is already sorted by name
+}
+
+std::vector<PhaseTotal> phase_delta(const std::vector<PhaseTotal>& after,
+                                    const std::vector<PhaseTotal>& before) {
+  std::map<std::string, PhaseTotal> base;
+  for (const PhaseTotal& p : before) base[p.name] = p;
+  std::vector<PhaseTotal> out;
+  for (const PhaseTotal& p : after) {
+    PhaseTotal d = p;
+    const auto it = base.find(p.name);
+    if (it != base.end()) {
+      d.total_ns -= it->second.total_ns;
+      d.count -= it->second.count;
+    }
+    if (d.count > 0 || d.total_ns > 0) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void reset_phases() {
+  detail::PhaseRegistry& reg = detail::phase_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& [name, phase] : reg.phases) {
+    phase->total_ns_.store(0, std::memory_order_relaxed);
+    phase->count_.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<TraceEventView> trace_events() {
+  detail::RingRegistry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<TraceEventView> out;
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    const std::uint64_t kept = std::min(n, detail::kRingCapacity);
+    const std::uint64_t first = n - kept;  // oldest surviving event index
+    for (std::uint64_t i = first; i < n; ++i) {
+      const detail::TraceEvent& ev = ring->ring[i % detail::kRingCapacity];
+      out.push_back({ev.name, ev.id, ring->tid, ev.start_ns, ev.dur_ns});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.tid, a.start_ns) < std::tie(b.tid, b.start_ns);
+  });
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  detail::RingRegistry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    if (n > detail::kRingCapacity) dropped += n - detail::kRingCapacity;
+  }
+  return dropped;
+}
+
+void reset_trace() {
+  detail::RingRegistry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& ring : reg.rings) {
+    ring->count.store(0, std::memory_order_release);
+  }
+}
+
+#else  // !APAMM_OBS_ENABLED
+
+void set_enabled(bool) {}
+bool enabled() { return false; }
+void set_tracing(bool) {}
+bool tracing() { return false; }
+std::vector<PhaseTotal> phase_totals() { return {}; }
+std::vector<PhaseTotal> phase_delta(const std::vector<PhaseTotal>&,
+                                    const std::vector<PhaseTotal>&) {
+  return {};
+}
+void reset_phases() {}
+std::vector<TraceEventView> trace_events() { return {}; }
+std::uint64_t trace_dropped() { return 0; }
+void reset_trace() {}
+
+#endif  // APAMM_OBS_ENABLED
+
+}  // namespace apa::obs

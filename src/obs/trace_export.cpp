@@ -1,0 +1,71 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <limits>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace apa::obs {
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEventView> events = trace_events();
+
+  std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
+  int max_tid = 0;
+  for (const TraceEventView& ev : events) {
+    t0 = ev.start_ns < t0 ? ev.start_ns : t0;
+    max_tid = ev.tid > max_tid ? ev.tid : max_tid;
+  }
+  if (events.empty()) t0 = 0;
+
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  out +=
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"apamm\"}}";
+  for (int tid = 0; tid <= max_tid && !events.empty(); ++tid) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                  "\"tid\": %d, \"args\": {\"name\": \"worker %d\"}}",
+                  tid, tid);
+    out += buf;
+  }
+  for (const TraceEventView& ev : events) {
+    char buf[128];
+    // Trace-event ts/dur are microseconds; keep ns precision as fractions.
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\": %s, \"cat\": \"apamm\", \"ph\": \"X\", "
+                  "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f",
+                  json_quote(ev.name).c_str(), ev.tid,
+                  static_cast<double>(ev.start_ns - t0) / 1e3,
+                  static_cast<double>(ev.dur_ns) / 1e3);
+    out += buf;
+    if (ev.id >= 0) {
+      std::snprintf(buf, sizeof(buf), ", \"args\": {\"id\": %lld}",
+                    static_cast<long long>(ev.id));
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open trace output %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = chrome_trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace apa::obs

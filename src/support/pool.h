@@ -10,6 +10,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "support/aligned.h"
 #include "support/matrix.h"
 
@@ -34,9 +35,11 @@ class BufferPool {
         AlignedBuffer<T> buf = std::move(it->second.back());
         it->second.pop_back();
         --cached_count_;
+        APA_COUNTER_INC("pool.acquire_hits");
         return buf;
       }
     }
+    APA_COUNTER_INC("pool.acquire_misses");
     return AlignedBuffer<T>(count);
   }
 

@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
 
 #include "data/synthetic_mnist.h"
+#include "obs/trace.h"
 #include "support/rng.h"
 
 namespace apa::nn {
@@ -87,6 +92,105 @@ TEST(Trainer, ShuffleChangesOrder) {
   Rng rng(9);
   train_epoch(mlp, data, 60, &rng);
   EXPECT_NE(data.labels, labels_before);
+}
+
+Mlp tiny_guarded_mlp() {
+  MlpConfig config;
+  // Three dense layers so the default mask routes the middle one to the
+  // guarded fast backend.
+  config.layer_sizes = {784, 32, 32, 10};
+  config.learning_rate = 0.05f;
+  BackendOptions fast;
+  fast.min_dim_for_fast = 16;
+  // Wrapper subclasses must go through the shared_ptr overload (the value
+  // constructor slices).
+  return Mlp(config, std::make_shared<const GuardedBackend>("bini322", fast),
+             std::make_shared<const MatmulBackend>("classical"));
+}
+
+TEST(Trainer, EpochStatsCarryGuardActivityWhenGuarded) {
+  auto data = tiny_dataset(250);
+  auto mlp = tiny_guarded_mlp();
+  const auto stats = train_epoch(mlp, data, 100, nullptr);
+  EXPECT_TRUE(stats.guarded);
+  EXPECT_GT(stats.guard.fast_calls, 0u);
+  EXPECT_GT(stats.guard.checks_run, 0u);
+}
+
+TEST(Trainer, EpochStatsGuardIsPerEpochDelta) {
+  // The second epoch's stats must reflect only that epoch's activity, not the
+  // backend's running totals.
+  auto data = tiny_dataset(250);
+  auto mlp = tiny_guarded_mlp();
+  const auto first = train_epoch(mlp, data, 100, nullptr);
+  const auto second = train_epoch(mlp, data, 100, nullptr);
+  EXPECT_EQ(first.guard.fast_calls, second.guard.fast_calls);
+}
+
+TEST(Trainer, EpochStatsCarryPhaseBreakdown) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  obs::set_enabled(true);
+  auto data = tiny_dataset(250);
+  auto mlp = tiny_mlp();
+  const auto stats = train_epoch(mlp, data, 100, nullptr);
+  ASSERT_FALSE(stats.phases.empty());
+  bool saw_step = false, saw_gemm = false;
+  for (const auto& p : stats.phases) {
+    if (p.name == "train.step") saw_step = true;
+    if (p.name == "blas.gemm") saw_gemm = true;
+    EXPECT_GT(p.count, 0u);
+  }
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_gemm);
+}
+
+TEST(Trainer, AppendEpochRecordWritesGuardAndPhases) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apamm_trainer_epoch.jsonl")
+          .string();
+  {
+    obs::TelemetrySink sink(path);
+    ASSERT_TRUE(sink.ok());
+    EpochStats stats;
+    stats.mean_loss = 0.5;
+    stats.seconds = 1.25;
+    stats.steps = 2;
+    stats.dropped_samples = 50;
+    stats.guarded = true;
+    stats.guard.fast_calls = 12;
+    stats.guard.checks_run = 12;
+    stats.phases.push_back({"blas.gemm", 1000000, 24});
+    TrainGuardReport report;
+    report.recoveries = 1;
+    report.final_lambda = 0.25;
+    append_epoch_record(sink, 3, stats, 0.9, &report);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"type\": \"epoch\""), std::string::npos);
+  EXPECT_NE(line.find("\"epoch\": 3"), std::string::npos);
+  EXPECT_NE(line.find("\"accuracy\": 0.9"), std::string::npos);
+  EXPECT_NE(line.find("\"fast_calls\": 12"), std::string::npos);
+  EXPECT_NE(line.find("\"blas.gemm\""), std::string::npos);
+  EXPECT_NE(line.find("\"recoveries\": 1"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Trainer, GuardStatsDeltaSubtractsCountersKeepsWorstRatio) {
+  GuardStats before, after;
+  before.fast_calls = 10;
+  before.checks_run = 8;
+  before.worst_ratio = 0.5;
+  after.fast_calls = 25;
+  after.checks_run = 20;
+  after.trips_tolerance = 2;
+  after.worst_ratio = 1.5;
+  const GuardStats d = guard_stats_delta(before, after);
+  EXPECT_EQ(d.fast_calls, 15u);
+  EXPECT_EQ(d.checks_run, 12u);
+  EXPECT_EQ(d.trips_tolerance, 2u);
+  EXPECT_DOUBLE_EQ(d.worst_ratio, 1.5);
 }
 
 TEST(Trainer, AccuracyBoundsOnUntrainedModel) {
