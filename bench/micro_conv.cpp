@@ -16,7 +16,7 @@
 // Usage: micro_conv [--batch=4] [--reps=3] [--scale=1] [--algo=classical]
 //                   [--threads=N] [--layers=conv1_1,conv3_1,...]
 //                   [--json=BENCH_conv.json]
-//                   [--trace-out=trace.json] [--metrics-out=metrics.jsonl]
+//                   [--trace-out=trace.json] [--metrics-out=metrics.jsonl] [--trace-cap=N]
 //
 // --scale divides the spatial side of every layer (min 4) for quick smoke
 // runs; published numbers use scale 1.
@@ -65,7 +65,9 @@ apa::obs::JsonRecord to_record(const Row& r) {
 int main(int argc, char** argv) {
   using namespace apa;
   const CliArgs args(argc, argv);
-  obs::ObsSession obs_session(args.get("trace-out", ""), args.get("metrics-out", ""));
+  obs::ObsSession obs_session(
+      args.get("trace-out", ""), args.get("metrics-out", ""),
+      static_cast<std::uint64_t>(args.get_int("trace-cap", 0)));
   const long batch = static_cast<long>(args.get_int("batch", 4));
   const long scale = static_cast<long>(args.get_int("scale", 1));
   const int threads = static_cast<int>(args.get_int("threads", 1));

@@ -17,7 +17,7 @@
 // Usage: micro_prepack [--batches=128,512,2048,4096] [--dim=4096]
 //                      [--algos=classical,bini322] [--reps=3]
 //                      [--json=BENCH_prepack.json]
-//                      [--trace-out=trace.json] [--metrics-out=metrics.jsonl]
+//                      [--trace-out=trace.json] [--metrics-out=metrics.jsonl] [--trace-cap=N]
 
 #include <cstdio>
 #include <string>
@@ -36,7 +36,9 @@
 int main(int argc, char** argv) {
   using namespace apa;
   const CliArgs args(argc, argv);
-  obs::ObsSession obs_session(args.get("trace-out", ""), args.get("metrics-out", ""));
+  obs::ObsSession obs_session(
+      args.get("trace-out", ""), args.get("metrics-out", ""),
+      static_cast<std::uint64_t>(args.get_int("trace-cap", 0)));
   const auto batches = args.get_int_list("batches", {128, 512, 2048, 4096});
   const long dim = static_cast<long>(args.get_int("dim", 4096));
   const auto algos = args.get_list("algos", {"classical", "bini322"});

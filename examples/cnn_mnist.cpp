@@ -3,7 +3,7 @@
 // the conv-as-gemm direction the paper's introduction motivates.
 //
 //   ./cnn_mnist [--algo=fast444] [--epochs=4] [--train=4000] [--batch=128]
-//               [--trace-out=trace.json] [--metrics-out=metrics.jsonl]
+//               [--trace-out=trace.json] [--metrics-out=metrics.jsonl] [--trace-cap=N]
 //
 // --trace-out / --metrics-out enable the observability layer: a Chrome-trace
 // JSON of every instrumented phase and a JSONL stream of per-epoch records
@@ -20,7 +20,9 @@
 int main(int argc, char** argv) {
   using namespace apa;
   const CliArgs args(argc, argv);
-  obs::ObsSession obs_session(args.get("trace-out", ""), args.get("metrics-out", ""));
+  obs::ObsSession obs_session(
+      args.get("trace-out", ""), args.get("metrics-out", ""),
+      static_cast<std::uint64_t>(args.get_int("trace-cap", 0)));
   const std::string algo = args.get("algo", "fast444");
   const int epochs = static_cast<int>(args.get_int("epochs", 4));
   const index_t batch = args.get_int("batch", 128);

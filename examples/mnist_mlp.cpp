@@ -4,12 +4,14 @@
 //
 //   ./mnist_mlp [--algo=bini322] [--epochs=5] [--train=8000] [--test=2000]
 //               [--batch=300] [--lr=0.1] [--mnist-dir=PATH] [--guard]
-//               [--trace-out=trace.json] [--metrics-out=metrics.jsonl]
+//               [--trace-out=trace.json] [--metrics-out=metrics.jsonl] [--trace-cap=N]
 //
 // --trace-out records every instrumented phase (pack/combine/gemm/epilogue/
 // verify/...) to a Chrome-trace JSON viewable in Perfetto; --metrics-out
 // streams one JSONL record per epoch (plus per-step records when --guard is
-// on) and a final counters snapshot. See docs/OBSERVABILITY.md.
+// on) and a final counters snapshot; --trace-cap bounds ring retention to N
+// spans per thread for long runs (default 64Ki, oldest dropped on overflow).
+// See docs/OBSERVABILITY.md.
 
 #include <cstdio>
 #include <memory>
@@ -24,7 +26,9 @@
 int main(int argc, char** argv) {
   using namespace apa;
   const CliArgs args(argc, argv);
-  obs::ObsSession obs_session(args.get("trace-out", ""), args.get("metrics-out", ""));
+  obs::ObsSession obs_session(
+      args.get("trace-out", ""), args.get("metrics-out", ""),
+      static_cast<std::uint64_t>(args.get_int("trace-cap", 0)));
   const std::string algo = args.get("algo", "bini322");
   const int epochs = static_cast<int>(args.get_int("epochs", 5));
   const index_t batch = args.get_int("batch", 300);

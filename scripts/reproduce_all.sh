@@ -9,6 +9,12 @@ mkdir -p results
 cmake -B build -G Ninja >/dev/null
 cmake --build build >/dev/null
 
+# Gate the reproduction on the rule linter: every coefficient table the runs
+# below depend on is re-verified symbolically (Brent equations, sigma/phi
+# metadata, generated-kernel drift) before any numbers are produced.
+echo "== rule_lint =="
+./build/tools/rule_lint | tee results/rule_lint.txt
+
 run() {
   local name="$1"; shift
   echo "== $name =="

@@ -12,9 +12,12 @@ namespace apa::core {
 double addition_traffic_bytes(const Rule& rule, index_t m_full, index_t k_full,
                               index_t n_full, std::size_t element_size) {
   APA_CHECK(m_full % rule.m == 0 && k_full % rule.k == 0 && n_full % rule.n == 0);
-  const double a_block = static_cast<double>(m_full / rule.m) * (k_full / rule.k);
-  const double b_block = static_cast<double>(k_full / rule.k) * (n_full / rule.n);
-  const double c_block = static_cast<double>(m_full / rule.m) * (n_full / rule.n);
+  const double a_block =
+      static_cast<double>(m_full / rule.m) * static_cast<double>(k_full / rule.k);
+  const double b_block =
+      static_cast<double>(k_full / rule.k) * static_cast<double>(n_full / rule.n);
+  const double c_block =
+      static_cast<double>(m_full / rule.m) * static_cast<double>(n_full / rule.n);
 
   double elements = 0;
   for (index_t l = 0; l < rule.rank; ++l) {
@@ -34,15 +37,15 @@ double addition_traffic_bytes(const Rule& rule, index_t m_full, index_t k_full,
         v_unit = p.is_constant() && p.constant_term().is_one();
       }
     }
-    if (!(u_terms == 1 && u_unit)) elements += (u_terms + 1) * a_block;
-    if (!(v_terms == 1 && v_unit)) elements += (v_terms + 1) * b_block;
+    if (!(u_terms == 1 && u_unit)) elements += static_cast<double>(u_terms + 1) * a_block;
+    if (!(v_terms == 1 && v_unit)) elements += static_cast<double>(v_terms + 1) * b_block;
   }
   for (index_t e = 0; e < rule.m * rule.n; ++e) {
     index_t w_terms = 0;
     for (index_t l = 0; l < rule.rank; ++l) {
       w_terms += !rule.w[e * rule.rank + l].is_zero();
     }
-    elements += (w_terms + 1) * c_block;
+    elements += static_cast<double>(w_terms + 1) * c_block;
   }
   return elements * static_cast<double>(element_size);
 }
@@ -68,7 +71,8 @@ double measure_add_bandwidth(index_t dim) {
   WallTimer timer;
   for (int r = 0; r < reps; ++r) blas::linear_combination<float>(terms, y.view());
   const double seconds = timer.seconds() / reps;
-  const double bytes = 3.0 * static_cast<double>(dim) * dim * sizeof(float);
+  const double bytes =
+      3.0 * static_cast<double>(dim) * static_cast<double>(dim) * sizeof(float);
   return bytes / seconds;
 }
 

@@ -2,6 +2,7 @@
 // Numeric form of a Rule at a concrete lambda: sparse per-product input
 // combinations and per-entry output combinations, ready for the executor.
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 

@@ -1,2 +1,6 @@
-// Ensures core/evaluated_rule.h is self-contained.
+// Ensures core/evaluated_rule.h is self-contained (include-what-you-use):
+// every .cpp in this repo includes its own header first, which proves each
+// header with a matching .cpp compiles standalone; headers without one need
+// an explicit first-include TU like this (see also obs/json_iwyu.cpp and
+// nn/optimizer_iwyu.cpp).
 #include "core/evaluated_rule.h"

@@ -239,7 +239,7 @@ class LevelRunner {
   Operand<T> b_;
   MatrixView<T> c_;
   Strategy strategy_;
-  index_t threads_;
+  int threads_;
   index_t bm_, bk_, bn_;
   PooledMatrix<T> products_;  // rank stacked (bm x bn) blocks
   std::map<index_t, blas::PackedPanel<T>> a_packs_, b_packs_;  // bottom level only

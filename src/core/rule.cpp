@@ -80,8 +80,15 @@ std::string describe(const Rule& rule) {
         const LaurentPoly& p = getter(r, c, l);
         if (p.is_zero()) continue;
         if (!out.empty()) out += " + ";
-        out += "(" + p.to_string() + ")*" + symbol + std::to_string(r + 1) +
-               std::to_string(c + 1);
+        // Sequential appends instead of an operator+ chain: the
+        // (const char* + std::string&&) overload trips GCC 12's -Wrestrict
+        // false positive (GCC PR105329).
+        out += "(";
+        out += p.to_string();
+        out += ")*";
+        out += symbol;
+        out += std::to_string(r + 1);
+        out += std::to_string(c + 1);
       }
     }
     return out;
@@ -105,7 +112,10 @@ std::string describe(const Rule& rule) {
         const LaurentPoly& p = rule.W(a, b, l);
         if (p.is_zero()) continue;
         if (!out.empty()) out += " + ";
-        out += "(" + p.to_string() + ")*M" + std::to_string(l + 1);
+        out += "(";
+        out += p.to_string();
+        out += ")*M";
+        out += std::to_string(l + 1);
       }
       os << "C" << a + 1 << b + 1 << " = " << out << "\n";
     }

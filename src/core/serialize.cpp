@@ -45,6 +45,12 @@ void write_rule(std::ostream& out, const Rule& rule) {
   out << "name " << (rule.name.empty() ? "unnamed" : rule.name) << "\n";
   out << "dims " << rule.m << " " << rule.k << " " << rule.n << "\n";
   out << "rank " << rule.rank << "\n";
+  // Pin the error-model metadata for valid rules so loaders (and
+  // tools/rule_lint) can cross-check the table against its analysis.
+  if (const Validation v = validate(rule); v.valid) {
+    out << "sigma " << v.sigma << "\n";
+    out << "phi " << compute_phi(rule) << "\n";
+  }
   write_block(out, "U", rule.u, rule.m, rule.k, rule.rank);
   write_block(out, "V", rule.v, rule.k, rule.n, rule.rank);
   write_block(out, "W", rule.w, rule.m, rule.n, rule.rank);
@@ -60,6 +66,7 @@ Rule read_rule(std::istream& in, bool validate_brent) {
   std::string line;
   std::string name = "unnamed";
   index_t m = 0, k = 0, n = 0, rank = 0;
+  int declared_sigma = -1, declared_phi = -1;
   bool got_magic = false, got_dims = false, got_rank = false;
   Rule rule;
   bool rule_ready = false;
@@ -95,6 +102,12 @@ Rule read_rule(std::istream& in, bool validate_brent) {
     } else if (tag == "rank") {
       APA_CHECK_MSG((ls >> rank) && rank > 0, "line " << line_number << ": bad rank");
       got_rank = true;
+    } else if (tag == "sigma") {
+      APA_CHECK_MSG((ls >> declared_sigma) && declared_sigma >= 0,
+                    "line " << line_number << ": bad sigma");
+    } else if (tag == "phi") {
+      APA_CHECK_MSG((ls >> declared_phi) && declared_phi >= 0,
+                    "line " << line_number << ": bad phi");
     } else if (tag == "U" || tag == "V" || tag == "W") {
       ensure_ready();
       index_t row = 0, col = 0, product = 0;
@@ -126,6 +139,21 @@ Rule read_rule(std::istream& in, bool validate_brent) {
   if (validate_brent) {
     const Validation v = validate(rule);
     APA_CHECK_MSG(v.valid, "loaded rule fails Brent equations: " << v.message);
+    // Declared sigma/phi metadata (optional lines) must match the values
+    // recomputed from the coefficients — a mismatch means the table and its
+    // published error analysis disagree (run tools/rule_lint for the full
+    // diagnostic set).
+    if (declared_sigma >= 0) {
+      APA_CHECK_MSG(declared_sigma == v.sigma,
+                    rule.name << ": declared sigma " << declared_sigma
+                              << " but the coefficients give sigma " << v.sigma);
+    }
+    if (declared_phi >= 0) {
+      const int phi = compute_phi(rule);
+      APA_CHECK_MSG(declared_phi == phi,
+                    rule.name << ": declared phi " << declared_phi
+                              << " but the coefficients give phi " << phi);
+    }
   }
   return rule;
 }

@@ -13,13 +13,18 @@
 //   name bini322
 //   dims 3 2 2
 //   rank 10
+//   sigma 1                 # optional: declared approximation order
+//   phi 1                   # optional: declared max summed negative exponent
 //   U <row> <col> <product> <coeff> <degree>   # one line per monomial
 //   V ...
 //   W ...
 //
 // Coefficients are rationals ("1", "-1/2"); degree is the lambda exponent.
 // Polynomial coefficients are expressed as multiple lines for the same
-// (row, col, product) triple, which accumulate.
+// (row, col, product) triple, which accumulate. The optional sigma/phi lines
+// are verified against the values recomputed from the coefficients when
+// `validate_brent` is set (write_rule emits them for valid rules);
+// tools/rule_lint reports mismatches as precise diagnostics.
 
 #include <istream>
 #include <ostream>

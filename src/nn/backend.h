@@ -23,6 +23,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "blas/plan.h"
 #include "core/fastmm.h"

@@ -9,7 +9,9 @@
 // tensors back as kReluGrad gates — act > 0 is the same predicate as
 // pre-activation > 0, so no pre-activation tensor is kept.
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "nn/conv.h"
 #include "nn/layers.h"

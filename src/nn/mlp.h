@@ -4,6 +4,8 @@
 // and output layers use the classical one, exactly as in the paper's
 // accuracy and throughput experiments.
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 

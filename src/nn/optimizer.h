@@ -3,6 +3,8 @@
 // weight decay are provided as the standard extensions a downstream user needs
 // (they change only the update rule, never the matmul path under test).
 
+#include <utility>
+
 #include "support/matrix.h"
 
 namespace apa::nn {

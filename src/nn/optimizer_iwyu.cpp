@@ -1,0 +1,3 @@
+// Ensures nn/optimizer.h is self-contained: it is the one nn header with no
+// matching .cpp, so no other TU is guaranteed to compile it first.
+#include "nn/optimizer.h"

@@ -4,6 +4,7 @@
 // replaces the matmuls of these layers with the <4,4,2> algorithm and times
 // training per batch; this module builds that exact configuration.
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/conv.h"

@@ -1,0 +1,3 @@
+// Ensures obs/json.h is self-contained: it is the one obs header with no
+// matching .cpp, so no other TU is guaranteed to compile it first.
+#include "obs/json.h"

@@ -13,6 +13,15 @@ namespace apa::obs {
 
 namespace {
 
+// Memory-order audit (interning + accumulators): intern() publishes new
+// entries under the mutex, and the call-site function-local static that
+// caches the returned pointer is itself a release/acquire publication (magic
+// statics), so every thread that uses a cached pointer observed the fully
+// constructed object. Entries are never erased (the registry leaks), which
+// keeps those pointers valid for the process lifetime. The relaxed
+// fetch_adds/loads on the accumulators are deliberate: counts are monotone
+// and carry no ordering relationship to any other data, and snapshots are
+// advisory — they may trail in-flight adds by design.
 template <class T>
 struct Registry {
   std::mutex mu;

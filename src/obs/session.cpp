@@ -7,7 +7,8 @@
 
 namespace apa::obs {
 
-ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
+ObsSession::ObsSession(std::string trace_path, std::string metrics_path,
+                       std::uint64_t trace_cap_events)
     : trace_path_(std::move(trace_path)) {
   if (!trace_path_.empty()) {
     if (!kCompiledIn) {
@@ -15,6 +16,9 @@ ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
                    "obs: built with APAMM_OBS=OFF — %s will contain no spans\n",
                    trace_path_.c_str());
     }
+    // Resize before recording starts: producers are quiescent here, which
+    // set_trace_capacity requires.
+    if (trace_cap_events > 0) set_trace_capacity(trace_cap_events);
     reset_trace();
     set_tracing(true);
     tracing_started_ = true;

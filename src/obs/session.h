@@ -4,6 +4,7 @@
 // are produced at scope exit. Enables ring recording only when a trace path
 // was given, so binaries run without flags pay only the dormant span cost.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -15,7 +16,10 @@ class ObsSession {
  public:
   /// Empty paths disable the corresponding output. A non-empty `trace_path`
   /// turns on ring recording (obs::set_tracing) for the session's lifetime.
-  ObsSession(std::string trace_path, std::string metrics_path);
+  /// `trace_cap_events` bounds ring retention per thread (--trace-cap);
+  /// 0 keeps the current capacity (64Ki spans/thread by default).
+  ObsSession(std::string trace_path, std::string metrics_path,
+             std::uint64_t trace_cap_events = 0);
   /// Calls flush().
   ~ObsSession();
   ObsSession(const ObsSession&) = delete;

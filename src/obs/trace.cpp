@@ -16,9 +16,15 @@ std::atomic<bool> g_tracing{false};
 
 namespace {
 
-/// Fixed ring capacity per thread: 64k events x 32 bytes = 2 MiB. On overflow
-/// the oldest events are overwritten and counted as dropped.
-constexpr std::uint64_t kRingCapacity = 1u << 16;
+/// Default ring capacity per thread: 64k events x 32 bytes = 2 MiB. On
+/// overflow the oldest events are overwritten and counted as dropped;
+/// set_trace_capacity (--trace-cap) rebounds the retention for long runs.
+constexpr std::uint64_t kDefaultRingCapacity = 1u << 16;
+
+/// Current bound for rings. Written only by set_trace_capacity under the
+/// registry mutex; read lock-free by ring creation (each ring then carries
+/// its own fixed size, so producers never observe a mid-write resize).
+std::atomic<std::uint64_t> g_ring_capacity{kDefaultRingCapacity};
 
 struct TraceEvent {
   const char* name = nullptr;  ///< interned Phase name — stable for process life
@@ -30,7 +36,11 @@ struct TraceEvent {
 /// Single-producer ring: only the owning thread writes; readers drain under
 /// the registry mutex using the release-published count.
 struct ThreadRing {
-  explicit ThreadRing(int tid_) : ring(kRingCapacity), tid(tid_) {}
+  explicit ThreadRing(int tid_)
+      : ring(g_ring_capacity.load(std::memory_order_relaxed)), tid(tid_) {}
+  [[nodiscard]] std::uint64_t capacity() const {
+    return static_cast<std::uint64_t>(ring.size());
+  }
   std::vector<TraceEvent> ring;
   std::atomic<std::uint64_t> count{0};  ///< total events ever pushed
   int tid;
@@ -76,8 +86,16 @@ PhaseRegistry& phase_registry() {
 void record_event(const char* name, std::int64_t id, std::uint64_t start_ns,
                   std::uint64_t dur_ns) {
   ThreadRing* ring = this_thread_ring();
+  // Memory-order audit (single-producer ring): the relaxed self-load is safe
+  // because only this thread ever stores count; the release store publishes
+  // the filled slot to drains, whose acquire load of count (trace_events,
+  // trace_dropped) synchronizes-with it, so every slot inside the window a
+  // drain computes from its loaded count is fully written. Once the ring has
+  // wrapped, the producer overwrites slots that fall inside a concurrent
+  // drain's window — that is why the header requires drains to run while
+  // producers are quiescent rather than adding per-slot sequence locks.
   const std::uint64_t n = ring->count.load(std::memory_order_relaxed);
-  TraceEvent& slot = ring->ring[n % kRingCapacity];
+  TraceEvent& slot = ring->ring[n % ring->capacity()];
   slot.name = name;
   slot.id = id;
   slot.start_ns = start_ns;
@@ -106,6 +124,24 @@ void Span::finish() {
   if (detail::g_tracing.load(std::memory_order_relaxed)) {
     detail::record_event(phase_->name(), id_, start_, dur);
   }
+}
+
+void set_trace_capacity(std::uint64_t events_per_thread) {
+  const std::uint64_t cap = std::max<std::uint64_t>(events_per_thread, 1);
+  detail::RingRegistry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  detail::g_ring_capacity.store(cap, std::memory_order_relaxed);
+  // Reallocate existing rings to the new bound. This is only safe while their
+  // owning threads are not recording (the documented quiescent contract);
+  // emptying the counts keeps count/capacity consistent for the drains.
+  for (const auto& ring : reg.rings) {
+    ring->ring.assign(static_cast<std::size_t>(cap), detail::TraceEvent{});
+    ring->count.store(0, std::memory_order_release);
+  }
+}
+
+std::uint64_t trace_capacity() {
+  return detail::g_ring_capacity.load(std::memory_order_relaxed);
 }
 
 void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
@@ -157,10 +193,10 @@ std::vector<TraceEventView> trace_events() {
   std::vector<TraceEventView> out;
   for (const auto& ring : reg.rings) {
     const std::uint64_t n = ring->count.load(std::memory_order_acquire);
-    const std::uint64_t kept = std::min(n, detail::kRingCapacity);
+    const std::uint64_t kept = std::min(n, ring->capacity());
     const std::uint64_t first = n - kept;  // oldest surviving event index
     for (std::uint64_t i = first; i < n; ++i) {
-      const detail::TraceEvent& ev = ring->ring[i % detail::kRingCapacity];
+      const detail::TraceEvent& ev = ring->ring[i % ring->capacity()];
       out.push_back({ev.name, ev.id, ring->tid, ev.start_ns, ev.dur_ns});
     }
   }
@@ -176,7 +212,7 @@ std::uint64_t trace_dropped() {
   std::uint64_t dropped = 0;
   for (const auto& ring : reg.rings) {
     const std::uint64_t n = ring->count.load(std::memory_order_acquire);
-    if (n > detail::kRingCapacity) dropped += n - detail::kRingCapacity;
+    if (n > ring->capacity()) dropped += n - ring->capacity();
   }
   return dropped;
 }
@@ -191,6 +227,8 @@ void reset_trace() {
 
 #else  // !APAMM_OBS_ENABLED
 
+void set_trace_capacity(std::uint64_t) {}
+std::uint64_t trace_capacity() { return 0; }
 void set_enabled(bool) {}
 bool enabled() { return false; }
 void set_tracing(bool) {}

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #if defined(APAMM_OBS_ENABLED)
@@ -51,6 +52,14 @@ void set_enabled(bool on);
 [[nodiscard]] bool enabled();
 void set_tracing(bool on);
 [[nodiscard]] bool tracing();
+
+/// Bounds ring retention to `events_per_thread` spans (default 64Ki; clamped
+/// to >= 1). Existing rings are reallocated and emptied, so call while span
+/// producers are quiescent — normally once at startup before enabling ring
+/// recording (the --trace-cap flag in the example/bench binaries).
+void set_trace_capacity(std::uint64_t events_per_thread);
+/// Current per-thread ring bound, or 0 when compiled out.
+[[nodiscard]] std::uint64_t trace_capacity();
 
 /// Phase accumulator snapshot: merged by name, sorted by name.
 [[nodiscard]] std::vector<PhaseTotal> phase_totals();

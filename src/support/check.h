@@ -37,8 +37,7 @@ enum class ErrorCode {
 class ApaError : public std::logic_error {
  public:
   ApaError(ErrorCode code, const std::string& message)
-      : std::logic_error("[" + std::string(to_string(code)) + "] " + message),
-        code_(code) {}
+      : std::logic_error(tagged(code, message)), code_(code) {}
 
   [[nodiscard]] ErrorCode code() const noexcept { return code_; }
 
@@ -50,6 +49,17 @@ class ApaError : public std::logic_error {
   }
 
  private:
+  // Appends onto a fresh string instead of chaining operator+ — the
+  // (const char* + std::string&&) overload trips GCC 12's -Wrestrict false
+  // positive (GCC PR105329) on every TU that throws.
+  static std::string tagged(ErrorCode code, const std::string& message) {
+    std::string out("[");
+    out += to_string(code);
+    out += "] ";
+    out += message;
+    return out;
+  }
+
   ErrorCode code_;
 };
 

@@ -199,6 +199,39 @@ TEST_F(TraceTest, EmptyRecordingStillExportsValidDocument) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
 }
 
+TEST_F(TraceTest, TraceCapBoundsRingRetention) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  const std::uint64_t original = obs::trace_capacity();
+  obs::set_trace_capacity(16);
+  EXPECT_EQ(obs::trace_capacity(), 16u);
+  for (int i = 0; i < 50; ++i) {
+    APA_TRACE_SCOPE_ID("test.capped", i);
+  }
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(obs::trace_dropped(), 34u);
+  // Oldest-first drop: only the newest 16 spans survive, in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].name, "test.capped");
+    EXPECT_EQ(events[i].id, static_cast<std::int64_t>(34 + i));
+  }
+  obs::set_trace_capacity(original);
+}
+
+TEST_F(TraceTest, TraceCapClampsToOneAndResizeEmptiesRings) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  const std::uint64_t original = obs::trace_capacity();
+  { APA_TRACE_SCOPE("test.pre_resize"); }
+  ASSERT_FALSE(obs::trace_events().empty());
+  obs::set_trace_capacity(0);  // clamps to 1
+  EXPECT_EQ(obs::trace_capacity(), 1u);
+  // The resize empties every ring (quiescent contract), so nothing survives.
+  EXPECT_TRUE(obs::trace_events().empty());
+  { APA_TRACE_SCOPE("test.post_resize"); }
+  EXPECT_EQ(obs::trace_events().size(), 1u);
+  obs::set_trace_capacity(original);
+}
+
 TEST_F(TraceTest, ResetTraceDiscardsEvents) {
   if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
   { APA_TRACE_SCOPE("test.resettable"); }
