@@ -5,6 +5,7 @@
 //   ./mnist_mlp [--algo=bini322] [--epochs=5] [--train=8000] [--test=2000]
 //               [--batch=300] [--lr=0.1] [--mnist-dir=PATH] [--guard]
 //               [--trace-out=trace.json] [--metrics-out=metrics.jsonl] [--trace-cap=N]
+//               [--workers=N] [--shard-dir=PATH] [--inject-fault=SPEC]
 //
 // --trace-out records every instrumented phase (pack/combine/gemm/epilogue/
 // verify/...) to a Chrome-trace JSON viewable in Perfetto; --metrics-out
@@ -12,12 +13,22 @@
 // on) and a final counters snapshot; --trace-cap bounds ring retention to N
 // spans per thread for long runs (default 64Ki, oldest dropped on overflow).
 // See docs/OBSERVABILITY.md.
+//
+// --workers=N (N > 1) switches to fault-tolerant data-parallel training:
+// N replica workers over disjoint dataset shards with a ring all-reduce,
+// sharded checkpoints under --shard-dir (default dist_ckpt), and the
+// distributed rollback protocol from docs/ROBUSTNESS.md. --inject-fault takes
+// the deterministic drill grammar ("kill@R:S,corrupt@R:S,corrupt-shard@R:S,
+// corrupt-msg@R:N,drop@R:N,delay@R:S:MS"), applied to the first epoch only so
+// later epochs demonstrate fault-free recovery from the degraded state.
 
 #include <cstdio>
 #include <memory>
 
 #include "data/idx.h"
 #include "data/synthetic_mnist.h"
+#include "dist/checkpoint.h"
+#include "dist/trainer.h"
 #include "nn/guarded_backend.h"
 #include "nn/trainer.h"
 #include "obs/session.h"
@@ -59,6 +70,62 @@ int main(int argc, char** argv) {
       guard ? std::make_shared<const nn::GuardedBackend>(algo)
             : std::make_shared<const nn::MatmulBackend>(algo);
   nn::Mlp mlp(config, fast, std::make_shared<const nn::MatmulBackend>("classical"));
+
+  const int workers = static_cast<int>(args.get_int("workers", 1));
+  if (workers > 1) {
+    dist::DistTrainOptions dist_options;
+    dist_options.workers = workers;
+    dist_options.batch = batch;
+    dist_options.checkpoint_dir = args.get("shard-dir", "dist_ckpt");
+    dist_options.telemetry = obs_session.telemetry();
+    const dist::DistFaultPolicy faults =
+        dist::DistFaultPolicy::parse(args.get("inject-fault", ""));
+
+    // The factory hands every worker a bit-identical replica: same config and
+    // seed, resumed from the previous epoch's final checkpoint when one exists.
+    index_t resume_step = -1;
+    const auto factory = [&] {
+      nn::Mlp model(config, fast,
+                    std::make_shared<const nn::MatmulBackend>("classical"));
+      if (resume_step >= 0) {
+        dist::load_sharded_checkpoint(dist_options.checkpoint_dir, resume_step,
+                                      model);
+      }
+      return model;
+    };
+
+    std::printf(
+        "MLP 784-300-300-10, %d data-parallel workers, batch %ld/worker, "
+        "middle layer on '%s', checkpoints in %s\n\n",
+        workers, static_cast<long>(batch), algo.c_str(),
+        dist_options.checkpoint_dir.c_str());
+    for (int epoch = 1; epoch <= epochs; ++epoch) {
+      dist_options.seed = 1234 + static_cast<std::uint64_t>(epoch);
+      dist_options.faults = epoch == 1 ? faults : dist::DistFaultPolicy{};
+      const dist::DistEpochStats stats =
+          dist::train_data_parallel(factory, train, dist_options);
+      resume_step = stats.final_checkpoint_step;
+      const nn::Mlp trained = factory();  // loads the final checkpoint
+      std::printf(
+          "epoch %2d  loss %.4f  test-acc %.4f  workers %d->%d  rollbacks %d "
+          "(bit-exact %s)  (%.2fs)\n",
+          epoch, stats.mean_loss, nn::evaluate_accuracy(trained, test),
+          stats.initial_workers, stats.final_workers, stats.rollbacks,
+          stats.rollbacks_bit_exact ? "yes" : "NO", stats.seconds);
+      if (stats.faults_killed + stats.faults_grad_corrupted +
+              stats.faults_shard_corrupted >
+          0) {
+        std::printf(
+            "          injected: %d kills, %d corrupt grads, %d corrupt "
+            "shards; repaired %lld dropped / %lld corrupted messages\n",
+            stats.faults_killed, stats.faults_grad_corrupted,
+            stats.faults_shard_corrupted,
+            static_cast<long long>(stats.messages_dropped),
+            static_cast<long long>(stats.checksum_failures));
+      }
+    }
+    return 0;
+  }
 
   std::printf("MLP 784-300-300-10, batch %ld, middle layer on '%s'%s\n\n",
               static_cast<long>(batch), algo.c_str(), guard ? " (guarded)" : "");

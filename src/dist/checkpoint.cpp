@@ -1,0 +1,317 @@
+#include "dist/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "nn/checkpoint_io.h"
+#include "obs/metrics.h"
+#include "support/check.h"
+
+namespace apa::dist {
+namespace {
+
+namespace fs = std::filesystem;
+using nn::ckpt::Cursor;
+using nn::ckpt::fnv1a;
+using nn::ckpt::kMagicSize;
+using nn::ckpt::StagedTensor;
+
+constexpr char kMagicShard[kMagicSize] = {'A', 'P', 'A', 'M', 'M',
+                                          '_', 'S', 'H', 'D', '1'};
+constexpr char kMagicManifest[kMagicSize] = {'A', 'P', 'A', 'M', 'M',
+                                             '_', 'M', 'A', 'N', '1'};
+constexpr const char* kManifestName = "MANIFEST";
+
+/// tensor ids: 2*layer + 0 = weights, 2*layer + 1 = bias.
+index_t num_tensors(const nn::Mlp& model) { return 2 * model.num_dense_layers(); }
+
+std::string shard_name(int shard_index) {
+  return "shard_" + std::to_string(shard_index) + ".bin";
+}
+
+std::uint64_t hash_file(const std::string& path, std::uint64_t* size_out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint,
+                 "cannot open shard " << path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<unsigned char> bytes(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint,
+                 "read failed for shard " << path);
+  *size_out = size;
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+std::string step_dir_path(const std::string& dir, index_t step) {
+  return (fs::path(dir) / ("step_" + std::to_string(step))).string();
+}
+
+std::uint64_t model_checksum(const nn::Mlp& model) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (index_t l = 0; l < model.num_dense_layers(); ++l) {
+    const auto& layer = model.layer(l);
+    const std::uint64_t dims[2] = {
+        static_cast<std::uint64_t>(layer.in_features()),
+        static_cast<std::uint64_t>(layer.out_features())};
+    hash = fnv1a(&dims, sizeof(dims), hash);
+    hash = fnv1a(layer.weights().data(),
+                 static_cast<std::size_t>(layer.weights().size()) * sizeof(float),
+                 hash);
+    hash = fnv1a(layer.bias().data(),
+                 static_cast<std::size_t>(layer.bias().size()) * sizeof(float),
+                 hash);
+  }
+  return hash;
+}
+
+ShardInfo write_checkpoint_shard(const std::string& dir, index_t step,
+                                 int shard_index, int num_shards,
+                                 const nn::Mlp& model) {
+  APA_CHECK_CODE(num_shards >= 1 && shard_index >= 0 && shard_index < num_shards,
+                 ErrorCode::kPrecondition,
+                 "shard " << shard_index << " of " << num_shards);
+  const std::string step_dir = step_dir_path(dir, step);
+  fs::create_directories(step_dir);
+
+  std::ostringstream payload(std::ios::binary);
+  nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(step));
+  nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(num_shards));
+  nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(shard_index));
+  std::uint64_t count = 0;
+  for (index_t t = shard_index; t < num_tensors(model); t += num_shards) ++count;
+  nn::ckpt::write_u64(payload, count);
+  for (index_t t = shard_index; t < num_tensors(model); t += num_shards) {
+    const auto& layer = model.layer(t / 2);
+    nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(t));
+    if (t % 2 == 0) {
+      nn::ckpt::write_matrix(payload, layer.weights());
+      nn::ckpt::write_state(payload, layer.weight_state());
+    } else {
+      nn::ckpt::write_matrix(payload, layer.bias());
+      nn::ckpt::write_state(payload, layer.bias_state());
+    }
+  }
+
+  // Assemble the exact file bytes in memory so the manifest checksum covers
+  // what will be on disk — any later flip of a committed byte is detectable.
+  const std::string body = payload.str();
+  const std::uint64_t body_checksum =
+      fnv1a(reinterpret_cast<const unsigned char*>(body.data()), body.size());
+  std::ostringstream file(std::ios::binary);
+  file.write(kMagicShard, kMagicSize);
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  nn::ckpt::write_u64(file, body_checksum);
+  const std::string bytes = file.str();
+
+  ShardInfo info;
+  info.index = shard_index;
+  info.name = shard_name(shard_index);
+  info.bytes = bytes.size();
+  info.checksum =
+      fnv1a(reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size());
+  nn::ckpt::commit_file_atomic((fs::path(step_dir) / info.name).string(), bytes);
+  APA_COUNTER_INC("dist.ckpt.shards_written");
+  return info;
+}
+
+void write_checkpoint_manifest(const std::string& dir, index_t step,
+                               const std::vector<ShardInfo>& shards,
+                               std::uint64_t checksum_of_model) {
+  APA_CHECK_CODE(!shards.empty(), ErrorCode::kPrecondition,
+                 "manifest needs at least one shard");
+  std::ostringstream payload(std::ios::binary);
+  nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(step));
+  nn::ckpt::write_u64(payload, shards.size());
+  nn::ckpt::write_u64(payload, checksum_of_model);
+  for (const ShardInfo& shard : shards) {
+    nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(shard.index));
+    nn::ckpt::write_u64(payload, shard.name.size());
+    payload.write(shard.name.data(),
+                  static_cast<std::streamsize>(shard.name.size()));
+    nn::ckpt::write_u64(payload, shard.bytes);
+    nn::ckpt::write_u64(payload, shard.checksum);
+  }
+  const std::string step_dir = step_dir_path(dir, step);
+  nn::ckpt::write_checkpoint_file((fs::path(step_dir) / kManifestName).string(),
+                                  kMagicManifest, payload.str());
+  APA_COUNTER_INC("dist.ckpt.manifests_written");
+}
+
+ManifestInfo validate_checkpoint_dir(const std::string& dir, index_t step) {
+  const std::string step_dir = step_dir_path(dir, step);
+  const std::string manifest_path = (fs::path(step_dir) / kManifestName).string();
+  std::size_t which = 0;
+  const std::vector<unsigned char> file =
+      nn::ckpt::read_checkpoint_file(manifest_path, {kMagicManifest}, &which);
+  Cursor cursor(file.data() + kMagicSize,
+                file.size() - kMagicSize - sizeof(std::uint64_t), manifest_path);
+
+  ManifestInfo info;
+  info.step = static_cast<index_t>(cursor.read_u64());
+  APA_CHECK_CODE(info.step == step, ErrorCode::kCorruptCheckpoint,
+                 manifest_path << ": manifest says step " << info.step
+                               << ", directory says " << step);
+  const std::uint64_t num_shards = cursor.read_u64();
+  APA_CHECK_CODE(num_shards >= 1 && num_shards < 4096,
+                 ErrorCode::kCorruptCheckpoint,
+                 manifest_path << ": implausible shard count " << num_shards);
+  info.num_shards = static_cast<int>(num_shards);
+  info.model_checksum = cursor.read_u64();
+  for (std::uint64_t s = 0; s < num_shards; ++s) {
+    ShardInfo shard;
+    shard.index = static_cast<int>(cursor.read_u64());
+    const std::uint64_t name_len = cursor.read_u64();
+    APA_CHECK_CODE(name_len >= 1 && name_len <= 256 &&
+                       name_len <= cursor.remaining(),
+                   ErrorCode::kCorruptCheckpoint,
+                   manifest_path << ": implausible shard name length "
+                                 << name_len);
+    shard.name.resize(name_len);
+    cursor.read_bytes(shard.name.data(), name_len, "shard name");
+    shard.bytes = cursor.read_u64();
+    shard.checksum = cursor.read_u64();
+    info.shards.push_back(std::move(shard));
+  }
+
+  // Re-hash every shard file on disk against its manifest entry: this is the
+  // line of defence against post-commit corruption (corrupt-shard fault).
+  for (const ShardInfo& shard : info.shards) {
+    const std::string path = (fs::path(step_dir) / shard.name).string();
+    std::uint64_t size = 0;
+    const std::uint64_t actual = hash_file(path, &size);
+    APA_CHECK_CODE(size == shard.bytes, ErrorCode::kCorruptCheckpoint,
+                   path << ": shard is " << size << " bytes, manifest says "
+                        << shard.bytes);
+    APA_CHECK_CODE(actual == shard.checksum, ErrorCode::kCorruptCheckpoint,
+                   path << ": shard checksum mismatch — corrupt");
+  }
+  return info;
+}
+
+void load_sharded_checkpoint(const std::string& dir, index_t step,
+                             nn::Mlp& model) {
+  const ManifestInfo info = validate_checkpoint_dir(dir, step);
+  const std::string step_dir = step_dir_path(dir, step);
+  const index_t total_tensors = num_tensors(model);
+
+  // Stage every tensor from every shard before touching the model.
+  std::map<index_t, StagedTensor> staged;
+  for (const ShardInfo& shard : info.shards) {
+    const std::string path = (fs::path(step_dir) / shard.name).string();
+    std::size_t which = 0;
+    const std::vector<unsigned char> file =
+        nn::ckpt::read_checkpoint_file(path, {kMagicShard}, &which);
+    Cursor cursor(file.data() + kMagicSize,
+                  file.size() - kMagicSize - sizeof(std::uint64_t), path);
+    const auto file_step = static_cast<index_t>(cursor.read_u64());
+    const auto file_shards = static_cast<int>(cursor.read_u64());
+    const auto file_index = static_cast<int>(cursor.read_u64());
+    APA_CHECK_CODE(file_step == step && file_shards == info.num_shards &&
+                       file_index == shard.index,
+                   ErrorCode::kCorruptCheckpoint,
+                   path << ": shard header disagrees with manifest");
+    const std::uint64_t count = cursor.read_u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto tensor_id = static_cast<index_t>(cursor.read_u64());
+      APA_CHECK_CODE(tensor_id >= 0 && tensor_id < total_tensors &&
+                         staged.find(tensor_id) == staged.end(),
+                     ErrorCode::kCorruptCheckpoint,
+                     path << ": bad or duplicate tensor id " << tensor_id);
+      const auto& layer = model.layer(tensor_id / 2);
+      const index_t rows = tensor_id % 2 == 0 ? layer.in_features() : 1;
+      const index_t cols = layer.out_features();
+      staged[tensor_id] = nn::ckpt::read_tensor(
+          cursor, rows, cols, tensor_id % 2 == 0 ? "weights" : "bias",
+          /*with_state=*/true);
+    }
+    APA_CHECK_CODE(cursor.remaining() == 0, ErrorCode::kCorruptCheckpoint,
+                   path << ": " << cursor.remaining() << " trailing bytes");
+  }
+  APA_CHECK_CODE(static_cast<index_t>(staged.size()) == total_tensors,
+                 ErrorCode::kCorruptCheckpoint,
+                 step_dir << ": shards cover " << staged.size() << " of "
+                          << total_tensors << " tensors");
+
+  for (auto& [tensor_id, tensor] : staged) {
+    auto& layer = model.layer(tensor_id / 2);
+    if (tensor_id % 2 == 0) {
+      nn::ckpt::apply_tensor(tensor, layer.weights().view(),
+                             layer.weight_state());
+    } else {
+      nn::ckpt::apply_tensor(tensor, layer.mutable_bias().view(),
+                             layer.bias_state());
+    }
+  }
+  APA_COUNTER_INC("dist.ckpt.loads");
+}
+
+std::vector<index_t> list_checkpoint_steps(const std::string& dir) {
+  std::vector<index_t> steps;
+  if (!fs::is_directory(dir)) return steps;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("step_", 0) != 0) continue;
+    const std::string digits = name.substr(5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    steps.push_back(static_cast<index_t>(std::stoll(digits)));
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+index_t find_latest_consistent_step(const std::string& dir, index_t at_most) {
+  std::vector<index_t> steps = list_checkpoint_steps(dir);
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    if (*it > at_most) continue;
+    try {
+      validate_checkpoint_dir(dir, *it);
+      return *it;
+    } catch (const ApaError& e) {
+      if (e.code() != ErrorCode::kCorruptCheckpoint) throw;
+      APA_COUNTER_INC("dist.ckpt.inconsistent_steps_skipped");
+    }
+  }
+  return -1;
+}
+
+void prune_checkpoints(const std::string& dir, int keep) {
+  APA_CHECK_CODE(keep >= 1, ErrorCode::kPrecondition, "prune must keep >= 1");
+  const std::vector<index_t> steps = list_checkpoint_steps(dir);
+  if (static_cast<int>(steps.size()) <= keep) return;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(keep) < steps.size();
+       ++i) {
+    std::error_code ec;  // best-effort: a busy/unlinkable dir is not fatal
+    fs::remove_all(step_dir_path(dir, steps[i]), ec);
+  }
+}
+
+void corrupt_shard_byte(const std::string& dir, index_t step, int shard_index) {
+  const std::string path =
+      (fs::path(step_dir_path(dir, step)) / shard_name(shard_index)).string();
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  APA_CHECK_MSG(file.good(), "corrupt_shard_byte: cannot open " << path);
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::streamoff>(file.tellg());
+  APA_CHECK_MSG(size > 0, "corrupt_shard_byte: empty file " << path);
+  const std::streamoff pos = size / 2;
+  file.seekg(pos);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  file.seekp(pos);
+  file.write(&byte, 1);
+  APA_CHECK_MSG(file.good(), "corrupt_shard_byte: write failed for " << path);
+}
+
+}  // namespace apa::dist

@@ -1,0 +1,88 @@
+#pragma once
+// Sharded checkpoint format (v3 payload split across workers):
+//
+//   <dir>/step_<S>/shard_<k>.bin   one per shard, magic "APAMM_SHD1"
+//   <dir>/step_<S>/MANIFEST       coordinator-written, magic "APAMM_MAN1"
+//
+// Tensors are enumerated id = 2*layer + (0 = weights, 1 = bias); shard k owns
+// the ids with id % num_shards == k, each serialized with its momentum state
+// using the v3 primitives from nn/checkpoint_io.h. Every file is committed
+// atomically (write `*.tmp`, fsync, rename, fsync dir). The MANIFEST lists
+// each shard's byte count and whole-file FNV-1a checksum plus a checksum of
+// the full parameter set, and is written *last*: a step directory without a
+// valid manifest never existed as far as readers are concerned, so a crash at
+// any point leaves either the previous consistent step or the new one —
+// never a torn mixture. Corruption after commit (the corrupt-shard fault,
+// real bit rot) is caught by re-hashing shard bytes against the manifest at
+// load time; callers then fall back to the previous consistent step.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "support/matrix.h"
+
+namespace apa::dist {
+
+struct ShardInfo {
+  int index = 0;            ///< shard number k
+  std::string name;         ///< file name, e.g. "shard_0.bin"
+  std::uint64_t bytes = 0;  ///< committed file size
+  std::uint64_t checksum = 0;  ///< FNV-1a over the committed file bytes
+};
+
+struct ManifestInfo {
+  index_t step = -1;
+  int num_shards = 0;
+  std::uint64_t model_checksum = 0;  ///< fnv over all parameter bytes
+  std::vector<ShardInfo> shards;
+};
+
+/// `<dir>/step_<S>`.
+[[nodiscard]] std::string step_dir_path(const std::string& dir, index_t step);
+
+/// FNV-1a over every layer's dims + weight + bias bytes: the bit-exactness
+/// fingerprint replicas exchange after a rollback restore.
+[[nodiscard]] std::uint64_t model_checksum(const nn::Mlp& model);
+
+/// Writes shard `shard_index` of `num_shards` for `model` at `step`
+/// (atomically) and returns its manifest entry, with the checksum computed
+/// over the in-memory bytes so later on-disk corruption is detectable.
+ShardInfo write_checkpoint_shard(const std::string& dir, index_t step,
+                                 int shard_index, int num_shards,
+                                 const nn::Mlp& model);
+
+/// Coordinator-only: commits the MANIFEST, making step `step` consistent.
+void write_checkpoint_manifest(const std::string& dir, index_t step,
+                               const std::vector<ShardInfo>& shards,
+                               std::uint64_t checksum_of_model);
+
+/// Parses the MANIFEST and re-hashes every shard file against it. Throws
+/// ApaError{kCorruptCheckpoint} on a missing/invalid manifest, a missing
+/// shard, a size mismatch, or a checksum mismatch.
+ManifestInfo validate_checkpoint_dir(const std::string& dir, index_t step);
+
+/// Validates the step, stages every tensor from every shard, and applies them
+/// to `model` all-or-nothing (a failed load leaves the model untouched).
+void load_sharded_checkpoint(const std::string& dir, index_t step,
+                             nn::Mlp& model);
+
+/// Step numbers with a `step_<S>` directory under `dir`, ascending. Does not
+/// check consistency.
+[[nodiscard]] std::vector<index_t> list_checkpoint_steps(const std::string& dir);
+
+/// Newest step <= `at_most` that passes validate_checkpoint_dir, or -1.
+[[nodiscard]] index_t find_latest_consistent_step(const std::string& dir,
+                                                  index_t at_most);
+
+/// Deletes all but the newest `keep` step directories (and any inconsistent
+/// leftovers older than the newest consistent step).
+void prune_checkpoints(const std::string& dir, int keep);
+
+/// Fault-injection hook for the corrupt-shard clause: flips one byte in the
+/// middle of an already-committed shard file, simulating post-commit bit rot
+/// that only the manifest checksum can catch.
+void corrupt_shard_byte(const std::string& dir, index_t step, int shard_index);
+
+}  // namespace apa::dist

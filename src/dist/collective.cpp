@@ -1,0 +1,250 @@
+#include "dist/collective.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/check.h"
+
+namespace apa::dist {
+namespace {
+
+/// Message tag for the current (membership, rewind-era) epoch of the ring.
+std::uint64_t ring_tag(const ControlBlock& control) {
+  return (control.rewind_rounds() << 20) ^ control.membership_version();
+}
+
+}  // namespace
+
+RingReducer::RingReducer(int rank, LocalTransport* transport,
+                         ControlBlock* control,
+                         const CollectiveOptions& options,
+                         std::uint64_t retry_seed)
+    : rank_(rank),
+      transport_(transport),
+      control_(control),
+      options_(options),
+      rng_(retry_seed) {
+  APA_CHECK_CODE(transport != nullptr && control != nullptr,
+                 ErrorCode::kPrecondition, "RingReducer needs transport+control");
+}
+
+std::pair<index_t, index_t> RingReducer::chunk_range(index_t total, int n,
+                                                     int c) {
+  // Near-equal contiguous chunks; deliberately the same arithmetic on every
+  // rank so chunk boundaries agree without negotiation.
+  const index_t base = total / n;
+  const index_t extra = total % n;
+  const index_t begin = c * base + std::min<index_t>(c, extra);
+  const index_t size = base + (c < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+void RingReducer::prune_history(index_t step) {
+  // Keep the current and previous step: a straggler can be at most one
+  // collective behind (it cannot start step S+1 before finishing step S).
+  for (auto it = sent_.begin(); it != sent_.end();) {
+    it = it->first.first + 1 < step ? sent_.erase(it) : std::next(it);
+  }
+}
+
+void RingReducer::send_chunk(const std::vector<float>& data, index_t step,
+                             std::uint32_t phase, int chunk, int n, int to,
+                             std::uint64_t membership) {
+  const auto [begin, end] =
+      chunk_range(static_cast<index_t>(data.size()), n, chunk);
+  Message msg;
+  msg.kind = MsgKind::kChunk;
+  msg.from = rank_;
+  msg.to = to;
+  msg.step = static_cast<std::uint64_t>(step);
+  msg.phase = phase;
+  msg.membership = membership;
+  msg.payload.assign(data.begin() + begin, data.begin() + end);
+  sent_[{step, phase}] = msg;
+  transport_->send(std::move(msg));
+}
+
+void RingReducer::service_resend(const Message& request) {
+  const auto it = sent_.find(
+      {static_cast<index_t>(request.step), request.phase});
+  // Not sent yet (the requester raced ahead of us): ignore — the normal send
+  // for that phase is still coming and will satisfy it.
+  if (it == sent_.end()) return;
+  Message copy = it->second;
+  copy.to = request.from;
+  ++resends_served_;
+  APA_COUNTER_INC("dist.collective.resends_served");
+  transport_->send(std::move(copy));
+}
+
+RingReducer::RecvStatus RingReducer::recv_chunk(index_t step,
+                                                std::uint32_t phase, int from,
+                                                std::uint64_t membership,
+                                                Message* out) {
+  RetryState retry(options_.retry);
+  const auto interrupted = [&] {
+    return control_->aborted() || control_->rewind_pending() ||
+           ring_tag(*control_) != membership;
+  };
+  while (true) {
+    control_->heartbeat(rank_);
+    if (const auto it = stash_.find(phase); it != stash_.end()) {
+      *out = std::move(it->second);
+      stash_.erase(it);
+      return RecvStatus::kGot;
+    }
+    std::optional<Message> msg =
+        transport_->mailbox(rank_).pop(options_.hop_timeout_s, interrupted);
+    if (control_->aborted()) return RecvStatus::kAborted;
+    if (control_->rewind_pending()) return RecvStatus::kRewindRequested;
+    if (ring_tag(*control_) != membership) {
+      return RecvStatus::kPeerFailure;
+    }
+    if (msg) {
+      if (msg->kind == MsgKind::kResend) {
+        service_resend(*msg);
+        continue;
+      }
+      if (!msg->checksum_ok()) {
+        // Corrupted in flight: indistinguishable from a drop. Ask again for
+        // what we actually need.
+        ++checksum_failures_;
+        APA_COUNTER_INC("dist.collective.checksum_failures");
+        Message request;
+        request.kind = MsgKind::kResend;
+        request.from = rank_;
+        request.to = from;
+        request.step = static_cast<std::uint64_t>(step);
+        request.phase = phase;
+        request.membership = membership;
+        ++resend_requests_;
+        APA_COUNTER_INC("dist.collective.resend_requests");
+        transport_->send(std::move(request));
+        continue;
+      }
+      if (msg->membership != membership ||
+          msg->step != static_cast<std::uint64_t>(step)) {
+        continue;  // stale traffic from a pre-death ring or earlier collective
+      }
+      if (msg->phase == phase) {
+        *out = std::move(*msg);
+        return RecvStatus::kGot;
+      }
+      // A fast predecessor already sent a later phase; keep it for then.
+      stash_[msg->phase] = std::move(*msg);
+      continue;
+    }
+    // Timed out. Blame a dead peer if the heartbeat says so, otherwise pace a
+    // resend request with the backoff schedule.
+    if (control_->heartbeat_stale(from)) {
+      control_->mark_dead(from);
+      return RecvStatus::kPeerFailure;
+    }
+    double delay_s = 0;
+    if (!retry.next_delay(rng_, &delay_s)) {
+      // Retry budget exhausted but the peer is demonstrably alive (fresh
+      // heartbeat): it is stalled behind some other failure, not gone.
+      // Marking it dead here would cascade — two survivors waiting on the
+      // same crash would expel each other. Start a fresh backoff schedule and
+      // keep waiting; the real death resolves via heartbeat staleness, which
+      // flips our interrupt predicate through the membership version.
+      retry = RetryState(options_.retry);
+      APA_COUNTER_INC("dist.collective.retry_resets");
+    }
+    ++retries_;
+    APA_COUNTER_INC("dist.collective.retries");
+    if (delay_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+    }
+    Message request;
+    request.kind = MsgKind::kResend;
+    request.from = rank_;
+    request.to = from;
+    request.step = static_cast<std::uint64_t>(step);
+    request.phase = phase;
+    request.membership = membership;
+    ++resend_requests_;
+    APA_COUNTER_INC("dist.collective.resend_requests");
+    transport_->send(std::move(request));
+  }
+}
+
+CollectiveStatus RingReducer::allreduce_mean(std::vector<float>& data,
+                                             index_t step) {
+  APA_TRACE_SCOPE("dist.allreduce");
+  if (control_->aborted()) return CollectiveStatus::kAborted;
+  if (control_->rewind_pending()) return CollectiveStatus::kRewindRequested;
+
+  const std::vector<int> live = control_->live_ranks();
+  // The ring tag folds the rewind era in with the membership version: chunks
+  // from a collective interrupted by a rollback can never alias the replayed
+  // collective (whose bytes may differ after backend de-risking).
+  const std::uint64_t membership = ring_tag(*control_);
+  const auto self = std::find(live.begin(), live.end(), rank_);
+  if (self == live.end()) return CollectiveStatus::kAborted;
+  const int n = static_cast<int>(live.size());
+  if (n == 1) return CollectiveStatus::kOk;  // mean of one contribution
+
+  prune_history(step);
+  stash_.clear();
+  const int p = static_cast<int>(self - live.begin());
+  const int succ = live[static_cast<std::size_t>((p + 1) % n)];
+  const int pred = live[static_cast<std::size_t>((p + n - 1) % n)];
+  const auto total = static_cast<index_t>(data.size());
+
+  // Reduce-scatter: after round r every rank has folded r+1 contributions
+  // into the chunk it will eventually own.
+  for (int r = 0; r < n - 1; ++r) {
+    const auto phase = static_cast<std::uint32_t>(r);
+    send_chunk(data, step, phase, (p - r + n) % n, n, succ, membership);
+    Message msg;
+    const RecvStatus status = recv_chunk(step, phase, pred, membership, &msg);
+    if (status != RecvStatus::kGot) {
+      return status == RecvStatus::kPeerFailure ? CollectiveStatus::kPeerFailure
+             : status == RecvStatus::kRewindRequested
+                 ? CollectiveStatus::kRewindRequested
+                 : CollectiveStatus::kAborted;
+    }
+    const int chunk = (p - r - 1 + n) % n;
+    const auto [begin, end] = chunk_range(total, n, chunk);
+    APA_CHECK_CODE(static_cast<index_t>(msg.payload.size()) == end - begin,
+                   ErrorCode::kPrecondition,
+                   "allreduce chunk size mismatch — peers disagree on layout");
+    for (index_t i = begin; i < end; ++i) {
+      data[static_cast<std::size_t>(i)] +=
+          msg.payload[static_cast<std::size_t>(i - begin)];
+    }
+  }
+
+  // All-gather: circulate the fully-reduced chunks.
+  for (int r = 0; r < n - 1; ++r) {
+    const auto phase = static_cast<std::uint32_t>(n - 1 + r);
+    send_chunk(data, step, phase, (p + 1 - r + 2 * n) % n, n, succ, membership);
+    Message msg;
+    const RecvStatus status = recv_chunk(step, phase, pred, membership, &msg);
+    if (status != RecvStatus::kGot) {
+      return status == RecvStatus::kPeerFailure ? CollectiveStatus::kPeerFailure
+             : status == RecvStatus::kRewindRequested
+                 ? CollectiveStatus::kRewindRequested
+                 : CollectiveStatus::kAborted;
+    }
+    const int chunk = (p - r + n) % n;
+    const auto [begin, end] = chunk_range(total, n, chunk);
+    APA_CHECK_CODE(static_cast<index_t>(msg.payload.size()) == end - begin,
+                   ErrorCode::kPrecondition,
+                   "allreduce chunk size mismatch — peers disagree on layout");
+    std::copy(msg.payload.begin(), msg.payload.end(),
+              data.begin() + begin);
+  }
+
+  // Sum -> mean. Same operation on identical bytes on every rank, so the
+  // replicas stay bit-identical.
+  const float inv = 1.0f / static_cast<float>(n);
+  for (float& x : data) x *= inv;
+  return CollectiveStatus::kOk;
+}
+
+}  // namespace apa::dist

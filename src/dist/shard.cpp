@@ -1,0 +1,150 @@
+#include "dist/shard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace apa::dist {
+
+RowRange partition_rows(index_t total, int parts, int part) {
+  APA_CHECK_CODE(parts >= 1 && part >= 0 && part < parts,
+                 ErrorCode::kPrecondition,
+                 "partition_rows: part " << part << " of " << parts);
+  APA_CHECK_CODE(total >= parts, ErrorCode::kPrecondition,
+                 "partition_rows: fewer rows (" << total << ") than parts ("
+                                                << parts << ")");
+  const index_t base = total / parts;
+  const index_t extra = total % parts;
+  const index_t begin = part * base + std::min<index_t>(part, extra);
+  const index_t size = base + (part < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+RowRange shard_for(index_t total, const std::vector<int>& live_ranks, int rank) {
+  const auto it = std::find(live_ranks.begin(), live_ranks.end(), rank);
+  APA_CHECK_CODE(it != live_ranks.end(), ErrorCode::kPrecondition,
+                 "shard_for: rank " << rank << " is not live");
+  const int part = static_cast<int>(it - live_ranks.begin());
+  return partition_rows(total, static_cast<int>(live_ranks.size()), part);
+}
+
+ShardLoader::ShardLoader(const data::Dataset* data, index_t batch_size,
+                         std::uint64_t seed)
+    : data_(data), batch_size_(batch_size), seed_(seed) {
+  APA_CHECK_CODE(data != nullptr, ErrorCode::kPrecondition,
+                 "ShardLoader needs a dataset");
+  APA_CHECK_CODE(batch_size >= 1, ErrorCode::kPrecondition,
+                 "ShardLoader batch size must be positive");
+  worker_ = std::thread(&ShardLoader::prefetch_loop, this);
+}
+
+ShardLoader::~ShardLoader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ShardLoader::reshard(RowRange range) {
+  APA_CHECK_CODE(range.begin >= 0 && range.end <= data_->size() &&
+                     range.size() >= 1,
+                 ErrorCode::kPrecondition,
+                 "reshard: bad range [" << range.begin << ", " << range.end
+                                        << ") for " << data_->size() << " rows");
+  std::lock_guard<std::mutex> lock(mu_);
+  range_ = range;
+  requested_step_.reset();
+  ready_step_.reset();
+}
+
+RowRange ShardLoader::range() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return range_;
+}
+
+Batch ShardLoader::build_batch(index_t step, RowRange range) const {
+  // Rows are drawn with replacement from the shard by an Rng keyed on
+  // (seed, step, range) alone — replaying a step after rollback or reshard
+  // regenerates identical bytes.
+  Rng rng(seed_ ^ (static_cast<std::uint64_t>(step) * 0x9e3779b97f4a7c15ULL) ^
+          (static_cast<std::uint64_t>(range.begin) << 32) ^
+          static_cast<std::uint64_t>(range.end));
+  Batch batch;
+  batch.images = Matrix<float>(batch_size_, data_->features());
+  batch.labels.resize(static_cast<std::size_t>(batch_size_));
+  const index_t span = range.size();
+  for (index_t i = 0; i < batch_size_; ++i) {
+    const index_t row =
+        range.begin + static_cast<index_t>(rng.next_u64() %
+                                           static_cast<std::uint64_t>(span));
+    std::memcpy(batch.images.data() + i * data_->features(),
+                data_->images.data() + row * data_->features(),
+                static_cast<std::size_t>(data_->features()) * sizeof(float));
+    batch.labels[static_cast<std::size_t>(i)] =
+        data_->labels[static_cast<std::size_t>(row)];
+  }
+  return batch;
+}
+
+Batch ShardLoader::batch_at(index_t step) {
+  Batch batch;
+  bool hit = false;
+  RowRange range;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    range = range_;
+    APA_CHECK_CODE(range.size() >= 1, ErrorCode::kPrecondition,
+                   "batch_at before reshard()");
+    if (ready_step_ && *ready_step_ == step && ready_range_ == range) {
+      batch = std::move(ready_batch_);
+      ready_step_.reset();
+      hit = true;
+    }
+  }
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    APA_COUNTER_INC("dist.prefetch.hits");
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    APA_COUNTER_INC("dist.prefetch.misses");
+    batch = build_batch(step, range);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (range_ == range) {  // reshard may have raced; don't prefetch stale
+      requested_step_ = step + 1;
+      requested_range_ = range;
+    }
+  }
+  cv_.notify_all();
+  return batch;
+}
+
+void ShardLoader::prefetch_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (!requested_step_) {
+      cv_.wait(lock);
+      continue;
+    }
+    const index_t step = *requested_step_;
+    const RowRange range = requested_range_;
+    requested_step_.reset();
+    lock.unlock();
+    Batch batch = build_batch(step, range);
+    lock.lock();
+    if (range == range_) {
+      ready_step_ = step;
+      ready_range_ = range;
+      ready_batch_ = std::move(batch);
+    }
+  }
+}
+
+}  // namespace apa::dist

@@ -1,0 +1,105 @@
+#pragma once
+// Data sharding and the asynchronous prefetching shard loader.
+//
+// Each live worker owns a contiguous row range of the training set; when the
+// live set shrinks, survivors call reshard() and the ranges are recomputed
+// over the survivors so every sample keeps being visited (re-shard and
+// continue, per the degradation ladder in docs/ROBUSTNESS.md).
+//
+// Batches are a *pure function* of (seed, step, shard range): batch_at(step)
+// draws its row indices from an Rng seeded by those values, so replaying a
+// step after a distributed rollback regenerates bit-identical batches on
+// every worker, no matter how many prefetches, faults, or reshards happened
+// in between. The background prefetch thread is therefore just a cache — a
+// miss (first batch, post-reshard, post-rewind) computes synchronously and
+// yields the exact same bytes.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "support/matrix.h"
+
+namespace apa::dist {
+
+struct RowRange {
+  index_t begin = 0;
+  index_t end = 0;
+  [[nodiscard]] index_t size() const { return end - begin; }
+  [[nodiscard]] bool operator==(const RowRange& o) const {
+    return begin == o.begin && end == o.end;
+  }
+};
+
+/// Contiguous partition `part` of [0, total) into `parts` near-equal ranges
+/// (the first `total % parts` ranges get one extra row).
+[[nodiscard]] RowRange partition_rows(index_t total, int parts, int part);
+
+/// The shard owned by `rank` given the current live set: rank's position
+/// within `live_ranks` picks its partition. Throws if rank is not live.
+[[nodiscard]] RowRange shard_for(index_t total, const std::vector<int>& live_ranks,
+                                 int rank);
+
+struct Batch {
+  Matrix<float> images{0, 0};
+  std::vector<int> labels;
+};
+
+class ShardLoader {
+ public:
+  /// `data` must outlive the loader. `seed` is shared by all workers so the
+  /// whole fleet draws from one reproducible schedule.
+  ShardLoader(const data::Dataset* data, index_t batch_size, std::uint64_t seed);
+  ~ShardLoader();
+
+  ShardLoader(const ShardLoader&) = delete;
+  ShardLoader& operator=(const ShardLoader&) = delete;
+
+  /// Sets the row range this loader draws from and invalidates any prefetch
+  /// built for the old range.
+  void reshard(RowRange range);
+  [[nodiscard]] RowRange range() const;
+
+  /// The deterministic batch for `step`: prefetch hit when the background
+  /// thread already built it, otherwise computed inline. Always schedules the
+  /// prefetch for step + 1 before returning.
+  Batch batch_at(index_t step);
+
+  [[nodiscard]] std::int64_t prefetch_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t prefetch_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Batch build_batch(index_t step, RowRange range) const;
+  void prefetch_loop();
+
+  const data::Dataset* data_;
+  const index_t batch_size_;
+  const std::uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  RowRange range_;
+  bool stop_ = false;
+  // Request slot (what the prefetch thread should build next)...
+  std::optional<index_t> requested_step_;
+  RowRange requested_range_;
+  // ...and the ready slot it fills.
+  std::optional<index_t> ready_step_;
+  RowRange ready_range_;
+  Batch ready_batch_;
+
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::thread worker_;
+};
+
+}  // namespace apa::dist

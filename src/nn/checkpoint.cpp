@@ -1,16 +1,19 @@
 #include "nn/checkpoint.h"
 
 #include <cstdint>
-#include <cstring>
-#include <fstream>
-#include <initializer_list>
+#include <filesystem>
+#include <sstream>
 #include <utility>
 #include <vector>
 
+#include "nn/checkpoint_io.h"
 #include "support/check.h"
 
 namespace apa::nn {
 namespace {
+
+using ckpt::Cursor;
+using ckpt::StagedTensor;
 
 // Format v3: | magic | u64 layer count | per layer {matrix, momentum section}
 // x {weights, bias} | u64 FNV-1a checksum |, where a matrix is {u64 rows, u64
@@ -24,204 +27,52 @@ constexpr char kMagicV2[10] = {'A', 'P', 'A', 'M', 'M', '_', 'M', 'L', 'P', '2'}
 // count | per dense layer as in v3 | checksum |.
 constexpr char kMagicCnn[10] = {'A', 'P', 'A', 'M', 'M', '_', 'C', 'N', '1', '\0'};
 
-// A dimension above this is certainly corruption, not a model.
-constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 32;
-
-std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= data[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-void write_u64(std::ostream& out, std::uint64_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-void write_matrix(std::ostream& out, const Matrix<float>& m) {
-  write_u64(out, static_cast<std::uint64_t>(m.rows()));
-  write_u64(out, static_cast<std::uint64_t>(m.cols()));
-  out.write(reinterpret_cast<const char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(float)));
-}
-
-void write_state(std::ostream& out, const SgdState& state) {
-  write_u64(out, state.has_velocity() ? 1 : 0);
-  if (state.has_velocity()) write_matrix(out, state.velocity());
-}
-
-/// Bounds-checked sequential reader over the in-memory payload.
-class Cursor {
- public:
-  Cursor(const unsigned char* data, std::size_t size, const std::string& path)
-      : data_(data), size_(size), path_(path) {}
-
-  std::uint64_t read_u64() {
-    require(sizeof(std::uint64_t), "integer field");
-    std::uint64_t value = 0;
-    std::memcpy(&value, data_ + pos_, sizeof(value));
-    pos_ += sizeof(value);
-    return value;
-  }
-
-  void read_matrix_into(Matrix<float>& m, const char* what) {
-    const std::uint64_t rows = read_u64();
-    const std::uint64_t cols = read_u64();
-    APA_CHECK_CODE(rows < kMaxDim && cols < kMaxDim, ErrorCode::kCorruptCheckpoint,
-                   path_ << ": implausible " << what << " shape " << rows << "x"
-                         << cols);
-    APA_CHECK_CODE(rows == static_cast<std::uint64_t>(m.rows()) &&
-                       cols == static_cast<std::uint64_t>(m.cols()),
-                   ErrorCode::kShapeMismatch,
-                   path_ << ": checkpoint " << what << " shape " << rows << "x"
-                         << cols << " does not match model " << m.rows() << "x"
-                         << m.cols());
-    const std::size_t bytes =
-        static_cast<std::size_t>(m.size()) * sizeof(float);
-    require(bytes, what);
-    std::memcpy(m.data(), data_ + pos_, bytes);
-    pos_ += bytes;
-  }
-
-  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
-  [[nodiscard]] const std::string& path() const { return path_; }
-
- private:
-  void require(std::size_t bytes, const char* what) {
-    APA_CHECK_CODE(bytes <= size_ - pos_, ErrorCode::kCorruptCheckpoint,
-                   path_ << ": truncated in " << what << " (need " << bytes
-                         << " bytes, have " << size_ - pos_ << ")");
-  }
-
-  const unsigned char* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-  const std::string& path_;
-};
-
-/// One parameter tensor staged out of the file: its value and (v3) momentum.
-/// Staging everything before touching the model keeps failed loads atomic.
-struct StagedTensor {
-  Matrix<float> value;
-  bool has_velocity = false;
-  Matrix<float> velocity;
-};
-
-StagedTensor read_tensor(Cursor& cursor, index_t rows, index_t cols,
-                         const char* what, bool with_state) {
-  StagedTensor staged;
-  staged.value = Matrix<float>(rows, cols);
-  cursor.read_matrix_into(staged.value, what);
-  if (with_state) {
-    const std::uint64_t has = cursor.read_u64();
-    APA_CHECK_CODE(has <= 1, ErrorCode::kCorruptCheckpoint,
-                   cursor.path() << ": invalid momentum flag " << has << " for "
-                                 << what);
-    staged.has_velocity = has == 1;
-    if (staged.has_velocity) {
-      // The momentum buffer must match its parameter tensor: SgdState would
-      // silently re-zero a mismatched buffer on the next update, turning a
-      // bad file into a wrong trajectory instead of a load error.
-      staged.velocity = Matrix<float>(rows, cols);
-      cursor.read_matrix_into(staged.velocity, what);
-    }
-  }
-  return staged;
-}
-
-void apply_tensor(StagedTensor& staged, MatrixView<float> param, SgdState& state) {
-  copy(staged.value.view().as_const(), param);
-  if (staged.has_velocity) {
-    state.restore_velocity(std::move(staged.velocity));
-  } else {
-    state.clear_velocity();
-  }
-}
-
-void write_file(const std::string& path, const char (&magic)[10],
-                const std::string& payload) {
-  const std::uint64_t checksum = fnv1a(
-      reinterpret_cast<const unsigned char*>(payload.data()), payload.size());
-  std::ofstream out(path, std::ios::binary);
-  APA_CHECK_MSG(out.good(), "cannot open " << path);
-  out.write(magic, sizeof(magic));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  write_u64(out, checksum);
-  APA_CHECK_MSG(out.good(), "write failed for " << path);
-}
-
-/// Reads the whole file, validates a recognised magic and the checksum, and
-/// returns the raw bytes. `magics` lists the accepted headers; the index of
-/// the matching one is written to `*which`.
-std::vector<unsigned char> read_file(const std::string& path,
-                                     std::initializer_list<const char*> magics,
-                                     std::size_t* which) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint, "cannot open " << path);
-  const auto file_size = static_cast<std::size_t>(in.tellg());
-  APA_CHECK_CODE(file_size >= sizeof(kMagicV3) + sizeof(std::uint64_t),
-                 ErrorCode::kCorruptCheckpoint,
-                 path << ": too small to be a checkpoint (" << file_size
-                      << " bytes)");
-  std::vector<unsigned char> file(file_size);
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(file.data()),
-          static_cast<std::streamsize>(file_size));
-  APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint, path << ": read failed");
-
-  *which = magics.size();
-  std::size_t idx = 0;
-  for (const char* magic : magics) {
-    if (std::memcmp(file.data(), magic, sizeof(kMagicV3)) == 0) {
-      *which = idx;
-      break;
-    }
-    ++idx;
-  }
-  APA_CHECK_CODE(*which < magics.size(), ErrorCode::kCorruptCheckpoint,
-                 path << ": not a recognised apamm checkpoint");
-
-  const std::size_t payload_size =
-      file_size - sizeof(kMagicV3) - sizeof(std::uint64_t);
-  std::uint64_t stored_checksum = 0;
-  std::memcpy(&stored_checksum, file.data() + file_size - sizeof(std::uint64_t),
-              sizeof(stored_checksum));
-  const std::uint64_t actual_checksum =
-      fnv1a(file.data() + sizeof(kMagicV3), payload_size);
-  APA_CHECK_CODE(stored_checksum == actual_checksum, ErrorCode::kCorruptCheckpoint,
-                 path << ": checksum mismatch — file is corrupt");
-  return file;
-}
-
 }  // namespace
+
+std::size_t cleanup_stale_checkpoint_temps(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    // Only artifacts this module creates: `<something>.tmp` left behind by an
+    // interrupted atomic commit of a checkpoint, shard, or manifest file.
+    const bool ours = name.size() > 4 && name.ends_with(".tmp") &&
+                      (name.find(".ckpt") != std::string::npos ||
+                       name.find("shard_") != std::string::npos ||
+                       name.find("MANIFEST") != std::string::npos);
+    if (ours && fs::remove(entry.path(), ec)) ++removed;
+  }
+  return removed;
+}
 
 void save_checkpoint(const std::string& path, Mlp& mlp) {
   // Serialize the payload to memory first so the checksum is over exactly the
   // bytes that land on disk.
   std::ostringstream payload(std::ios::binary);
-  write_u64(payload, static_cast<std::uint64_t>(mlp.num_dense_layers()));
+  ckpt::write_u64(payload, static_cast<std::uint64_t>(mlp.num_dense_layers()));
   for (index_t i = 0; i < mlp.num_dense_layers(); ++i) {
     DenseLayer& layer = mlp.layer(i);
-    write_matrix(payload, layer.weights());
-    write_state(payload, layer.weight_state());
-    write_matrix(payload, layer.bias());
-    write_state(payload, layer.bias_state());
+    ckpt::write_matrix(payload, layer.weights());
+    ckpt::write_state(payload, layer.weight_state());
+    ckpt::write_matrix(payload, layer.bias());
+    ckpt::write_state(payload, layer.bias_state());
   }
-  write_file(path, kMagicV3, payload.str());
+  ckpt::write_checkpoint_file(path, kMagicV3, payload.str());
 }
 
 void load_checkpoint(const std::string& path, Mlp& mlp) {
   std::size_t which = 0;
-  const std::vector<unsigned char> file = read_file(path, {kMagicV3, kMagicV2},
-                                                    &which);
+  const std::vector<unsigned char> file =
+      ckpt::read_checkpoint_file(path, {kMagicV3, kMagicV2}, &which);
   const bool with_state = which == 0;  // v2 carries no momentum sections
 
   Cursor cursor(file.data() + sizeof(kMagicV3),
                 file.size() - sizeof(kMagicV3) - sizeof(std::uint64_t), path);
   const std::uint64_t layers = cursor.read_u64();
-  APA_CHECK_CODE(layers < kMaxDim, ErrorCode::kCorruptCheckpoint,
+  APA_CHECK_CODE(layers < ckpt::kMaxDim, ErrorCode::kCorruptCheckpoint,
                  path << ": implausible layer count " << layers);
   APA_CHECK_CODE(layers == static_cast<std::uint64_t>(mlp.num_dense_layers()),
                  ErrorCode::kShapeMismatch,
@@ -233,52 +84,53 @@ void load_checkpoint(const std::string& path, Mlp& mlp) {
   for (index_t i = 0; i < static_cast<index_t>(layers); ++i) {
     const DenseLayer& layer = std::as_const(mlp).layer(i);
     weights[static_cast<std::size_t>(i)] =
-        read_tensor(cursor, layer.weights().rows(), layer.weights().cols(),
-                    "weights", with_state);
-    biases[static_cast<std::size_t>(i)] = read_tensor(
+        ckpt::read_tensor(cursor, layer.weights().rows(), layer.weights().cols(),
+                          "weights", with_state);
+    biases[static_cast<std::size_t>(i)] = ckpt::read_tensor(
         cursor, layer.bias().rows(), layer.bias().cols(), "bias", with_state);
   }
   APA_CHECK_CODE(cursor.remaining() == 0, ErrorCode::kCorruptCheckpoint,
                  path << ": " << cursor.remaining() << " trailing bytes");
   for (index_t i = 0; i < static_cast<index_t>(layers); ++i) {
     DenseLayer& layer = mlp.layer(i);
-    apply_tensor(weights[static_cast<std::size_t>(i)], layer.weights().view(),
-                 layer.weight_state());
-    apply_tensor(biases[static_cast<std::size_t>(i)],
-                 layer.mutable_bias().view(), layer.bias_state());
+    ckpt::apply_tensor(weights[static_cast<std::size_t>(i)],
+                       layer.weights().view(), layer.weight_state());
+    ckpt::apply_tensor(biases[static_cast<std::size_t>(i)],
+                       layer.mutable_bias().view(), layer.bias_state());
   }
 }
 
 void save_checkpoint(const std::string& path, Cnn& cnn) {
   std::ostringstream payload(std::ios::binary);
   ConvLayer& conv = cnn.conv();
-  write_matrix(payload, conv.filters());
-  write_state(payload, conv.filter_state());
-  write_matrix(payload, conv.bias());
-  write_state(payload, conv.bias_state());
-  write_u64(payload, 2);  // dense layer count
+  ckpt::write_matrix(payload, conv.filters());
+  ckpt::write_state(payload, conv.filter_state());
+  ckpt::write_matrix(payload, conv.bias());
+  ckpt::write_state(payload, conv.bias_state());
+  ckpt::write_u64(payload, 2);  // dense layer count
   for (DenseLayer* layer : {&cnn.dense1(), &cnn.dense2()}) {
-    write_matrix(payload, layer->weights());
-    write_state(payload, layer->weight_state());
-    write_matrix(payload, layer->bias());
-    write_state(payload, layer->bias_state());
+    ckpt::write_matrix(payload, layer->weights());
+    ckpt::write_state(payload, layer->weight_state());
+    ckpt::write_matrix(payload, layer->bias());
+    ckpt::write_state(payload, layer->bias_state());
   }
-  write_file(path, kMagicCnn, payload.str());
+  ckpt::write_checkpoint_file(path, kMagicCnn, payload.str());
 }
 
 void load_checkpoint(const std::string& path, Cnn& cnn) {
   std::size_t which = 0;
-  const std::vector<unsigned char> file = read_file(path, {kMagicCnn}, &which);
+  const std::vector<unsigned char> file =
+      ckpt::read_checkpoint_file(path, {kMagicCnn}, &which);
 
   Cursor cursor(file.data() + sizeof(kMagicCnn),
                 file.size() - sizeof(kMagicCnn) - sizeof(std::uint64_t), path);
   const ConvLayer& conv = std::as_const(cnn).conv();
   StagedTensor filters =
-      read_tensor(cursor, conv.filters().rows(), conv.filters().cols(),
-                  "conv filters", /*with_state=*/true);
+      ckpt::read_tensor(cursor, conv.filters().rows(), conv.filters().cols(),
+                        "conv filters", /*with_state=*/true);
   StagedTensor conv_bias =
-      read_tensor(cursor, conv.bias().rows(), conv.bias().cols(), "conv bias",
-                  /*with_state=*/true);
+      ckpt::read_tensor(cursor, conv.bias().rows(), conv.bias().cols(),
+                        "conv bias", /*with_state=*/true);
   const std::uint64_t dense_count = cursor.read_u64();
   APA_CHECK_CODE(dense_count == 2, ErrorCode::kShapeMismatch,
                  path << ": checkpoint has " << dense_count
@@ -288,24 +140,25 @@ void load_checkpoint(const std::string& path, Cnn& cnn) {
   const DenseLayer* dense[2] = {&std::as_const(cnn).dense1(),
                                 &std::as_const(cnn).dense2()};
   for (std::size_t i = 0; i < 2; ++i) {
-    weights[i] = read_tensor(cursor, dense[i]->weights().rows(),
-                             dense[i]->weights().cols(), "weights",
-                             /*with_state=*/true);
-    biases[i] = read_tensor(cursor, dense[i]->bias().rows(),
-                            dense[i]->bias().cols(), "bias", /*with_state=*/true);
+    weights[i] = ckpt::read_tensor(cursor, dense[i]->weights().rows(),
+                                   dense[i]->weights().cols(), "weights",
+                                   /*with_state=*/true);
+    biases[i] = ckpt::read_tensor(cursor, dense[i]->bias().rows(),
+                                  dense[i]->bias().cols(), "bias",
+                                  /*with_state=*/true);
   }
   APA_CHECK_CODE(cursor.remaining() == 0, ErrorCode::kCorruptCheckpoint,
                  path << ": " << cursor.remaining() << " trailing bytes");
 
   ConvLayer& mconv = cnn.conv();
-  apply_tensor(filters, mconv.filters().view(), mconv.filter_state());
-  apply_tensor(conv_bias, mconv.mutable_bias().view(), mconv.bias_state());
+  ckpt::apply_tensor(filters, mconv.filters().view(), mconv.filter_state());
+  ckpt::apply_tensor(conv_bias, mconv.mutable_bias().view(), mconv.bias_state());
   DenseLayer* mdense[2] = {&cnn.dense1(), &cnn.dense2()};
   for (std::size_t i = 0; i < 2; ++i) {
-    apply_tensor(weights[i], mdense[i]->weights().view(),
-                 mdense[i]->weight_state());
-    apply_tensor(biases[i], mdense[i]->mutable_bias().view(),
-                 mdense[i]->bias_state());
+    ckpt::apply_tensor(weights[i], mdense[i]->weights().view(),
+                       mdense[i]->weight_state());
+    ckpt::apply_tensor(biases[i], mdense[i]->mutable_bias().view(),
+                       mdense[i]->bias_state());
   }
 }
 

@@ -19,13 +19,26 @@
 // rejected (ApaError{kCorruptCheckpoint}) instead of silently feeding garbage
 // into a resume — a load that fails partway leaves the destination model
 // untouched.
+//
+// Saves are atomic: the bytes are committed to `path.tmp`, fsynced, renamed
+// over `path`, and the directory fsynced, so a process killed mid-save leaves
+// either the previous checkpoint or the complete new one under the final
+// name — never a torn file. Interrupted commits leave only a `*.tmp` orphan;
+// cleanup_stale_checkpoint_temps removes those on startup.
 
+#include <cstddef>
 #include <string>
 
 #include "nn/cnn.h"
 #include "nn/mlp.h"
 
 namespace apa::nn {
+
+/// Removes `*.tmp` orphans of interrupted atomic checkpoint commits
+/// (checkpoint, shard, and manifest temps) from `dir`. Returns the number of
+/// files removed; a missing directory is a no-op. Call on startup/resume
+/// before reading or writing checkpoints in `dir`.
+std::size_t cleanup_stale_checkpoint_temps(const std::string& dir);
 
 /// Writes every dense layer's weights, biases, and momentum buffers.
 void save_checkpoint(const std::string& path, Mlp& mlp);

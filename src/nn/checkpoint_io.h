@@ -1,0 +1,243 @@
+#pragma once
+// Shared binary-checkpoint primitives used by the single-file formats
+// (nn/checkpoint.cpp) and the sharded distributed format
+// (dist/checkpoint.cpp): FNV-1a hashing, little-endian field writers, the
+// bounds-checked payload Cursor, tensor staging, and — the durability core —
+// atomic file commits (write to `path.tmp`, fsync, rename over `path`, fsync
+// the directory) so a process killed mid-save can never leave a torn file
+// under the final name. Internal header; the public API is nn/checkpoint.h.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "support/check.h"
+#include "support/matrix.h"
+
+namespace apa::nn::ckpt {
+
+/// Every apamm checkpoint artifact opens with a 10-byte magic.
+inline constexpr std::size_t kMagicSize = 10;
+
+/// A dimension above this is certainly corruption, not a model.
+inline constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 32;
+
+inline std::uint64_t fnv1a(const void* data, std::size_t size,
+                           std::uint64_t hash = 0xcbf29ce484222325ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+inline void write_u64(std::ostream& out, std::uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+inline void write_matrix(std::ostream& out, const Matrix<float>& m) {
+  write_u64(out, static_cast<std::uint64_t>(m.rows()));
+  write_u64(out, static_cast<std::uint64_t>(m.cols()));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+inline void write_state(std::ostream& out, const SgdState& state) {
+  write_u64(out, state.has_velocity() ? 1 : 0);
+  if (state.has_velocity()) write_matrix(out, state.velocity());
+}
+
+/// Bounds-checked sequential reader over the in-memory payload.
+class Cursor {
+ public:
+  Cursor(const unsigned char* data, std::size_t size, const std::string& path)
+      : data_(data), size_(size), path_(path) {}
+
+  std::uint64_t read_u64() {
+    require(sizeof(std::uint64_t), "integer field");
+    std::uint64_t value = 0;
+    std::memcpy(&value, data_ + pos_, sizeof(value));
+    pos_ += sizeof(value);
+    return value;
+  }
+
+  void read_matrix_into(Matrix<float>& m, const char* what) {
+    const std::uint64_t rows = read_u64();
+    const std::uint64_t cols = read_u64();
+    APA_CHECK_CODE(rows < kMaxDim && cols < kMaxDim, ErrorCode::kCorruptCheckpoint,
+                   path_ << ": implausible " << what << " shape " << rows << "x"
+                         << cols);
+    APA_CHECK_CODE(rows == static_cast<std::uint64_t>(m.rows()) &&
+                       cols == static_cast<std::uint64_t>(m.cols()),
+                   ErrorCode::kShapeMismatch,
+                   path_ << ": checkpoint " << what << " shape " << rows << "x"
+                         << cols << " does not match model " << m.rows() << "x"
+                         << m.cols());
+    const std::size_t bytes =
+        static_cast<std::size_t>(m.size()) * sizeof(float);
+    require(bytes, what);
+    std::memcpy(m.data(), data_ + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  void read_bytes(void* out, std::size_t size, const char* what) {
+    require(size, what);
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void require(std::size_t bytes, const char* what) {
+    APA_CHECK_CODE(bytes <= size_ - pos_, ErrorCode::kCorruptCheckpoint,
+                   path_ << ": truncated in " << what << " (need " << bytes
+                         << " bytes, have " << size_ - pos_ << ")");
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const std::string& path_;
+};
+
+/// One parameter tensor staged out of the file: its value and (v3) momentum.
+/// Staging everything before touching the model keeps failed loads atomic.
+struct StagedTensor {
+  Matrix<float> value;
+  bool has_velocity = false;
+  Matrix<float> velocity;
+};
+
+inline StagedTensor read_tensor(Cursor& cursor, index_t rows, index_t cols,
+                                const char* what, bool with_state) {
+  StagedTensor staged;
+  staged.value = Matrix<float>(rows, cols);
+  cursor.read_matrix_into(staged.value, what);
+  if (with_state) {
+    const std::uint64_t has = cursor.read_u64();
+    APA_CHECK_CODE(has <= 1, ErrorCode::kCorruptCheckpoint,
+                   cursor.path() << ": invalid momentum flag " << has << " for "
+                                 << what);
+    staged.has_velocity = has == 1;
+    if (staged.has_velocity) {
+      // The momentum buffer must match its parameter tensor: SgdState would
+      // silently re-zero a mismatched buffer on the next update, turning a
+      // bad file into a wrong trajectory instead of a load error.
+      staged.velocity = Matrix<float>(rows, cols);
+      cursor.read_matrix_into(staged.velocity, what);
+    }
+  }
+  return staged;
+}
+
+inline void apply_tensor(StagedTensor& staged, MatrixView<float> param,
+                         SgdState& state) {
+  copy(staged.value.view().as_const(), param);
+  if (staged.has_velocity) {
+    state.restore_velocity(std::move(staged.velocity));
+  } else {
+    state.clear_velocity();
+  }
+}
+
+/// fsync an already-written file or directory by path; failures are reported
+/// via APA_CHECK (a checkpoint the kernel may silently drop is not durable).
+inline void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY)
+                                                : O_RDONLY);
+  APA_CHECK_MSG(fd >= 0, "cannot open " << path << " for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  APA_CHECK_MSG(rc == 0, "fsync failed for " << path);
+}
+
+/// Commits `bytes` to `path` atomically: write `path.tmp`, fsync it, rename
+/// over `path`, fsync the parent directory so the rename itself is durable.
+/// Readers can never observe a torn file under the final name — they either
+/// see the old checkpoint or the complete new one.
+inline void commit_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    APA_CHECK_MSG(out.good(), "cannot open " << tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    APA_CHECK_MSG(out.good(), "write failed for " << tmp);
+  }
+  fsync_path(tmp, /*directory=*/false);
+  APA_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "rename " << tmp << " -> " << path << " failed");
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  fsync_path(parent.empty() ? "." : parent.string(), /*directory=*/true);
+}
+
+/// Serializes magic + payload + FNV-1a(payload) and commits atomically.
+inline void write_checkpoint_file(const std::string& path,
+                                  const char (&magic)[kMagicSize],
+                                  const std::string& payload) {
+  const std::uint64_t checksum = fnv1a(
+      reinterpret_cast<const unsigned char*>(payload.data()), payload.size());
+  std::ostringstream file(std::ios::binary);
+  file.write(magic, kMagicSize);
+  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  write_u64(file, checksum);
+  commit_file_atomic(path, file.str());
+}
+
+/// Reads the whole file, validates a recognised magic and the checksum, and
+/// returns the raw bytes. `magics` lists the accepted headers; the index of
+/// the matching one is written to `*which`.
+inline std::vector<unsigned char> read_checkpoint_file(
+    const std::string& path, std::initializer_list<const char*> magics,
+    std::size_t* which) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint, "cannot open " << path);
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  APA_CHECK_CODE(file_size >= kMagicSize + sizeof(std::uint64_t),
+                 ErrorCode::kCorruptCheckpoint,
+                 path << ": too small to be a checkpoint (" << file_size
+                      << " bytes)");
+  std::vector<unsigned char> file(file_size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(file.data()),
+          static_cast<std::streamsize>(file_size));
+  APA_CHECK_CODE(in.good(), ErrorCode::kCorruptCheckpoint, path << ": read failed");
+
+  *which = magics.size();
+  std::size_t idx = 0;
+  for (const char* magic : magics) {
+    if (std::memcmp(file.data(), magic, kMagicSize) == 0) {
+      *which = idx;
+      break;
+    }
+    ++idx;
+  }
+  APA_CHECK_CODE(*which < magics.size(), ErrorCode::kCorruptCheckpoint,
+                 path << ": not a recognised apamm checkpoint");
+
+  const std::size_t payload_size =
+      file_size - kMagicSize - sizeof(std::uint64_t);
+  std::uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, file.data() + file_size - sizeof(std::uint64_t),
+              sizeof(stored_checksum));
+  const std::uint64_t actual_checksum =
+      fnv1a(file.data() + kMagicSize, payload_size);
+  APA_CHECK_CODE(stored_checksum == actual_checksum, ErrorCode::kCorruptCheckpoint,
+                 path << ": checksum mismatch — file is corrupt");
+  return file;
+}
+
+}  // namespace apa::nn::ckpt

@@ -1,0 +1,68 @@
+#pragma once
+// Backend de-risking after a training divergence, shared by the
+// single-process guarded trainer (nn/trainer.cpp) and the distributed
+// trainer (dist/trainer.cpp): move lambda toward the rule's optimal value —
+// shrink from above (approximation error too large), snap up from below
+// (roundoff amplification too large) — and once lambda is already at the
+// optimum (or the rule is lambda-free) retreat to classical gemm.
+//
+// The ladder is deterministic given the backend state, which is what lets
+// every distributed worker de-risk independently after a coordinated
+// rollback and still end up with bit-identical backends.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/params.h"
+#include "core/registry.h"
+#include "nn/guarded_backend.h"
+
+namespace apa::nn {
+
+/// Rebuild a backend with new algorithm/options, preserving a GuardedBackend
+/// wrapper (and its policy) when the original had one.
+inline std::shared_ptr<const MatmulBackend> rebuild_backend(
+    const MatmulBackend& prototype, const std::string& algorithm,
+    BackendOptions options) {
+  if (const auto* guarded = dynamic_cast<const GuardedBackend*>(&prototype)) {
+    return std::make_shared<const GuardedBackend>(algorithm, options,
+                                                  guarded->policy());
+  }
+  return std::make_shared<const MatmulBackend>(algorithm, options);
+}
+
+/// One rung of the de-risk ladder applied to `model`'s fast backend.
+/// `lambda_shrink` is the multiplicative step toward the optimal lambda.
+/// Returns what happened so callers can update their reports/counters:
+enum class DeriskAction {
+  kNone,              ///< backend already classical — nothing left to de-risk
+  kLambdaShrunk,      ///< lambda moved toward the rule's optimum
+  kClassicalFallback  ///< lambda exhausted; backend replaced by exact gemm
+};
+
+template <class Model>
+DeriskAction derisk_fast_backend(Model& model, double lambda_shrink) {
+  const MatmulBackend& fast = model.fast_backend();
+  if (fast.is_classical()) return DeriskAction::kNone;
+
+  BackendOptions options = fast.options();
+  const double current = fast.effective_lambda();
+  const core::AlgorithmParams params =
+      core::analyze(core::rule_by_name(fast.algorithm()));
+  const double optimal = params.optimal_lambda(options.matmul.precision_bits,
+                                               std::max(1, options.matmul.steps));
+  const double target = current > optimal
+                            ? std::max(current * lambda_shrink, optimal)
+                            : optimal;
+  if (std::abs(target - current) > 1e-3 * current) {
+    options.matmul.lambda = target;
+    model.set_fast_backend(rebuild_backend(fast, fast.algorithm(), options));
+    return DeriskAction::kLambdaShrunk;
+  }
+  model.set_fast_backend(rebuild_backend(fast, "classical", options));
+  return DeriskAction::kClassicalFallback;
+}
+
+}  // namespace apa::nn

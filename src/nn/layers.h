@@ -54,6 +54,11 @@ class DenseLayer {
   [[nodiscard]] Matrix<float>& mutable_bias() { return bias_; }
   [[nodiscard]] const Matrix<float>& weight_grad() const { return dw_; }
   [[nodiscard]] const Matrix<float>& bias_grad() const { return db_; }
+  /// Mutable gradient buffers, for data-parallel training: workers overwrite
+  /// the local gradients with the all-reduced mean between backward and
+  /// apply_sgd. Gradients are never packed, so no version bump is needed.
+  [[nodiscard]] Matrix<float>& mutable_weight_grad() { return dw_; }
+  [[nodiscard]] Matrix<float>& mutable_bias_grad() { return db_; }
   /// Optimizer state, exposed for momentum checkpointing.
   [[nodiscard]] SgdState& weight_state() { return weight_state_; }
   [[nodiscard]] const SgdState& weight_state() const { return weight_state_; }

@@ -41,6 +41,13 @@ void Mlp::set_fast_backend(std::shared_ptr<const MatmulBackend> fast) {
 }
 
 double Mlp::train_step(MatrixView<const float> x, const std::vector<int>& labels) {
+  const double loss = forward_backward(x, labels);
+  apply_update();
+  return loss;
+}
+
+double Mlp::forward_backward(MatrixView<const float> x,
+                             const std::vector<int>& labels) {
   const index_t batch = x.rows;
   const std::size_t num_layers = layers_.size();
 
@@ -64,8 +71,10 @@ double Mlp::train_step(MatrixView<const float> x, const std::vector<int>& labels
   const double loss =
       SoftmaxCrossEntropy::loss_and_grad(act.back().view(), labels, delta.view());
 
-  // Backward + SGD, output layer inward; the previous layer's ReLU mask fuses
-  // into the dx matmul as a kReluGrad epilogue.
+  // Backward, output layer inward; the previous layer's ReLU mask fuses into
+  // the dx matmul as a kReluGrad epilogue. Gradients are left in the layers
+  // for apply_update (no update happens here, so within one step the order of
+  // backward vs. update across layers cannot change any value).
   APA_TRACE_SCOPE("nn.backward");
   for (std::size_t idx = num_layers; idx-- > 0;) {
     const MatrixView<const float> input =
@@ -79,11 +88,16 @@ double Mlp::train_step(MatrixView<const float> x, const std::vector<int>& labels
                             backend_for(idx), act[idx - 1].view().as_const());
       delta = std::move(next_delta);
     }
-    layers_[idx].apply_sgd(SgdOptions{.learning_rate = config_.learning_rate,
-                                      .momentum = config_.momentum,
-                                      .weight_decay = config_.weight_decay});
   }
   return loss;
+}
+
+void Mlp::apply_update() {
+  for (auto& layer : layers_) {
+    layer.apply_sgd(SgdOptions{.learning_rate = config_.learning_rate,
+                               .momentum = config_.momentum,
+                               .weight_decay = config_.weight_decay});
+  }
 }
 
 void Mlp::predict(MatrixView<const float> x, MatrixView<float> logits) const {

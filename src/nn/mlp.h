@@ -39,7 +39,19 @@ class Mlp {
       std::shared_ptr<const MatmulBackend> classical);
 
   /// One SGD step on a batch; returns the mean cross-entropy loss.
+  /// Equivalent to forward_backward followed by apply_update (bit-exactly:
+  /// within one step no layer's update feeds another layer's gradient).
   double train_step(MatrixView<const float> x, const std::vector<int>& labels);
+
+  /// Forward + backward only: fills every layer's weight/bias gradients and
+  /// returns the mean loss without touching the parameters. Data-parallel
+  /// training hooks in here — gradients are all-reduced across workers
+  /// between this call and apply_update.
+  double forward_backward(MatrixView<const float> x, const std::vector<int>& labels);
+
+  /// Applies the configured SGD rule to every layer using the gradients left
+  /// by forward_backward (possibly overwritten by a gradient all-reduce).
+  void apply_update();
 
   /// Forward pass only; logits must be (batch, output_size).
   void predict(MatrixView<const float> x, MatrixView<float> logits) const;

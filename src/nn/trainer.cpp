@@ -9,9 +9,8 @@
 #include <memory>
 #include <sstream>
 
-#include "core/params.h"
-#include "core/registry.h"
 #include "nn/checkpoint.h"
+#include "nn/derisk.h"
 #include "nn/guarded_backend.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -80,43 +79,14 @@ std::string default_guard_checkpoint_path(const void* model) {
   return (std::filesystem::temp_directory_path() / name.str()).string();
 }
 
-/// Rebuild a backend with new algorithm/options, preserving a GuardedBackend
-/// wrapper (and its policy) when the original had one.
-std::shared_ptr<const MatmulBackend> rebuild_backend(const MatmulBackend& prototype,
-                                                     const std::string& algorithm,
-                                                     BackendOptions options) {
-  if (const auto* guarded = dynamic_cast<const GuardedBackend*>(&prototype)) {
-    return std::make_shared<const GuardedBackend>(algorithm, options,
-                                                  guarded->policy());
-  }
-  return std::make_shared<const MatmulBackend>(algorithm, options);
-}
-
-/// De-risk the fast backend after a divergence: move lambda toward the rule's
-/// optimal value — shrink from above (approximation error too large), snap up
-/// from below (roundoff amplification too large) — and once lambda is already
-/// at the optimum (or the rule is lambda-free) retreat to classical gemm.
+/// One de-risk rung (shared ladder in nn/derisk.h), folded into the report.
 template <class Model>
-void derisk_fast_backend(Model& model, const TrainGuardOptions& guard,
-                         TrainGuardReport& report) {
-  const MatmulBackend& fast = model.fast_backend();
-  if (fast.is_classical()) return;  // nothing left to de-risk
-
-  BackendOptions options = fast.options();
-  const double current = fast.effective_lambda();
-  const core::AlgorithmParams params = core::analyze(core::rule_by_name(fast.algorithm()));
-  const double optimal = params.optimal_lambda(options.matmul.precision_bits,
-                                               std::max(1, options.matmul.steps));
-  const double target = current > optimal
-                            ? std::max(current * guard.lambda_shrink, optimal)
-                            : optimal;
-  if (std::abs(target - current) > 1e-3 * current) {
-    options.matmul.lambda = target;
-    model.set_fast_backend(rebuild_backend(fast, fast.algorithm(), options));
-    ++report.lambda_shrinks;
-  } else {
-    model.set_fast_backend(rebuild_backend(fast, "classical", options));
-    report.fell_back_to_classical = true;
+void derisk_into_report(Model& model, const TrainGuardOptions& guard,
+                        TrainGuardReport& report) {
+  switch (derisk_fast_backend(model, guard.lambda_shrink)) {
+    case DeriskAction::kLambdaShrunk: ++report.lambda_shrinks; break;
+    case DeriskAction::kClassicalFallback: report.fell_back_to_classical = true; break;
+    case DeriskAction::kNone: break;
   }
 }
 
@@ -164,6 +134,10 @@ EpochStats train_epoch_guarded(Model& model, data::Dataset& dataset, index_t bat
   const std::string checkpoint = guard.checkpoint_path.empty()
                                      ? default_guard_checkpoint_path(&model)
                                      : guard.checkpoint_path;
+  // A run killed mid-save leaves a `.tmp` orphan next to the checkpoint;
+  // clear those before the first commit of this epoch.
+  cleanup_stale_checkpoint_temps(
+      std::filesystem::path(checkpoint).parent_path().string());
   {
     APA_TRACE_SCOPE("train.checkpoint");
     save_checkpoint(checkpoint, model);
@@ -209,7 +183,7 @@ EpochStats train_epoch_guarded(Model& model, data::Dataset& dataset, index_t bat
         APA_TRACE_SCOPE("train.rollback");
         fold.segment_end(model);  // de-risking may replace the backend
         load_checkpoint(checkpoint, model);
-        derisk_fast_backend(model, guard, out);
+        derisk_into_report(model, guard, out);
         fold.rebase(model);
       }
       if (out.lambda_shrinks > lambda_shrinks_before) {

@@ -25,6 +25,9 @@ ObsSession::ObsSession(std::string trace_path, std::string metrics_path,
   }
   if (!metrics_path.empty()) {
     sink_ = std::make_unique<TelemetrySink>(metrics_path);
+    // A killed run (SIGTERM/SIGINT mid-epoch) must keep every completed
+    // guard/rollback record: fsync all sinks from the signal path.
+    install_telemetry_crash_flush();
   }
 }
 

@@ -64,6 +64,11 @@ class JsonRecord {
 
 /// Appending JSONL writer: one record per line, flushed per write so a crashed
 /// or killed run keeps every completed record. Writes are mutex-serialized.
+///
+/// Every open sink registers its file descriptor in a process-wide table so
+/// install_telemetry_crash_flush can fsync all sinks from a signal handler —
+/// a worker killed mid-epoch (SIGTERM/SIGINT) keeps every guard/rollback
+/// record it completed, even across a power-loss-adjacent kill window.
 class TelemetrySink {
  public:
   /// Opens `path` for writing (truncates). ok() reports failure; writes to a
@@ -78,11 +83,25 @@ class TelemetrySink {
 
   void write(const JsonRecord& record);
 
+  /// Pushes user-space and kernel buffers to disk (fflush + fsync). Called
+  /// by the destructor; safe to call at any time from any thread.
+  void sync();
+
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   std::mutex mu_;
 };
+
+/// Installs an atexit hook and SIGTERM/SIGINT handlers that fsync every
+/// registered TelemetrySink using only async-signal-safe calls, then chain to
+/// the previously-installed disposition. Idempotent; first call wins.
+/// ObsSession installs this automatically when a metrics sink is requested.
+void install_telemetry_crash_flush();
+
+/// Number of sinks currently registered in the crash-flush fd table
+/// (exposed for tests).
+[[nodiscard]] int telemetry_crash_flush_registered();
 
 /// The current counter/histogram registry as one JsonRecord (type "counters"),
 /// with nested "counters" and "histograms" objects. Empty objects in

@@ -1,0 +1,115 @@
+#pragma once
+// Bounded exponential-backoff retry with deterministic jitter, for the
+// distributed transport and any other operation that can fail transiently
+// (a dropped collective message, a slow peer, a filesystem hiccup).
+//
+// The schedule is classic capped exponential backoff with full-range
+// symmetric jitter:
+//
+//   delay(k) = clamp(base * multiplier^k, 0, max_delay) * (1 ± jitter)
+//
+// Jitter is drawn from the caller's Rng, so a seeded policy produces a
+// reproducible schedule — the fault-injection tests rely on replaying the
+// exact same retry timeline. A deadline (in seconds of accumulated *planned*
+// sleep plus elapsed wall time, whichever the caller tracks) bounds the total
+// budget independently of max_attempts: whichever limit is hit first stops
+// the retry loop.
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace apa {
+
+struct RetryPolicy {
+  int max_attempts = 5;        ///< total tries, including the first
+  double base_delay_s = 0.01;  ///< backoff before the second try
+  double max_delay_s = 1.0;    ///< cap on any single backoff
+  double multiplier = 2.0;     ///< exponential growth factor
+  /// Symmetric jitter fraction in [0, 1): each delay is scaled by a factor
+  /// uniform in [1 - jitter, 1 + jitter]. Zero disables jitter entirely.
+  double jitter = 0.25;
+  /// Total budget in seconds across all backoffs; <= 0 means unbounded.
+  /// An attempt is only scheduled if the accumulated planned delay so far
+  /// stays strictly under the deadline.
+  double deadline_s = 0.0;
+};
+
+/// Tracks attempts and accumulated backoff for one retried operation.
+/// Usage:
+///   RetryState retry(policy);
+///   while (!try_op()) {
+///     if (!retry.next_delay(rng, &delay_s)) break;   // budget exhausted
+///     sleep(delay_s);
+///   }
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy) : policy_(policy) {
+    APA_CHECK_MSG(policy.max_attempts >= 1, "retry needs at least one attempt");
+    APA_CHECK_MSG(policy.base_delay_s >= 0 && policy.max_delay_s >= 0 &&
+                      policy.multiplier >= 1.0 && policy.jitter >= 0 &&
+                      policy.jitter < 1.0,
+                  "invalid retry policy");
+  }
+
+  /// Computes the backoff to sleep before the next attempt. Returns false —
+  /// without consuming an attempt — once max_attempts tries have been
+  /// granted or the deadline budget is exhausted.
+  bool next_delay(Rng& rng, double* delay_s) {
+    if (attempts_granted_ + 1 >= policy_.max_attempts) return false;
+    double delay = std::min(
+        policy_.base_delay_s * pow_int(policy_.multiplier, attempts_granted_),
+        policy_.max_delay_s);
+    if (policy_.jitter > 0) {
+      delay *= rng.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+    }
+    if (policy_.deadline_s > 0 && planned_delay_s_ + delay > policy_.deadline_s) {
+      return false;
+    }
+    planned_delay_s_ += delay;
+    ++attempts_granted_;
+    *delay_s = delay;
+    return true;
+  }
+
+  /// Backoffs granted so far (i.e. retries beyond the first attempt).
+  [[nodiscard]] int retries() const { return attempts_granted_; }
+  /// Sum of every delay handed out, for deadline accounting and tests.
+  [[nodiscard]] double planned_delay_s() const { return planned_delay_s_; }
+
+ private:
+  static double pow_int(double base, int exp) {
+    double out = 1.0;
+    for (int i = 0; i < exp; ++i) out *= base;
+    return out;
+  }
+
+  RetryPolicy policy_;
+  int attempts_granted_ = 0;
+  double planned_delay_s_ = 0;
+};
+
+/// Runs `op` (a callable returning bool) until it succeeds or the policy is
+/// exhausted, sleeping the backoff schedule between attempts. Returns whether
+/// `op` ever succeeded; `retries_out` (optional) receives the retry count.
+template <class Op>
+bool retry_with_backoff(const RetryPolicy& policy, Rng& rng, Op&& op,
+                        int* retries_out = nullptr) {
+  RetryState state(policy);
+  bool ok = op();
+  while (!ok) {
+    double delay_s = 0;
+    if (!state.next_delay(rng, &delay_s)) break;
+    if (delay_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+    }
+    ok = op();
+  }
+  if (retries_out != nullptr) *retries_out = state.retries();
+  return ok;
+}
+
+}  // namespace apa

@@ -1,0 +1,216 @@
+#include "dist/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace apa::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+nn::Mlp make_model(std::uint64_t seed) {
+  nn::MlpConfig config;
+  config.layer_sizes = {12, 16, 5};
+  config.momentum = 0.9f;  // exercise the SgdState round trip too
+  config.seed = seed;
+  return {config, nn::MatmulBackend("classical"), nn::MatmulBackend("classical")};
+}
+
+void nudge(nn::Mlp& model) {
+  Rng rng(3);
+  Matrix<float> x(8, 12);
+  fill_random_uniform<float>(x.view(), rng);
+  const std::vector<int> labels = {0, 1, 2, 3, 4, 0, 1, 2};
+  for (int i = 0; i < 3; ++i) model.train_step(x.view().as_const(), labels);
+}
+
+void write_full_checkpoint(const std::string& dir, index_t step,
+                           const nn::Mlp& model, int num_shards) {
+  std::vector<ShardInfo> shards;
+  for (int k = 0; k < num_shards; ++k) {
+    shards.push_back(write_checkpoint_shard(dir, step, k, num_shards, model));
+  }
+  write_checkpoint_manifest(dir, step, shards, model_checksum(model));
+}
+
+class ShardedCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("apamm_dist_ckpt_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(ShardedCheckpointTest, RoundTripIsBitExact) {
+  nn::Mlp original = make_model(1);
+  nudge(original);
+  write_full_checkpoint(dir_, 5, original, 3);
+
+  const ManifestInfo manifest = validate_checkpoint_dir(dir_, 5);
+  EXPECT_EQ(manifest.step, 5);
+  EXPECT_EQ(manifest.num_shards, 3);
+  EXPECT_EQ(manifest.model_checksum, model_checksum(original));
+
+  nn::Mlp restored = make_model(999);  // different init, fully overwritten
+  load_sharded_checkpoint(dir_, 5, restored);
+  EXPECT_EQ(model_checksum(restored), model_checksum(original));
+}
+
+TEST_F(ShardedCheckpointTest, SingleShardDegenerateCase) {
+  nn::Mlp original = make_model(1);
+  nudge(original);
+  write_full_checkpoint(dir_, 0, original, 1);
+  nn::Mlp restored = make_model(2);
+  load_sharded_checkpoint(dir_, 0, restored);
+  EXPECT_EQ(model_checksum(restored), model_checksum(original));
+}
+
+TEST_F(ShardedCheckpointTest, MomentumStateSurvives) {
+  nn::Mlp original = make_model(1);
+  nudge(original);
+  write_full_checkpoint(dir_, 0, original, 2);
+  nn::Mlp restored = make_model(999);
+  load_sharded_checkpoint(dir_, 0, restored);
+  // One identical step on both must stay bit-identical — only true when the
+  // momentum buffers were restored too.
+  nudge(original);
+  nudge(restored);
+  EXPECT_EQ(model_checksum(restored), model_checksum(original));
+}
+
+TEST_F(ShardedCheckpointTest, MissingManifestMeansStepNeverExisted) {
+  nn::Mlp model = make_model(1);
+  // Shards committed but the coordinator crashed before the manifest: the
+  // step must be invisible, not torn.
+  for (int k = 0; k < 2; ++k) write_checkpoint_shard(dir_, 3, k, 2, model);
+  EXPECT_THROW(validate_checkpoint_dir(dir_, 3), ApaError);
+  EXPECT_EQ(find_latest_consistent_step(dir_, 100), -1);
+}
+
+TEST_F(ShardedCheckpointTest, BitFlipInAnyShardIsDetected) {
+  nn::Mlp model = make_model(1);
+  for (int victim = 0; victim < 3; ++victim) {
+    const std::string dir = dir_ + "_v" + std::to_string(victim);
+    write_full_checkpoint(dir, 7, model, 3);
+    corrupt_shard_byte(dir, 7, victim);
+    try {
+      validate_checkpoint_dir(dir, 7);
+      FAIL() << "shard " << victim << " corruption not detected";
+    } catch (const ApaError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kCorruptCheckpoint);
+    }
+    fs::remove_all(dir);
+  }
+}
+
+TEST_F(ShardedCheckpointTest, TruncatedShardIsDetected) {
+  nn::Mlp model = make_model(1);
+  write_full_checkpoint(dir_, 2, model, 2);
+  const fs::path shard = fs::path(step_dir_path(dir_, 2)) / "shard_1.bin";
+  fs::resize_file(shard, fs::file_size(shard) / 2);
+  EXPECT_THROW(validate_checkpoint_dir(dir_, 2), ApaError);
+}
+
+TEST_F(ShardedCheckpointTest, CorruptManifestIsDetected) {
+  nn::Mlp model = make_model(1);
+  write_full_checkpoint(dir_, 2, model, 2);
+  const fs::path manifest = fs::path(step_dir_path(dir_, 2)) / "MANIFEST";
+  {
+    std::fstream f(manifest, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(manifest) / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(manifest) / 2));
+    byte = static_cast<char>(byte ^ 0x01);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(validate_checkpoint_dir(dir_, 2), ApaError);
+}
+
+TEST_F(ShardedCheckpointTest, TruncatedManifestIsDetected) {
+  nn::Mlp model = make_model(1);
+  write_full_checkpoint(dir_, 2, model, 2);
+  const fs::path manifest = fs::path(step_dir_path(dir_, 2)) / "MANIFEST";
+  fs::resize_file(manifest, fs::file_size(manifest) - 9);
+  EXPECT_THROW(validate_checkpoint_dir(dir_, 2), ApaError);
+}
+
+TEST_F(ShardedCheckpointTest, FallsBackToPreviousConsistentStep) {
+  nn::Mlp model = make_model(1);
+  nudge(model);
+  write_full_checkpoint(dir_, 0, model, 2);
+  nudge(model);
+  write_full_checkpoint(dir_, 10, model, 2);
+  EXPECT_EQ(find_latest_consistent_step(dir_, 100), 10);
+  corrupt_shard_byte(dir_, 10, 0);
+  // Newest step is rotten: the search must fall back, not fail.
+  EXPECT_EQ(find_latest_consistent_step(dir_, 100), 0);
+  nn::Mlp restored = make_model(999);
+  load_sharded_checkpoint(dir_, 0, restored);
+  EXPECT_THROW(load_sharded_checkpoint(dir_, 10, restored), ApaError);
+}
+
+TEST_F(ShardedCheckpointTest, AtMostBoundsTheSearch) {
+  nn::Mlp model = make_model(1);
+  write_full_checkpoint(dir_, 0, model, 2);
+  write_full_checkpoint(dir_, 10, model, 2);
+  write_full_checkpoint(dir_, 20, model, 2);
+  EXPECT_EQ(find_latest_consistent_step(dir_, 15), 10);
+  EXPECT_EQ(find_latest_consistent_step(dir_, 10), 10);
+  EXPECT_EQ(find_latest_consistent_step(dir_, 9), 0);
+  EXPECT_EQ(find_latest_consistent_step(dir_, -1), -1);
+}
+
+TEST_F(ShardedCheckpointTest, ListAndPrune) {
+  nn::Mlp model = make_model(1);
+  for (const index_t step : {0, 10, 20, 30}) {
+    write_full_checkpoint(dir_, step, model, 2);
+  }
+  EXPECT_EQ(list_checkpoint_steps(dir_),
+            (std::vector<index_t>{0, 10, 20, 30}));
+  prune_checkpoints(dir_, 2);
+  EXPECT_EQ(list_checkpoint_steps(dir_), (std::vector<index_t>{20, 30}));
+  // Pruning must not break the survivors.
+  EXPECT_EQ(find_latest_consistent_step(dir_, 100), 30);
+}
+
+TEST_F(ShardedCheckpointTest, ShardCountMismatchRejected) {
+  nn::Mlp model = make_model(1);
+  // Manifest says 2 shards but shard files were written for a 3-way split:
+  // shard 0's header disagrees with the manifest.
+  std::vector<ShardInfo> shards;
+  shards.push_back(write_checkpoint_shard(dir_, 4, 0, 3, model));
+  shards.push_back(write_checkpoint_shard(dir_, 4, 1, 3, model));
+  write_checkpoint_manifest(dir_, 4, shards, model_checksum(model));
+  nn::Mlp restored = make_model(2);
+  EXPECT_THROW(load_sharded_checkpoint(dir_, 4, restored), ApaError);
+}
+
+TEST_F(ShardedCheckpointTest, FailedLoadLeavesModelUntouched) {
+  nn::Mlp model = make_model(1);
+  nudge(model);
+  write_full_checkpoint(dir_, 6, model, 2);
+  corrupt_shard_byte(dir_, 6, 1);
+  nn::Mlp victim = make_model(999);
+  const std::uint64_t before = model_checksum(victim);
+  EXPECT_THROW(load_sharded_checkpoint(dir_, 6, victim), ApaError);
+  EXPECT_EQ(model_checksum(victim), before);
+}
+
+}  // namespace
+}  // namespace apa::dist

@@ -1,0 +1,156 @@
+#include "dist/collective.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "dist/control.h"
+#include "dist/transport.h"
+
+namespace apa::dist {
+namespace {
+
+/// Runs allreduce_mean on `workers` threads; rank r contributes
+/// data[i] = r + i. Returns per-rank (status, result) pairs.
+struct RingRun {
+  std::vector<CollectiveStatus> status;
+  std::vector<std::vector<float>> data;
+};
+
+RingRun run_ring(int workers, index_t elements, const DistFaultPolicy& faults,
+                 const CollectiveOptions& options = {},
+                 const std::vector<int>& absent = {}) {
+  FaultState state;
+  LocalTransport transport(workers, faults, &state);
+  ControlBlock control(workers, 0.5);
+  RingRun run;
+  run.status.assign(static_cast<std::size_t>(workers),
+                    CollectiveStatus::kAborted);
+  run.data.assign(static_cast<std::size_t>(workers), {});
+  std::vector<std::thread> threads;
+  for (int r = 0; r < workers; ++r) {
+    if (std::find(absent.begin(), absent.end(), r) != absent.end()) continue;
+    threads.emplace_back([&, r] {
+      auto& data = run.data[static_cast<std::size_t>(r)];
+      data.resize(static_cast<std::size_t>(elements));
+      for (index_t i = 0; i < elements; ++i) {
+        data[static_cast<std::size_t>(i)] = static_cast<float>(r + i);
+      }
+      RingReducer reducer(r, &transport, &control, options,
+                          /*retry_seed=*/static_cast<std::uint64_t>(r) + 1);
+      control.heartbeat(r);
+      CollectiveStatus status = reducer.allreduce_mean(data, /*step=*/0);
+      while (status == CollectiveStatus::kPeerFailure) {
+        // Re-form the ring over the survivors with the original contribution.
+        for (index_t i = 0; i < elements; ++i) {
+          data[static_cast<std::size_t>(i)] = static_cast<float>(r + i);
+        }
+        status = reducer.allreduce_mean(data, 0);
+      }
+      run.status[static_cast<std::size_t>(r)] = status;
+    });
+  }
+  for (auto& t : threads) t.join();
+  return run;
+}
+
+void expect_mean_of_ranks(const std::vector<float>& data,
+                          const std::vector<int>& ranks, index_t elements) {
+  ASSERT_EQ(data.size(), static_cast<std::size_t>(elements));
+  for (index_t i = 0; i < elements; ++i) {
+    float sum = 0;
+    for (const int r : ranks) sum += static_cast<float>(r + i);
+    EXPECT_FLOAT_EQ(data[static_cast<std::size_t>(i)],
+                    sum / static_cast<float>(ranks.size()))
+        << "element " << i;
+  }
+}
+
+TEST(RingReducer, ComputesTheMeanAcrossRanks) {
+  for (const int workers : {2, 3, 5}) {
+    const RingRun run = run_ring(workers, 13, DistFaultPolicy{});
+    std::vector<int> all;
+    for (int r = 0; r < workers; ++r) all.push_back(r);
+    for (int r = 0; r < workers; ++r) {
+      ASSERT_EQ(run.status[static_cast<std::size_t>(r)], CollectiveStatus::kOk)
+          << "rank " << r << " of " << workers;
+      expect_mean_of_ranks(run.data[static_cast<std::size_t>(r)], all, 13);
+    }
+  }
+}
+
+TEST(RingReducer, ResultsAreBitIdenticalAcrossRanks) {
+  const RingRun run = run_ring(4, 257, DistFaultPolicy{});
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(run.data[static_cast<std::size_t>(r)], run.data[0])
+        << "rank " << r;
+  }
+}
+
+TEST(RingReducer, ElementsSmallerThanRingStillReduce) {
+  // 2 elements across 3 ranks: one chunk is empty.
+  const RingRun run = run_ring(3, 2, DistFaultPolicy{});
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_EQ(run.status[static_cast<std::size_t>(r)], CollectiveStatus::kOk);
+    expect_mean_of_ranks(run.data[static_cast<std::size_t>(r)], {0, 1, 2}, 2);
+  }
+}
+
+TEST(RingReducer, SingleRankIsIdentity) {
+  const RingRun run = run_ring(1, 5, DistFaultPolicy{});
+  ASSERT_EQ(run.status[0], CollectiveStatus::kOk);
+  expect_mean_of_ranks(run.data[0], {0}, 5);
+}
+
+TEST(RingReducer, RepairsDroppedMessages) {
+  CollectiveOptions options;
+  options.hop_timeout_s = 0.05;
+  const RingRun run =
+      run_ring(3, 31, DistFaultPolicy::parse("drop@1:2"), options);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_EQ(run.status[static_cast<std::size_t>(r)], CollectiveStatus::kOk);
+    expect_mean_of_ranks(run.data[static_cast<std::size_t>(r)], {0, 1, 2}, 31);
+  }
+}
+
+TEST(RingReducer, RepairsCorruptedMessages) {
+  const RingRun run = run_ring(3, 31, DistFaultPolicy::parse("corrupt-msg@0:2"));
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_EQ(run.status[static_cast<std::size_t>(r)], CollectiveStatus::kOk);
+    expect_mean_of_ranks(run.data[static_cast<std::size_t>(r)], {0, 1, 2}, 31);
+  }
+}
+
+TEST(RingReducer, SurvivesDelayedSender) {
+  CollectiveOptions options;
+  options.hop_timeout_s = 0.05;
+  const RingRun run =
+      run_ring(3, 8, DistFaultPolicy::parse("delay@1:0:120"), options);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_EQ(run.status[static_cast<std::size_t>(r)], CollectiveStatus::kOk);
+    expect_mean_of_ranks(run.data[static_cast<std::size_t>(r)], {0, 1, 2}, 8);
+  }
+}
+
+TEST(RingReducer, DegradesAroundAnAbsentPeer) {
+  // Rank 2 never joins the collective (simulated crash before step 0). The
+  // survivors must detect the silence, expel it, re-form a 2-ring, and reduce
+  // over {0, 1}.
+  CollectiveOptions options;
+  options.hop_timeout_s = 0.05;
+  options.retry.max_attempts = 3;
+  options.retry.base_delay_s = 0.01;
+  options.retry.max_delay_s = 0.05;
+  const RingRun run = run_ring(3, 9, DistFaultPolicy{}, options,
+                               /*absent=*/{2});
+  for (const int r : {0, 1}) {
+    ASSERT_EQ(run.status[static_cast<std::size_t>(r)], CollectiveStatus::kOk)
+        << "rank " << r;
+    expect_mean_of_ranks(run.data[static_cast<std::size_t>(r)], {0, 1}, 9);
+  }
+}
+
+}  // namespace
+}  // namespace apa::dist

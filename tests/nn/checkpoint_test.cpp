@@ -23,7 +23,15 @@ MlpConfig config_of(std::vector<index_t> sizes, std::uint64_t seed) {
 class CheckpointTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = (std::filesystem::temp_directory_path() / "apamm_ckpt_test.bin").string();
+    // Per-test file: ctest runs each test as its own process, so a shared
+    // name would let concurrent tests stomp each other's checkpoint.
+    path_ = (std::filesystem::temp_directory_path() /
+             ("apamm_ckpt_test_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name()) +
+              ".bin"))
+                .string();
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;
@@ -381,6 +389,72 @@ TEST_F(CheckpointTest, CnnFailedLoadLeavesModelUntouched) {
 
   cnn.predict(x.view().as_const(), after.view());
   EXPECT_EQ(max_abs_diff(before.view(), after.view()), 0.0);
+}
+
+TEST_F(CheckpointTest, AtomicSaveLeavesNoTempBehind) {
+  Mlp mlp(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  save_checkpoint(path_, mlp);
+  EXPECT_TRUE(std::filesystem::exists(path_));
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(CheckpointTest, SaveOverwritesThroughRename) {
+  // A crash mid-save must leave the previous checkpoint intact; here we at
+  // least prove the happy path replaces the file completely via the temp.
+  Mlp a(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+        MatmulBackend("classical"));
+  save_checkpoint(path_, a);
+  Mlp b(config_of({12, 16, 5}, 2), MatmulBackend("classical"),
+        MatmulBackend("classical"));
+  save_checkpoint(path_, b);
+  Mlp restored(config_of({12, 16, 5}, 3), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+  load_checkpoint(path_, restored);
+  Rng rng(5);
+  Matrix<float> x(4, 12);
+  fill_random_uniform<float>(x.view(), rng);
+  Matrix<float> lb(4, 5), lr(4, 5);
+  b.predict(x.view().as_const(), lb.view());
+  restored.predict(x.view().as_const(), lr.view());
+  EXPECT_EQ(max_abs_diff(lb.view(), lr.view()), 0.0);
+}
+
+TEST_F(CheckpointTest, CleanupRemovesStaleTempsOnly) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "apamm_ckpt_cleanup_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto touch = [&](const std::string& name) {
+    std::ofstream(dir / name) << "torn";
+  };
+  touch("model.ckpt.tmp");     // interrupted single-process commit
+  touch("shard_0.bin.tmp");    // interrupted shard commit
+  touch("MANIFEST.tmp");       // interrupted manifest commit
+  touch("model.ckpt");         // committed artifacts must survive
+  touch("notes.txt");          // unrelated files must survive
+  EXPECT_EQ(cleanup_stale_checkpoint_temps(dir.string()), 3u);
+  EXPECT_TRUE(fs::exists(dir / "model.ckpt"));
+  EXPECT_TRUE(fs::exists(dir / "notes.txt"));
+  EXPECT_FALSE(fs::exists(dir / "model.ckpt.tmp"));
+  EXPECT_FALSE(fs::exists(dir / "shard_0.bin.tmp"));
+  EXPECT_FALSE(fs::exists(dir / "MANIFEST.tmp"));
+  // Idempotent, and a missing directory is a startup no-op.
+  EXPECT_EQ(cleanup_stale_checkpoint_temps(dir.string()), 0u);
+  fs::remove_all(dir);
+  EXPECT_EQ(cleanup_stale_checkpoint_temps(dir.string()), 0u);
+}
+
+TEST_F(CheckpointTest, TornTempDoesNotShadowCommittedFile) {
+  Mlp mlp(config_of({12, 16, 5}, 1), MatmulBackend("classical"),
+          MatmulBackend("classical"));
+  save_checkpoint(path_, mlp);
+  // Simulate a later save that died mid-write: garbage in the temp slot.
+  std::ofstream(path_ + ".tmp") << "garbage-from-a-crashed-writer";
+  Mlp restored(config_of({12, 16, 5}, 9), MatmulBackend("classical"),
+               MatmulBackend("classical"));
+  load_checkpoint(path_, restored);  // committed file untouched by the temp
+  std::remove((path_ + ".tmp").c_str());
 }
 
 }  // namespace

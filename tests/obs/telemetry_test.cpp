@@ -60,7 +60,14 @@ std::string field(const std::string& line, const std::string& key) {
 class TelemetryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = (std::filesystem::temp_directory_path() / "apamm_telemetry_test.jsonl")
+    // Per-test file: ctest runs each test as its own process, so a shared
+    // name would let concurrent tests stomp each other's stream.
+    path_ = (std::filesystem::temp_directory_path() /
+             ("apamm_telemetry_test_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name()) +
+              ".jsonl"))
                 .string();
     std::filesystem::remove(path_);
   }
@@ -125,6 +132,44 @@ TEST_F(TelemetryTest, NonFiniteDoublesRenderAsNull) {
       .set("finite", 1.5);
   EXPECT_EQ(rec.to_json(),
             "{\"nan\": null, \"inf\": null, \"neg_inf\": null, \"finite\": 1.5}");
+}
+
+TEST_F(TelemetryTest, SyncKeepsSinkWritable) {
+  obs::TelemetrySink sink(path_);
+  ASSERT_TRUE(sink.ok());
+  obs::JsonRecord rec;
+  rec.set("type", "step").set("step", 0);
+  sink.write(rec);
+  sink.sync();  // explicit durability point mid-run
+  ASSERT_EQ(read_lines(path_).size(), 1u);
+  rec.set("step", 1);
+  sink.write(rec);
+  sink.sync();
+  EXPECT_EQ(read_lines(path_).size(), 2u);
+}
+
+TEST_F(TelemetryTest, CrashFlushTracksOpenSinks) {
+  obs::install_telemetry_crash_flush();  // idempotent; first call wins
+  const int before = obs::telemetry_crash_flush_registered();
+  {
+    obs::TelemetrySink sink(path_);
+    ASSERT_TRUE(sink.ok());
+    EXPECT_EQ(obs::telemetry_crash_flush_registered(), before + 1);
+    obs::JsonRecord rec;
+    rec.set("type", "step");
+    sink.write(rec);
+  }
+  // Closed sinks leave the fd table so the signal handler never touches a
+  // dead descriptor.
+  EXPECT_EQ(obs::telemetry_crash_flush_registered(), before);
+}
+
+TEST_F(TelemetryTest, CrashFlushIgnoresFailedSinks) {
+  obs::install_telemetry_crash_flush();
+  const int before = obs::telemetry_crash_flush_registered();
+  obs::TelemetrySink sink("/nonexistent-dir/apamm/telemetry.jsonl");
+  EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(obs::telemetry_crash_flush_registered(), before);
 }
 
 TEST_F(TelemetryTest, EmptyRecordIsEmptyObject) {

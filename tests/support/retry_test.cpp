@@ -1,0 +1,155 @@
+// support/retry.h: backoff schedule shape, jitter bounds and determinism,
+// attempt/deadline budgets, and the retry_with_backoff driver.
+
+#include "support/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace apa {
+namespace {
+
+RetryPolicy no_jitter_policy() {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_delay_s = 0.010;
+  policy.max_delay_s = 0.050;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+TEST(Retry, BackoffGrowsExponentiallyAndClampsAtMaxDelay) {
+  RetryState state(no_jitter_policy());
+  Rng rng(1);
+  std::vector<double> delays;
+  double d = 0;
+  while (state.next_delay(rng, &d)) delays.push_back(d);
+  // 6 attempts = 5 backoffs: 10, 20, 40, 50 (clamped), 50 (clamped) ms.
+  ASSERT_EQ(delays.size(), 5u);
+  EXPECT_DOUBLE_EQ(delays[0], 0.010);
+  EXPECT_DOUBLE_EQ(delays[1], 0.020);
+  EXPECT_DOUBLE_EQ(delays[2], 0.040);
+  EXPECT_DOUBLE_EQ(delays[3], 0.050);
+  EXPECT_DOUBLE_EQ(delays[4], 0.050);
+}
+
+TEST(Retry, JitterStaysInsideSymmetricBounds) {
+  RetryPolicy policy = no_jitter_policy();
+  policy.jitter = 0.25;
+  policy.max_attempts = 200;
+  policy.max_delay_s = 1e9;  // no clamp: test pure base * multiplier^k
+  policy.multiplier = 1.0;   // constant nominal delay isolates the jitter
+  Rng rng(42);
+  RetryState state(policy);
+  double d = 0;
+  while (state.next_delay(rng, &d)) {
+    EXPECT_GE(d, 0.010 * 0.75);
+    EXPECT_LE(d, 0.010 * 1.25);
+  }
+  EXPECT_EQ(state.retries(), 199);
+}
+
+TEST(Retry, JitterIsDeterministicForSeededRng) {
+  RetryPolicy policy = no_jitter_policy();
+  policy.jitter = 0.5;
+  std::vector<double> first, second;
+  for (auto* out : {&first, &second}) {
+    Rng rng(7);
+    RetryState state(policy);
+    double d = 0;
+    while (state.next_delay(rng, &d)) out->push_back(d);
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(Retry, MaxAttemptsBoundsRetries) {
+  RetryPolicy policy = no_jitter_policy();
+  policy.max_attempts = 3;
+  RetryState state(policy);
+  Rng rng(1);
+  double d = 0;
+  EXPECT_TRUE(state.next_delay(rng, &d));
+  EXPECT_TRUE(state.next_delay(rng, &d));
+  EXPECT_FALSE(state.next_delay(rng, &d));  // third attempt was the last
+  EXPECT_EQ(state.retries(), 2);
+}
+
+TEST(Retry, SingleAttemptPolicyNeverBacksOff) {
+  RetryPolicy policy = no_jitter_policy();
+  policy.max_attempts = 1;
+  RetryState state(policy);
+  Rng rng(1);
+  double d = 0;
+  EXPECT_FALSE(state.next_delay(rng, &d));
+}
+
+TEST(Retry, DeadlineCutsScheduleBeforeMaxAttempts) {
+  RetryPolicy policy = no_jitter_policy();
+  policy.max_attempts = 100;
+  policy.deadline_s = 0.045;  // 10 + 20 = 30ms fits, +40ms would not
+  RetryState state(policy);
+  Rng rng(1);
+  double d = 0;
+  EXPECT_TRUE(state.next_delay(rng, &d));
+  EXPECT_TRUE(state.next_delay(rng, &d));
+  EXPECT_FALSE(state.next_delay(rng, &d));
+  EXPECT_EQ(state.retries(), 2);
+  EXPECT_DOUBLE_EQ(state.planned_delay_s(), 0.030);
+}
+
+TEST(Retry, DeadlineInteractsWithJitterConservatively) {
+  // With jitter the planned accumulation uses the jittered values, so the
+  // deadline is never exceeded regardless of the draw.
+  RetryPolicy policy = no_jitter_policy();
+  policy.max_attempts = 1000;
+  policy.jitter = 0.9;
+  policy.deadline_s = 0.5;
+  Rng rng(99);
+  RetryState state(policy);
+  double d = 0;
+  while (state.next_delay(rng, &d)) {
+  }
+  EXPECT_LE(state.planned_delay_s(), policy.deadline_s);
+  EXPECT_GT(state.retries(), 0);
+}
+
+TEST(Retry, DriverStopsOnFirstSuccess) {
+  RetryPolicy policy = no_jitter_policy();
+  policy.base_delay_s = 0.0;  // keep the test fast
+  Rng rng(1);
+  int calls = 0;
+  int retries = -1;
+  const bool ok = retry_with_backoff(
+      policy, rng, [&] { return ++calls == 3; }, &retries);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2);
+}
+
+TEST(Retry, DriverReportsFailureWhenBudgetExhausted) {
+  RetryPolicy policy = no_jitter_policy();
+  policy.base_delay_s = 0.0;
+  policy.max_attempts = 4;
+  Rng rng(1);
+  int calls = 0;
+  int retries = -1;
+  const bool ok = retry_with_backoff(
+      policy, rng, [&] { ++calls; return false; }, &retries);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(retries, 3);
+}
+
+TEST(Retry, InvalidPolicyThrowsPrecondition) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_THROW(RetryState{policy}, ApaError);
+  policy = RetryPolicy{};
+  policy.jitter = 1.0;
+  EXPECT_THROW(RetryState{policy}, ApaError);
+}
+
+}  // namespace
+}  // namespace apa
