@@ -1,11 +1,22 @@
 // Ablation A5: analytic cost model versus measured time (paper section 2.4).
-// The model composes (rank x measured sub-gemm time) + (addition traffic /
-// measured bandwidth); its accuracy shows the ideal-speedup erosion is fully
-// explained by small-gemm efficiency plus memory-bound additions.
+// The model composes (rank x sub-gemm time) + (addition traffic / bandwidth);
+// its accuracy shows the ideal-speedup erosion is fully explained by
+// small-gemm efficiency plus memory-bound additions.
+//
+// The machine constants come from the tuning layer's calibration
+// (src/tune/calibrate.h) instead of per-bench hard-coded measurements:
+//   --calibrate=obs      seed gemm GFLOPS and add bandwidth from the obs
+//                        counter/histogram registry (probing it when cold) —
+//                        the same constants the self-tuning router uses;
+//   --calibrate=measure  legacy dedicated timing passes (one sub-gemm timing
+//                        per rule plus core::measure_add_bandwidth).
 //
 // Usage: ablation_cost_model [--dims=768,1536] [--algos=...] [--csv=out.csv]
+//                            [--calibrate=obs|measure]
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "benchutil/algos.h"
 #include "benchutil/harness.h"
@@ -16,6 +27,7 @@
 #include "support/cli.h"
 #include "support/rng.h"
 #include "support/table.h"
+#include "tune/calibrate.h"
 
 int main(int argc, char** argv) {
   using namespace apa;
@@ -23,10 +35,30 @@ int main(int argc, char** argv) {
   const auto dims = args.get_int_list("dims", {768, 1536});
   const auto algos = bench::resolve_algorithms(args.get_list(
       "algos", {"strassen", "bini322", "fast442", "fast444", "apa644"}));
+  const std::string mode = args.get("calibrate", "obs");
+  if (mode != "obs" && mode != "measure") {
+    std::fprintf(stderr, "unknown --calibrate mode '%s' (obs|measure)\n",
+                 mode.c_str());
+    return EXIT_FAILURE;
+  }
 
-  const double bandwidth = core::measure_add_bandwidth();
-  std::printf("Ablation: cost model vs measurement (add bandwidth %.1f GB/s)\n\n",
-              bandwidth * 1e-9);
+  tune::CostCalibration calibration;
+  double bandwidth = 0.0;
+  if (mode == "obs") {
+    calibration = tune::calibrate();
+    bandwidth = calibration.add_bandwidth;
+    std::printf(
+        "Ablation: cost model vs measurement (calibrated %s: %.1f gemm "
+        "GFLOPS, %.1f GB/s add bandwidth)\n\n",
+        calibration.from_obs ? "from obs registry" : "from wall-clock probes",
+        calibration.gemm_gflops, bandwidth * 1e-9);
+  } else {
+    bandwidth = core::measure_add_bandwidth();
+    std::printf(
+        "Ablation: cost model vs measurement (measured add bandwidth %.1f "
+        "GB/s)\n\n",
+        bandwidth * 1e-9);
+  }
   TablePrinter table({"algorithm", "dim", "pred-mul", "pred-add", "pred-total",
                       "measured", "ratio"});
 
@@ -41,19 +73,21 @@ int main(int argc, char** argv) {
       const core::Rule& rule = core::rule_by_name(name);
       if (dim % rule.m != 0 || dim % rule.k != 0 || dim % rule.n != 0) continue;
 
-      // Measure the sub-gemm the executor will actually issue.
-      Matrix<float> sa(dim / rule.m, dim / rule.k), sb(dim / rule.k, dim / rule.n),
-          sc(dim / rule.m, dim / rule.n);
-      fill_random_uniform<float>(sa.view(), rng);
-      fill_random_uniform<float>(sb.view(), rng);
-      const double sub_seconds =
-          bench::time_workload([&] {
-            blas::gemm<float>(sa.view(), sb.view(), sc.view());
-          }).min_seconds;
-
       core::CostInputs inputs;
-      inputs.sub_gemm_seconds = sub_seconds;
-      inputs.add_bandwidth = bandwidth;
+      if (mode == "obs") {
+        inputs = calibration.cost_inputs(rule, dim, dim, dim);
+      } else {
+        // Measure the sub-gemm the executor will actually issue.
+        Matrix<float> sa(dim / rule.m, dim / rule.k),
+            sb(dim / rule.k, dim / rule.n), sc(dim / rule.m, dim / rule.n);
+        fill_random_uniform<float>(sa.view(), rng);
+        fill_random_uniform<float>(sb.view(), rng);
+        inputs.sub_gemm_seconds =
+            bench::time_workload([&] {
+              blas::gemm<float>(sa.view(), sb.view(), sc.view());
+            }).min_seconds;
+        inputs.add_bandwidth = bandwidth;
+      }
       const auto predicted = core::predict_one_step(rule, dim, dim, dim, inputs);
 
       const core::FastMatmul mm(name);

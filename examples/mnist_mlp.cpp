@@ -4,8 +4,16 @@
 //
 //   ./mnist_mlp [--algo=bini322] [--epochs=5] [--train=8000] [--test=2000]
 //               [--batch=300] [--lr=0.1] [--mnist-dir=PATH] [--guard]
+//               [--tune] [--tune-cache=PATH]
 //               [--trace-out=trace.json] [--metrics-out=metrics.jsonl] [--trace-cap=N]
 //               [--workers=N] [--shard-dir=PATH] [--inject-fault=SPEC]
+//
+// --tune routes the fast layer through the self-tuning backend router
+// (docs/TUNING.md): per-shape explore/exploit over {backend, lambda, steps,
+// strategy, plan variant} with guarded APA candidates. --tune-cache=PATH
+// additionally persists the learned choice table (implies --tune); a second
+// run against the same file warm-starts, skipping both the calibration probes
+// and the explore phase — verify with the tune.* counters in --metrics-out.
 //
 // --trace-out records every instrumented phase (pack/combine/gemm/epilogue/
 // verify/...) to a Chrome-trace JSON viewable in Perfetto; --metrics-out
@@ -33,6 +41,29 @@
 #include "nn/trainer.h"
 #include "obs/session.h"
 #include "support/cli.h"
+#include "tune/calibrate.h"
+#include "tune/router.h"
+
+namespace {
+
+void print_router_summary(const apa::tune::TunedBackend* router) {
+  if (router == nullptr) return;
+  const apa::tune::RouterStats s = router->stats();
+  std::printf(
+      "\nrouter: cache %s (%llu warm entries), %llu decisions, "
+      "%llu explore samples, %llu routed calls, %llu static calls, "
+      "%llu quarantine overrides, %llu saves\n",
+      apa::tune::to_string(s.cache_status),
+      static_cast<unsigned long long>(s.warm_entries),
+      static_cast<unsigned long long>(s.decisions),
+      static_cast<unsigned long long>(s.explore_samples),
+      static_cast<unsigned long long>(s.decided_calls),
+      static_cast<unsigned long long>(s.static_calls),
+      static_cast<unsigned long long>(s.quarantine_overrides),
+      static_cast<unsigned long long>(s.cache_saves));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace apa;
@@ -64,11 +95,36 @@ int main(int argc, char** argv) {
   nn::MlpConfig config;
   config.layer_sizes = {784, 300, 300, 10};
   config.learning_rate = static_cast<float>(args.get_double("lr", 0.1));
-  // The guarded wrapper must go through the shared_ptr overload — the value
-  // constructor would slice its verification policy away.
-  const std::shared_ptr<const nn::MatmulBackend> fast =
-      guard ? std::make_shared<const nn::GuardedBackend>(algo)
-            : std::make_shared<const nn::MatmulBackend>(algo);
+  // The guarded and tuned wrappers must go through the shared_ptr overload —
+  // the value constructor would slice their routing/verification policy away.
+  const std::string tune_cache = args.get("tune-cache", "");
+  const bool tune_enabled = args.get_bool("tune", false) || !tune_cache.empty();
+  std::shared_ptr<const nn::MatmulBackend> fast;
+  const tune::TunedBackend* router = nullptr;
+  if (tune_enabled) {
+    tune::RouterOptions tuning;
+    if (algo != "classical") tuning.algorithms = {algo};
+    tuning.static_algorithm = algo;
+    tuning.cache_path = tune_cache;
+    tuning.telemetry = obs_session.telemetry();
+    // Training traffic is scarce relative to a bench sweep (a handful of calls
+    // per shape per epoch), so take one timed sample per burst: decisions
+    // commit within the first couple of epochs instead of never.
+    tuning.measure_reps = 1;
+    // Calibrate the dispatch cost model only when the cache cannot warm-start
+    // this process; a warm fleet member pays neither probes nor exploration.
+    if (tune_cache.empty() || tune::load_tuning_cache(tune_cache).status !=
+                                  tune::CacheStatus::kLoaded) {
+      tune::calibrate().apply(tuning.backend);
+    }
+    auto tuned = std::make_shared<const tune::TunedBackend>(tuning);
+    router = tuned.get();
+    fast = tuned;
+  } else if (guard) {
+    fast = std::make_shared<const nn::GuardedBackend>(algo);
+  } else {
+    fast = std::make_shared<const nn::MatmulBackend>(algo);
+  }
   nn::Mlp mlp(config, fast, std::make_shared<const nn::MatmulBackend>("classical"));
 
   const int workers = static_cast<int>(args.get_int("workers", 1));
@@ -124,6 +180,7 @@ int main(int argc, char** argv) {
             static_cast<long long>(stats.checksum_failures));
       }
     }
+    print_router_summary(router);
     return 0;
   }
 
@@ -145,5 +202,6 @@ int main(int argc, char** argv) {
                               guard ? &report : nullptr);
     }
   }
+  print_router_summary(router);
   return 0;
 }

@@ -341,6 +341,13 @@ void gemm_planned(Trans ta, MatrixView<const T> a, const PackedPanel<T>* a_packe
   const index_t kb = trb ? b.cols : b.rows;
   const index_t n = trb ? b.rows : b.cols;
   APA_CHECK(k == kb && c.rows == m && c.cols == n);
+  // Classical operation count, recorded so the tuning layer can calibrate an
+  // achieved-GFLOPS machine constant from ordinary traffic: dividing this
+  // counter by the "blas.gemm" phase time yields the cost model's sub-gemm
+  // throughput without a dedicated measurement pass (src/tune/calibrate.h).
+  APA_COUNTER_ADD("blas.gemm.flops", 2ULL * static_cast<std::uint64_t>(m) *
+                                         static_cast<std::uint64_t>(k) *
+                                         static_cast<std::uint64_t>(n));
   if (a_packed != nullptr) {
     APA_CHECK_MSG(a_packed->side() == PackedPanel<T>::Side::kA &&
                       a_packed->rows() == m && a_packed->cols() == k,

@@ -166,6 +166,13 @@ class LevelRunner {
       return input_block(in, terms_in[0].first, grid_cols, rows, cols);
     }
     APA_COUNTER_INC("core.operand.materialized");
+    // Write-once combine traffic (each source block read once, the temp
+    // written once) — with the combine_* phase times this calibrates the cost
+    // model's addition bandwidth from real traffic (src/tune/calibrate.h).
+    APA_COUNTER_ADD("core.combine.bytes",
+                    (static_cast<std::uint64_t>(terms_in.size()) + 1) *
+                        static_cast<std::uint64_t>(rows) *
+                        static_cast<std::uint64_t>(cols) * sizeof(T));
     std::vector<blas::Scaled<T>> terms;
     terms.reserve(terms_in.size());
     for (const auto& [entry, coeff] : terms_in) {
@@ -222,6 +229,10 @@ class LevelRunner {
     for (index_t e = 0; e < rule_.m * rule_.n; ++e) {
       APA_TRACE_SCOPE_ID("core.combine_c", e);
       const auto& wt = rule_.w_terms[static_cast<std::size_t>(e)];
+      APA_COUNTER_ADD("core.combine.bytes",
+                      (static_cast<std::uint64_t>(wt.size()) + 1) *
+                          static_cast<std::uint64_t>(bm_) *
+                          static_cast<std::uint64_t>(bn_) * sizeof(T));
       std::vector<blas::Scaled<T>> terms;
       terms.reserve(wt.size());
       for (const auto& [l, coeff] : wt) {

@@ -47,6 +47,11 @@ bool GuardedBackend::is_quarantined(index_t m, index_t k, index_t n) const {
   return it != state_->trips_by_shape.end() && it->second >= policy_.quarantine_after;
 }
 
+void GuardedBackend::clear_quarantine(index_t m, index_t k, index_t n) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->trips_by_shape.erase(ShapeKey{m, k, n});
+}
+
 int GuardedBackend::trips_for(index_t m, index_t k, index_t n) const {
   std::lock_guard<std::mutex> lock(state_->mu);
   const auto it = state_->trips_by_shape.find(ShapeKey{m, k, n});

@@ -89,6 +89,11 @@ class GuardedBackend : public MatmulBackend {
   /// Trip count recorded against shape (m, k, n) — quarantine is per-shape,
   /// and tests assert a corrupted product charges only its own shape.
   [[nodiscard]] int trips_for(index_t m, index_t k, index_t n) const;
+  /// Forgets the trips recorded against shape (m, k, n), lifting its
+  /// quarantine — operator action once the root cause (bad inputs, an
+  /// out-of-regime rule) is fixed. The shapes_quarantined counter is history,
+  /// not live state, so it is deliberately left untouched.
+  void clear_quarantine(index_t m, index_t k, index_t n) const;
 
  private:
   using ShapeKey = std::tuple<index_t, index_t, index_t>;

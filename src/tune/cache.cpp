@@ -1,0 +1,215 @@
+#include "tune/cache.h"
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/registry.h"
+#include "nn/checkpoint_io.h"
+#include "obs/metrics.h"
+#include "support/check.h"
+
+namespace apa::tune {
+namespace {
+
+constexpr char kMagicTune[nn::ckpt::kMagicSize] = {'A', 'P', 'A', 'M', 'M',
+                                                   '_', 'T', 'U', 'N', '1'};
+
+/// An algorithm name longer than this is corruption, not a registry entry.
+constexpr std::uint64_t kMaxNameLen = 256;
+/// Recursion depths outside [1, 8] never pay and never appear legitimately.
+constexpr std::uint64_t kMaxSteps = 8;
+
+void write_string(std::ostream& out, const std::string& s) {
+  nn::ckpt::write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void write_double(std::ostream& out, double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  nn::ckpt::write_u64(out, bits);
+}
+
+std::string read_string(nn::ckpt::Cursor& cursor, const char* what) {
+  const std::uint64_t len = cursor.read_u64();
+  APA_CHECK_CODE(len <= kMaxNameLen, ErrorCode::kCorruptCheckpoint,
+                 cursor.path() << ": implausible " << what << " length " << len);
+  std::string s(len, '\0');
+  if (len > 0) cursor.read_bytes(s.data(), len, what);
+  return s;
+}
+
+double read_double(nn::ckpt::Cursor& cursor) {
+  const std::uint64_t bits = cursor.read_u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Entry-level validation beyond the whole-file checksum: a checksum-valid
+/// file written by a buggy producer must still never inject an out-of-domain
+/// choice into the router.
+void validate_entry(const std::string& path, const ShapeKey& key,
+                    const TunedChoice& choice) {
+  APA_CHECK_CODE(key.m > 0 && key.k > 0 && key.n > 0 &&
+                     static_cast<std::uint64_t>(key.m) < nn::ckpt::kMaxDim &&
+                     static_cast<std::uint64_t>(key.k) < nn::ckpt::kMaxDim &&
+                     static_cast<std::uint64_t>(key.n) < nn::ckpt::kMaxDim,
+                 ErrorCode::kCorruptCheckpoint,
+                 path << ": implausible shape " << key.m << "x" << key.k << "x"
+                      << key.n);
+  APA_CHECK_CODE(
+      choice.algorithm == "classical" || core::has_algorithm(choice.algorithm),
+      ErrorCode::kCorruptCheckpoint,
+      path << ": unknown algorithm '" << choice.algorithm << "'");
+  APA_CHECK_CODE(choice.steps >= 1 &&
+                     static_cast<std::uint64_t>(choice.steps) <= kMaxSteps,
+                 ErrorCode::kCorruptCheckpoint,
+                 path << ": implausible steps " << choice.steps);
+  APA_CHECK_CODE(std::isfinite(choice.lambda) && choice.lambda >= 0.0,
+                 ErrorCode::kCorruptCheckpoint,
+                 path << ": non-finite or negative lambda");
+  APA_CHECK_CODE(std::isfinite(choice.expected_seconds) &&
+                     choice.expected_seconds >= 0.0,
+                 ErrorCode::kCorruptCheckpoint,
+                 path << ": non-finite expected_seconds");
+}
+
+}  // namespace
+
+const char* to_string(PlanVariant variant) {
+  return variant == PlanVariant::kPlain ? "plain" : "prepack";
+}
+
+const char* to_string(CacheStatus status) {
+  switch (status) {
+    case CacheStatus::kLoaded: return "loaded";
+    case CacheStatus::kMissing: return "missing";
+    case CacheStatus::kCorrupt: return "corrupt";
+    case CacheStatus::kBadVersion: return "bad-version";
+    case CacheStatus::kCpuMismatch: return "cpu-mismatch";
+  }
+  return "unknown";
+}
+
+std::string cpu_signature() {
+  std::string model = "unknown-cpu";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      model = line.substr(start);
+      break;
+    }
+  }
+  return model + " x" + std::to_string(std::thread::hardware_concurrency());
+}
+
+CacheLoad load_tuning_cache(const std::string& path, const std::string& cpu) {
+  CacheLoad result;
+  if (!std::filesystem::exists(path)) {
+    result.status = CacheStatus::kMissing;
+    result.detail = "no cache file at " + path;
+    APA_COUNTER_INC("tune.cache.load_missing");
+    return result;
+  }
+  try {
+    std::size_t which = 0;
+    const std::vector<unsigned char> file =
+        nn::ckpt::read_checkpoint_file(path, {kMagicTune}, &which);
+    nn::ckpt::Cursor cursor(file.data() + nn::ckpt::kMagicSize,
+                            file.size() - nn::ckpt::kMagicSize - sizeof(std::uint64_t),
+                            path);
+    const std::uint64_t version = cursor.read_u64();
+    if (version != kCacheVersion) {
+      result.status = CacheStatus::kBadVersion;
+      result.detail = path + ": cache version " + std::to_string(version) +
+                      ", expected " + std::to_string(kCacheVersion);
+      APA_COUNTER_INC("tune.cache.load_bad_version");
+      return result;
+    }
+    const std::string file_cpu = read_string(cursor, "cpu signature");
+    if (file_cpu != cpu) {
+      result.status = CacheStatus::kCpuMismatch;
+      result.detail = path + ": cache written on '" + file_cpu +
+                      "', this machine is '" + cpu + "'";
+      APA_COUNTER_INC("tune.cache.load_cpu_mismatch");
+      return result;
+    }
+    const std::uint64_t count = cursor.read_u64();
+    // Stage into a local table; nothing escapes until every entry validated.
+    ChoiceTable staged;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ShapeKey key;
+      key.m = static_cast<index_t>(cursor.read_u64());
+      key.k = static_cast<index_t>(cursor.read_u64());
+      key.n = static_cast<index_t>(cursor.read_u64());
+      TunedChoice choice;
+      choice.algorithm = read_string(cursor, "algorithm name");
+      choice.lambda = read_double(cursor);
+      choice.steps = static_cast<int>(cursor.read_u64());
+      const std::uint64_t strategy = cursor.read_u64();
+      APA_CHECK_CODE(strategy <= static_cast<std::uint64_t>(core::Strategy::kHybrid),
+                     ErrorCode::kCorruptCheckpoint,
+                     path << ": implausible strategy " << strategy);
+      choice.strategy = static_cast<core::Strategy>(strategy);
+      const std::uint64_t plan = cursor.read_u64();
+      APA_CHECK_CODE(plan <= static_cast<std::uint64_t>(PlanVariant::kPlain),
+                     ErrorCode::kCorruptCheckpoint,
+                     path << ": implausible plan variant " << plan);
+      choice.plan = static_cast<PlanVariant>(plan);
+      choice.expected_seconds = read_double(cursor);
+      choice.samples = cursor.read_u64();
+      validate_entry(path, key, choice);
+      staged[key] = std::move(choice);
+    }
+    APA_CHECK_CODE(cursor.remaining() == 0, ErrorCode::kCorruptCheckpoint,
+                   path << ": " << cursor.remaining()
+                        << " trailing bytes after the last entry");
+    result.status = CacheStatus::kLoaded;
+    result.entries = std::move(staged);
+    APA_COUNTER_INC("tune.cache.load_ok");
+    APA_COUNTER_ADD("tune.cache.entries_loaded", result.entries.size());
+    return result;
+  } catch (const ApaError& e) {
+    result.status = CacheStatus::kCorrupt;
+    result.entries.clear();
+    result.detail = e.what();
+    APA_COUNTER_INC("tune.cache.load_corrupt");
+    return result;
+  }
+}
+
+void save_tuning_cache(const std::string& path, const ChoiceTable& table,
+                       const std::string& cpu) {
+  std::ostringstream payload(std::ios::binary);
+  nn::ckpt::write_u64(payload, kCacheVersion);
+  write_string(payload, cpu);
+  nn::ckpt::write_u64(payload, table.size());
+  for (const auto& [key, choice] : table) {
+    nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(key.m));
+    nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(key.k));
+    nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(key.n));
+    write_string(payload, choice.algorithm);
+    write_double(payload, choice.lambda);
+    nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(choice.steps));
+    nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(choice.strategy));
+    nn::ckpt::write_u64(payload, static_cast<std::uint64_t>(choice.plan));
+    write_double(payload, choice.expected_seconds);
+    nn::ckpt::write_u64(payload, choice.samples);
+  }
+  nn::ckpt::write_checkpoint_file(path, kMagicTune, payload.str());
+  APA_COUNTER_INC("tune.cache.saves");
+}
+
+}  // namespace apa::tune

@@ -1,0 +1,176 @@
+#pragma once
+// Self-tuning backend router.
+//
+// Backend, lambda, recursion depth, strategy and plan variant were chosen
+// statically at every call site, yet the bench data (BENCH_prepack.json,
+// BENCH_conv.json) shows each choice flips winners across (shape, batch)
+// regimes. TunedBackend learns the choice per logical <M,K,N> shape online:
+//
+//   * explore — the first calls at a new shape round-robin a bounded
+//     candidate set (classical prepack/plain, plus each configured APA rule
+//     at one and two recursive steps), timing each candidate while still
+//     serving the caller a correct product;
+//   * exploit — once every candidate has `measure_reps` samples the best
+//     median-free minimum wins, the decision is committed to the choice
+//     table, and (when a cache path is configured) persisted via the
+//     versioned, checksummed tuning cache so the warmup is paid once per
+//     fleet, not once per process;
+//   * guard — every APA candidate runs through a GuardedBackend, so explore
+//     traffic is Freivalds-verified with exact-gemm fallback. A shape whose
+//     trips exceed the quarantine threshold is never routed (or re-selected)
+//     to an APA rule until the quarantine is cleared; the router records the
+//     override and serves classical.
+//
+// TunedBackend is a MatmulBackend, so DenseLayer / ConvLayer / the trainers
+// route through it unchanged, fusion epilogues and prepacked plans included.
+// With tuning disabled (or below min_dim) every call falls through to the
+// configured static backend — exactly today's hard-coded behavior.
+//
+// Determinism: the candidate order is fixed, sample slots are assigned under
+// the state lock, and ties break to the lowest candidate index — so a warm
+// process (decisions from the cache) routes bit-identically, and a cold run
+// with a deterministic measure_override reproduces its table exactly.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/guarded_backend.h"
+#include "obs/telemetry.h"
+#include "tune/cache.h"
+
+namespace apa::tune {
+
+/// One point of the bounded per-shape search space.
+struct RouterCandidate {
+  std::string algorithm = "classical";
+  int steps = 1;
+  core::Strategy strategy = core::Strategy::kSequential;
+  double lambda = 0.0;  ///< 0 = the rule's auto-optimal lambda
+  PlanVariant plan = PlanVariant::kPrepack;
+};
+
+struct RouterOptions {
+  /// APA rules the router may arbitrate (candidates are derived per shape);
+  /// empty tunes classical plan variants only.
+  std::vector<std::string> algorithms = {"bini322"};
+  /// The static choice used when tuning is disabled — today's hard-coded
+  /// call-site behavior. Empty selects the first entry of `algorithms`
+  /// (falling back to "classical" when that is empty too).
+  std::string static_algorithm;
+  /// Timed samples per candidate per burst; every candidate runs two bursts
+  /// (forward then reversed ladder order), so a decision commits after
+  /// 2 * measure_reps recorded samples per candidate.
+  int measure_reps = 2;
+  /// Untimed per-candidate warm-up calls run before the timed samples. First
+  /// calls pay one-off costs (pool fills, plan packing, page faults) that
+  /// steady-state traffic never sees; measuring them biases the arbitration
+  /// toward small-working-set candidates.
+  int warmup_reps = 1;
+  /// Commit the earliest (simplest) candidate whose best sample is within
+  /// this relative margin of the overall minimum, instead of the raw argmin.
+  /// Candidates are ordered classical first, then per rule by recursion
+  /// depth, so a deeper/approximate variant must win by more than the noise
+  /// floor to displace a simpler one.
+  double hysteresis = 0.03;
+  /// Also try two recursive steps when every dimension can split twice.
+  bool explore_two_step = true;
+  /// Also try the plan-stripped classical variant (repack per call).
+  bool explore_plain_plan = true;
+  /// Shapes with min(m, k, n) below this bypass tuning entirely and run the
+  /// classical static path (one recursive step cannot pay there).
+  index_t min_dim = 128;
+  /// false = no exploration, no cache: behave as the static backend.
+  bool enabled = true;
+  /// Tuning-cache file; empty disables persistence.
+  std::string cache_path;
+  /// Persist the table every time a new decision commits.
+  bool autosave = true;
+  /// CPU signature override for tests; empty uses cpu_signature().
+  std::string cpu;
+  /// Base backend policy (thread count, fast cutoff, cost constants) shared
+  /// by every candidate backend.
+  nn::BackendOptions backend;
+  /// Guard policy applied to every APA candidate (fault injection included).
+  nn::GuardPolicy guard;
+  /// Decision/telemetry stream (nullable). Records one "route_decision" line
+  /// per committed choice and one "route_cache" line per load attempt.
+  obs::TelemetrySink* telemetry = nullptr;
+  /// Test hook: deterministic cost in seconds for (candidate, m, k, n),
+  /// replacing the wall clock while still serving real products. Makes cold
+  /// tuning reproducible in tests and benches.
+  std::function<double(const RouterCandidate&, index_t, index_t, index_t)>
+      measure_override;
+};
+
+/// Counters mirrored outside the obs registry so they stay queryable under
+/// APAMM_OBS=OFF (tests assert on them; obs counters feed telemetry).
+struct RouterStats {
+  std::uint64_t decided_calls = 0;     ///< served by a committed decision
+  std::uint64_t explore_samples = 0;   ///< timed candidate executions
+  std::uint64_t decisions = 0;         ///< choices committed this process
+  std::uint64_t static_calls = 0;      ///< below min_dim or tuning disabled
+  std::uint64_t quarantine_overrides = 0;  ///< APA choice served classically
+  std::uint64_t warm_entries = 0;      ///< decisions loaded from the cache
+  std::uint64_t cache_saves = 0;
+  CacheStatus cache_status = CacheStatus::kMissing;
+};
+
+class TunedBackend : public nn::MatmulBackend {
+ public:
+  explicit TunedBackend(RouterOptions options = {});
+
+  /// Routes one product: static fallback, committed decision, or an explore
+  /// sample. Always writes a correct C (APA candidates are guarded).
+  void matmul_ex(MatrixView<const float> a, MatrixView<const float> b,
+                 MatrixView<float> c, bool transpose_a, bool transpose_b,
+                 const nn::MatmulFusion& fusion) const override;
+
+  [[nodiscard]] RouterStats stats() const;
+  [[nodiscard]] const RouterOptions& router_options() const { return options_; }
+  /// Snapshot of every committed decision (warm-loaded ones included).
+  [[nodiscard]] ChoiceTable choice_table() const;
+  [[nodiscard]] bool is_decided(index_t m, index_t k, index_t n) const;
+  /// The choice the next call at (m, k, n) would run, after the quarantine
+  /// override is applied; nullopt while the shape is still exploring.
+  [[nodiscard]] std::optional<TunedChoice> route_for(index_t m, index_t k,
+                                                     index_t n) const;
+
+  /// Persists the current table; empty path uses options.cache_path. Returns
+  /// false (without throwing) when no path is configured or the write fails.
+  bool save(const std::string& path = "") const;
+
+  /// True when (m, k, n) is quarantined on any APA candidate's guard.
+  [[nodiscard]] bool is_quarantined(index_t m, index_t k, index_t n) const;
+  /// Lifts the quarantine on every candidate guard, making the shape
+  /// re-selectable for APA (operator action after a root cause is fixed).
+  void clear_quarantine(index_t m, index_t k, index_t n) const;
+  /// Aggregated guard stats across every APA candidate backend.
+  [[nodiscard]] nn::GuardStats guard_stats() const;
+
+ private:
+  struct Entry;
+  struct State;
+
+  [[nodiscard]] std::vector<RouterCandidate> candidates_for(index_t m, index_t k,
+                                                            index_t n) const;
+  [[nodiscard]] const nn::MatmulBackend& backend_for(
+      const RouterCandidate& candidate) const;
+  void run_candidate(const RouterCandidate& candidate,
+                     MatrixView<const float> a, MatrixView<const float> b,
+                     MatrixView<float> c, bool transpose_a, bool transpose_b,
+                     const nn::MatmulFusion& fusion) const;
+  void commit_decision(const ShapeKey& key, Entry& entry) const;
+
+  RouterOptions options_;
+  std::string cpu_;
+  std::unique_ptr<nn::MatmulBackend> static_backend_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace apa::tune

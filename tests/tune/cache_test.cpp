@@ -1,0 +1,265 @@
+#include "tune/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nn/checkpoint_io.h"
+#include "support/rng.h"
+
+namespace apa::tune {
+namespace {
+
+constexpr char kMagic[nn::ckpt::kMagicSize] = {'A', 'P', 'A', 'M', 'M',
+                                               '_', 'T', 'U', 'N', '1'};
+constexpr char kTestCpu[] = "test-cpu x8";
+
+void write_string(std::ostream& out, const std::string& s) {
+  nn::ckpt::write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void write_double(std::ostream& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  nn::ckpt::write_u64(out, bits);
+}
+
+/// One serialized entry with every field free — lets tests craft files whose
+/// *checksum is valid* but whose content is out of domain, the case the
+/// entry-level validation exists for.
+struct RawEntry {
+  std::uint64_t m = 256, k = 256, n = 256;
+  std::string algorithm = "bini322";
+  double lambda = 0.015625;
+  std::uint64_t steps = 1;
+  std::uint64_t strategy = 0;
+  std::uint64_t plan = 0;
+  double expected_seconds = 0.001;
+  std::uint64_t samples = 2;
+};
+
+/// Writes a checksum-valid cache file from raw fields (same layout as
+/// save_tuning_cache, but without its domain restrictions).
+void craft_file(const std::string& path, std::uint64_t version,
+                const std::string& cpu, const std::vector<RawEntry>& entries,
+                const std::string& trailing = "") {
+  std::ostringstream payload(std::ios::binary);
+  nn::ckpt::write_u64(payload, version);
+  write_string(payload, cpu);
+  nn::ckpt::write_u64(payload, entries.size());
+  for (const RawEntry& e : entries) {
+    nn::ckpt::write_u64(payload, e.m);
+    nn::ckpt::write_u64(payload, e.k);
+    nn::ckpt::write_u64(payload, e.n);
+    write_string(payload, e.algorithm);
+    write_double(payload, e.lambda);
+    nn::ckpt::write_u64(payload, e.steps);
+    nn::ckpt::write_u64(payload, e.strategy);
+    nn::ckpt::write_u64(payload, e.plan);
+    write_double(payload, e.expected_seconds);
+    nn::ckpt::write_u64(payload, e.samples);
+  }
+  nn::ckpt::write_checkpoint_file(path, kMagic, payload.str() + trailing);
+}
+
+std::vector<char> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_all(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+ChoiceTable sample_table() {
+  ChoiceTable table;
+  TunedChoice fast;
+  fast.algorithm = "bini322";
+  fast.lambda = 0.0009765625;
+  fast.steps = 2;
+  fast.strategy = core::Strategy::kHybrid;
+  fast.plan = PlanVariant::kPrepack;
+  fast.expected_seconds = 0.0025;
+  fast.samples = 4;
+  table[ShapeKey{512, 512, 512}] = fast;
+
+  TunedChoice exact;  // all-default classical entry
+  exact.expected_seconds = 0.0001;
+  exact.samples = 2;
+  table[ShapeKey{300, 300, 300}] = exact;
+
+  TunedChoice plain;
+  plain.plan = PlanVariant::kPlain;
+  plain.expected_seconds = 0.5;
+  plain.samples = 1;
+  table[ShapeKey{4096, 1024, 128}] = plain;
+  return table;
+}
+
+class TuningCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("apamm_tune_cache_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name()) +
+              ".bin"))
+                .string();
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(TuningCacheTest, RoundTripRestoresEveryField) {
+  const ChoiceTable table = sample_table();
+  save_tuning_cache(path_, table, kTestCpu);
+  const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+  ASSERT_EQ(load.status, CacheStatus::kLoaded) << load.detail;
+  EXPECT_EQ(load.entries, table);
+  EXPECT_TRUE(load.detail.empty());
+}
+
+TEST_F(TuningCacheTest, SaveIsAtomicAndOverwrites) {
+  save_tuning_cache(path_, sample_table(), kTestCpu);
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+  // Overwriting with a different table fully replaces the old contents.
+  ChoiceTable smaller;
+  smaller[ShapeKey{128, 128, 128}] = TunedChoice{};
+  save_tuning_cache(path_, smaller, kTestCpu);
+  const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+  ASSERT_EQ(load.status, CacheStatus::kLoaded);
+  EXPECT_EQ(load.entries, smaller);
+}
+
+TEST_F(TuningCacheTest, MissingFileIsSoftMiss) {
+  const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+  EXPECT_EQ(load.status, CacheStatus::kMissing);
+  EXPECT_TRUE(load.entries.empty());
+  EXPECT_FALSE(load.detail.empty());
+}
+
+TEST_F(TuningCacheTest, EveryTruncationIsRejectedWithoutCrashing) {
+  save_tuning_cache(path_, sample_table(), kTestCpu);
+  const std::vector<char> pristine = read_all(path_);
+  ASSERT_GT(pristine.size(), 0u);
+  for (std::size_t len = 0; len < pristine.size(); ++len) {
+    write_all(path_, {pristine.begin(), pristine.begin() + len});
+    const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+    EXPECT_NE(load.status, CacheStatus::kLoaded)
+        << "truncation to " << len << " bytes was silently accepted";
+    EXPECT_TRUE(load.entries.empty()) << "at length " << len;
+  }
+}
+
+TEST_F(TuningCacheTest, EveryByteFlipIsRejected) {
+  save_tuning_cache(path_, sample_table(), kTestCpu);
+  const std::vector<char> pristine = read_all(path_);
+  Rng rng(41);
+  for (std::size_t offset = 0; offset < pristine.size(); ++offset) {
+    std::vector<char> corrupted = pristine;
+    corrupted[offset] ^= static_cast<char>(1 << rng.next_below(8));
+    write_all(path_, corrupted);
+    const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+    EXPECT_NE(load.status, CacheStatus::kLoaded)
+        << "bit flip at offset " << offset << " was silently accepted";
+    EXPECT_TRUE(load.entries.empty()) << "at offset " << offset;
+  }
+}
+
+TEST_F(TuningCacheTest, BadMagicIsCorrupt) {
+  save_tuning_cache(path_, sample_table(), kTestCpu);
+  std::vector<char> bytes = read_all(path_);
+  bytes[0] = 'X';
+  write_all(path_, bytes);
+  const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+  EXPECT_EQ(load.status, CacheStatus::kCorrupt);
+  EXPECT_TRUE(load.entries.empty());
+}
+
+TEST_F(TuningCacheTest, FutureVersionWithValidChecksumIsBadVersion) {
+  craft_file(path_, kCacheVersion + 1, kTestCpu, {RawEntry{}});
+  const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+  EXPECT_EQ(load.status, CacheStatus::kBadVersion);
+  EXPECT_TRUE(load.entries.empty());
+  EXPECT_NE(load.detail.find("version"), std::string::npos);
+}
+
+TEST_F(TuningCacheTest, StaleCpuSignatureIsRejected) {
+  save_tuning_cache(path_, sample_table(), "other-cpu x64");
+  const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+  EXPECT_EQ(load.status, CacheStatus::kCpuMismatch);
+  EXPECT_TRUE(load.entries.empty());
+}
+
+// A buggy or malicious producer can write a file whose checksum is perfectly
+// valid but whose entries are out of domain. None of them may ever reach the
+// router — and a single poisoned entry must reject the *whole* file (no
+// partial loads).
+TEST_F(TuningCacheTest, PoisonedEntriesNeverLoadEvenWithValidChecksum) {
+  const auto poisoned = [](auto mutate) {
+    RawEntry e;
+    mutate(e);
+    return e;
+  };
+  const std::vector<RawEntry> cases = {
+      poisoned([](RawEntry& e) { e.m = 0; }),
+      poisoned([](RawEntry& e) { e.n = nn::ckpt::kMaxDim; }),
+      poisoned([](RawEntry& e) { e.algorithm = "no_such_algorithm"; }),
+      poisoned([](RawEntry& e) { e.algorithm.assign(300, 'a'); }),
+      poisoned([](RawEntry& e) { e.steps = 0; }),
+      poisoned([](RawEntry& e) { e.steps = 9; }),
+      poisoned([](RawEntry& e) {
+        e.lambda = std::numeric_limits<double>::quiet_NaN();
+      }),
+      poisoned([](RawEntry& e) { e.lambda = -1.0; }),
+      poisoned([](RawEntry& e) { e.strategy = 99; }),
+      poisoned([](RawEntry& e) { e.plan = 7; }),
+      poisoned([](RawEntry& e) {
+        e.expected_seconds = -std::numeric_limits<double>::infinity();
+      }),
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    // A pristine first entry must not survive its poisoned sibling.
+    craft_file(path_, kCacheVersion, kTestCpu, {RawEntry{}, cases[i]});
+    const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+    EXPECT_EQ(load.status, CacheStatus::kCorrupt) << "poison case " << i;
+    EXPECT_TRUE(load.entries.empty()) << "poison case " << i;
+    EXPECT_FALSE(load.detail.empty()) << "poison case " << i;
+  }
+}
+
+TEST_F(TuningCacheTest, TrailingBytesAreCorrupt) {
+  craft_file(path_, kCacheVersion, kTestCpu, {RawEntry{}}, "garbage");
+  const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+  EXPECT_EQ(load.status, CacheStatus::kCorrupt);
+  EXPECT_TRUE(load.entries.empty());
+}
+
+TEST_F(TuningCacheTest, ValidCraftedFileLoads) {
+  // The crafting helper mirrors the production layout — prove agreement so
+  // the poisoned-entry cases above test validation, not format drift.
+  craft_file(path_, kCacheVersion, kTestCpu, {RawEntry{}});
+  const CacheLoad load = load_tuning_cache(path_, kTestCpu);
+  ASSERT_EQ(load.status, CacheStatus::kLoaded) << load.detail;
+  ASSERT_EQ(load.entries.size(), 1u);
+  const TunedChoice& choice = load.entries.at(ShapeKey{256, 256, 256});
+  EXPECT_EQ(choice.algorithm, "bini322");
+  EXPECT_EQ(choice.steps, 1);
+  EXPECT_EQ(choice.lambda, 0.015625);
+}
+
+}  // namespace
+}  // namespace apa::tune
