@@ -7,6 +7,13 @@
 # accuracy tolerance of the control run. See docs/ROBUSTNESS.md for the
 # protocol being exercised.
 #
+# A third, fully-instrumented postmortem run then proves the observability
+# pipeline end-to-end (docs/OBSERVABILITY.md): per-rank Chrome traces with the
+# clock-sync handshake, per-rank metrics JSONL, flight-recorder dumps fired by
+# the injected kill, a live Prometheus snapshot, and tools/obs/trace_merge
+# fusing the rank traces into one aligned timeline that python3 validates
+# (balanced JSON, monotone non-negative timestamps, one pid lane per rank).
+#
 # Usage: scripts/dist_fault_drill.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,3 +59,77 @@ awk -v c="$clean_acc" -v f="$fault_acc" -v tol="$TOLERANCE" 'BEGIN {
 
 echo "DRILL PASSED: kill + corrupt detected, rollback bit-exact, degraded to survivors,"
 echo "final accuracy $fault_acc vs fault-free $clean_acc (tolerance $TOLERANCE)"
+echo
+
+# ---------------------------------------------------------------------------
+# Postmortem drill: the same kill, but with every observability output armed.
+# ---------------------------------------------------------------------------
+OBS="$WORK/obs"
+mkdir -p "$OBS"
+echo "== postmortem drill (traced + flight recorder, inject: kill@1:6) =="
+"$BIN" --epochs=1 --train=1536 --test=384 --batch=32 --workers=2 --guard \
+  --shard-dir="$WORK/postmortem" --inject-fault='kill@1:6' \
+  --trace-out="$OBS/trace.json" --metrics-out="$OBS/metrics.jsonl" \
+  --flight-dir="$OBS" --metrics-snapshot="$OBS/metrics.prom:0.2" \
+  | tee "$WORK/postmortem.log"
+echo
+
+for f in trace.rank0.json trace.rank1.json metrics.rank0.jsonl \
+         metrics.rank1.jsonl metrics.prom flight_0.json; do
+  [ -f "$OBS/$f" ] || fail "postmortem run should have written $OBS/$f"
+done
+grep -q 'apamm_counter_total' "$OBS/metrics.prom" \
+  || fail "the Prometheus snapshot should carry the counter registry"
+grep -q '"reason":' "$OBS/flight_0.json" \
+  || fail "flight dumps should record the trigger reason"
+grep -q '"tag":"dist\.' "$OBS"/flight_*.json \
+  || fail "flight rings should hold dist.* breadcrumbs from the drill"
+
+echo "== trace_merge =="
+"$BUILD/tools/trace_merge" --out="$OBS/merged.json" \
+  "$OBS/trace.rank0.json" "$OBS/trace.rank1.json" \
+  || fail "trace_merge should fuse the per-rank traces"
+
+python3 - "$OBS/merged.json" <<'EOF' || fail "merged trace failed validation"
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+sync = doc["clockSync"]
+assert sorted(s["rank"] for s in sync) == [0, 1], sync
+assert sum(1 for s in sync if "mark_us" in s) == 2, \
+    "both ranks should have published a clock mark at the barrier"
+events = doc["traceEvents"]
+assert len(events) > 50, f"suspiciously small merged trace: {len(events)}"
+prev = 0.0
+pids = set()
+flows = {"s": 0, "f": 0}
+for ev in events:
+    if ev.get("ph") == "M":
+        continue
+    ts = ev["ts"]
+    assert ts >= 0.0, f"negative timestamp after rebase: {ev}"
+    assert ts >= prev, f"merged timeline is not monotone at {ev}"
+    prev = ts
+    pids.add(ev["pid"])
+    if ev.get("ph") in flows:
+        flows[ev["ph"]] += 1
+assert pids == {0, 1}, f"expected one pid lane per rank, got {pids}"
+assert flows["s"] > 0 and flows["f"] > 0, \
+    f"ring sends should appear as flow arrows, got {flows}"
+print(f"merged trace OK: {len(events)} events, pids {sorted(pids)}, "
+      f"{flows['s']} flow-out / {flows['f']} flow-in")
+EOF
+
+echo "== health_report =="
+"$BUILD/tools/rule_lint" --bounds-json="$OBS/bounds.json" \
+  || fail "rule_lint --bounds-json should export the catalog bounds"
+"$BUILD/tools/health_report" --bounds="$OBS/bounds.json" --fail-on-drift \
+  "$OBS"/metrics.rank*.jsonl | tee "$WORK/health.log" \
+  || fail "a healthy guarded run must not report residual drift"
+grep -Eq '[1-9][0-9]* stream\(s\)' "$WORK/health.log" \
+  || fail "health_report should fold at least one guarded stream (ObsSession
+           flush emits a final health snapshot even for short runs)"
+
+echo
+echo "POSTMORTEM DRILL PASSED: per-rank traces merged onto one aligned timeline,"
+echo "flight dumps + Prometheus snapshot + drift table all produced and validated"

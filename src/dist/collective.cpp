@@ -62,6 +62,8 @@ void RingReducer::send_chunk(const std::vector<float>& data, index_t step,
   msg.step = static_cast<std::uint64_t>(step);
   msg.phase = phase;
   msg.membership = membership;
+  msg.trace.rewind_round =
+      static_cast<std::uint32_t>(control_->rewind_rounds());
   msg.payload.assign(data.begin() + begin, data.begin() + end);
   sent_[{step, phase}] = msg;
   transport_->send(std::move(msg));
@@ -94,6 +96,7 @@ RingReducer::RecvStatus RingReducer::recv_chunk(index_t step,
     if (const auto it = stash_.find(phase); it != stash_.end()) {
       *out = std::move(it->second);
       stash_.erase(it);
+      APA_TRACE_FLOW_IN("dist.chunk", out->trace.span_id);
       return RecvStatus::kGot;
     }
     std::optional<Message> msg =
@@ -120,6 +123,8 @@ RingReducer::RecvStatus RingReducer::recv_chunk(index_t step,
         request.step = static_cast<std::uint64_t>(step);
         request.phase = phase;
         request.membership = membership;
+        request.trace.rewind_round =
+            static_cast<std::uint32_t>(control_->rewind_rounds());
         ++resend_requests_;
         APA_COUNTER_INC("dist.collective.resend_requests");
         transport_->send(std::move(request));
@@ -131,6 +136,7 @@ RingReducer::RecvStatus RingReducer::recv_chunk(index_t step,
       }
       if (msg->phase == phase) {
         *out = std::move(*msg);
+        APA_TRACE_FLOW_IN("dist.chunk", out->trace.span_id);
         return RecvStatus::kGot;
       }
       // A fast predecessor already sent a later phase; keep it for then.
@@ -166,6 +172,8 @@ RingReducer::RecvStatus RingReducer::recv_chunk(index_t step,
     request.step = static_cast<std::uint64_t>(step);
     request.phase = phase;
     request.membership = membership;
+    request.trace.rewind_round =
+        static_cast<std::uint32_t>(control_->rewind_rounds());
     ++resend_requests_;
     APA_COUNTER_INC("dist.collective.resend_requests");
     transport_->send(std::move(request));

@@ -17,6 +17,7 @@
 #include "dist/transport.h"
 #include "nn/checkpoint.h"
 #include "nn/derisk.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
@@ -28,6 +29,7 @@ namespace {
 constexpr std::uint64_t kTagCkptShards = std::uint64_t{1} << 60;
 constexpr std::uint64_t kTagCkptManifest = std::uint64_t{2} << 60;
 constexpr std::uint64_t kTagRewindVerify = std::uint64_t{3} << 60;
+constexpr std::uint64_t kTagClockSync = std::uint64_t{4} << 60;
 
 index_t flat_grad_size(const nn::Mlp& model) {
   index_t total = 0;
@@ -126,6 +128,8 @@ class Worker {
         rank_(rank),
         model_(std::move(model)),
         result_(result),
+        sink_(ctx.options.rank_telemetry ? ctx.options.rank_telemetry(rank)
+                                         : nullptr),
         loader_(&ctx.dataset, ctx.options.batch, ctx.options.seed),
         reducer_(rank, &ctx.transport, &ctx.control, ctx.options.collective,
                  ctx.options.seed ^ (0x517cc1b727220a95ULL *
@@ -148,6 +152,20 @@ class Worker {
     std::vector<int> live;
     shard_membership_ = ctx_.control.live_snapshot(&live);
     loader_.reshard(shard_for(ctx_.dataset.size(), live, rank_));
+  }
+
+  /// Clock-alignment handshake: every worker samples its steady clock while
+  /// all ranks sit at the same barrier, so the pairwise mark skew is bounded
+  /// by the barrier release jitter. The mark is exported with the per-rank
+  /// trace (clockSync) and used by tools/obs/trace_merge to shift all worker
+  /// timelines onto one axis. Skipped when tracing is off; a failed barrier
+  /// (abort during startup) just leaves the mark unset.
+  void clock_sync() {
+    if (!obs::tracing()) return;
+    const BarrierResult br =
+        ctx_.control.barrier(rank_, kTagClockSync, opts().barrier_timeout_s,
+                             /*rewind_interrupts=*/false);
+    if (br == BarrierResult::kOk) obs::clock_mark(rank_);
   }
 
   /// Distributed-consistent rollback: propose, two-phase barrier, restore,
@@ -181,6 +199,8 @@ class Worker {
     ++result_.rollbacks;
     if (decision.step < last_checkpoint_step_) ++result_.checkpoint_fallbacks;
     APA_COUNTER_INC("dist.rollbacks");
+    obs::flight_note("dist.rewind", static_cast<std::int64_t>(at_step),
+                     static_cast<std::int64_t>(decision.step));
 
     // Bit-exactness proof: every live worker publishes its post-restore
     // parameter checksum; after the barrier all live slots must agree.
@@ -203,6 +223,20 @@ class Worker {
                            "rollback restore is not bit-exact across workers");
         ctx_.control.check_abort();
       }
+    }
+    // Postmortem artifacts: the coordinator preserves the pre-rewind flight
+    // rings (peers coalesce on the dump flag), and every worker appends its
+    // own "dist_rewind" record to its per-rank sink.
+    if (rank_ == ctx_.control.coordinator()) obs::flight_dump("rewind");
+    if (sink_ != nullptr) {
+      obs::JsonRecord record;
+      record.set("type", "dist_rewind");
+      record.set("rank", rank_);
+      record.set("from_step", static_cast<long long>(at_step));
+      record.set("to_step", static_cast<long long>(decision.step));
+      record.set("round", result_.rollbacks);
+      record.set("fallback_used", decision.fallback_used);
+      sink_->write(record);
     }
     // Replay re-executes [decision.step, at_step) deterministically; the
     // loss EWMA deliberately keeps its pre-divergence value (symmetric on
@@ -272,14 +306,18 @@ class Worker {
       ++result_.checkpoints_written;
       last_checkpoint_step_ = step;
       APA_COUNTER_INC("dist.checkpoints_written");
+      obs::flight_note("dist.checkpoint", static_cast<std::int64_t>(step),
+                       result_.checkpoints_written);
       return true;
     }
     return false;
   }
 
   void run_impl() {
+    obs::set_thread_rank(rank_);
     ctx_.control.heartbeat(rank_);
     resync_shard();
+    clock_sync();
 
     const index_t grad_size = flat_grad_size(model_);
     std::vector<float> flat(static_cast<std::size_t>(grad_size) + 1);
@@ -303,6 +341,9 @@ class Worker {
         ctx_.faults_fired->workers_killed.fetch_add(1,
                                                     std::memory_order_relaxed);
         APA_COUNTER_INC("dist.fault.worker_killed");
+        obs::flight_note("dist.kill_fault", rank_,
+                         static_cast<std::int64_t>(step));
+        obs::flight_dump("worker_killed");
         return;
       }
 
@@ -380,6 +421,8 @@ class Worker {
       }
       if (anomaly) {
         APA_COUNTER_INC("dist.divergence_detected");
+        obs::flight_note("dist.divergence", static_cast<std::int64_t>(step),
+                         rollback_rounds + 1);
         ++rollback_rounds;
         APA_CHECK_CODE(rollback_rounds <= opts().max_rollbacks,
                        ErrorCode::kDiverged,
@@ -436,12 +479,36 @@ class Worker {
     result_.resends_served = reducer_.resends_served();
     result_.checksum_failures = reducer_.checksum_failures();
     result_.retries = reducer_.retries();
+    if (sink_ != nullptr) {
+      obs::JsonRecord record;
+      record.set("type", "dist_worker");
+      record.set("rank", rank_);
+      record.set("completed", result_.completed);
+      record.set("steps", static_cast<long long>(result_.steps));
+      record.set("mean_loss",
+                 result_.steps > 0
+                     ? result_.loss_sum / static_cast<double>(result_.steps)
+                     : 0.0);
+      record.set("rollbacks", result_.rollbacks);
+      record.set("checkpoint_fallbacks", result_.checkpoint_fallbacks);
+      record.set("checkpoints_written",
+                 static_cast<long long>(result_.checkpoints_written));
+      record.set("resend_requests",
+                 static_cast<long long>(result_.resend_requests));
+      record.set("resends_served",
+                 static_cast<long long>(result_.resends_served));
+      record.set("checksum_failures",
+                 static_cast<long long>(result_.checksum_failures));
+      record.set("retries", static_cast<long long>(result_.retries));
+      sink_->write(record);
+    }
   }
 
   DistContext& ctx_;
   int rank_;
   nn::Mlp model_;
   WorkerResult& result_;
+  obs::TelemetrySink* sink_;  ///< per-rank JSONL sink (may be null; not owned)
   ShardLoader loader_;
   RingReducer reducer_;
   std::uint64_t shard_membership_ = 0;

@@ -81,6 +81,11 @@ struct DistTrainOptions {
   /// Optional JSONL sink (not owned); the surviving coordinator appends one
   /// "dist_epoch" record.
   obs::TelemetrySink* telemetry = nullptr;
+  /// Optional per-rank sinks (not owned; may return nullptr for a rank):
+  /// each worker appends its own "dist_rewind" and end-of-epoch "dist_worker"
+  /// records there, so N workers never interleave on one JSONL file.
+  /// ObsSession::rank_telemetry is the intended source (docs/OBSERVABILITY.md).
+  std::function<obs::TelemetrySink*(int rank)> rank_telemetry;
 };
 
 struct DistEpochStats {

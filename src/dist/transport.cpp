@@ -6,6 +6,7 @@
 
 #include "nn/checkpoint_io.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace apa::dist {
@@ -82,6 +83,23 @@ Mailbox& LocalTransport::mailbox(int rank) {
 void LocalTransport::send(Message message) {
   APA_CHECK_CODE(message.to >= 0 && message.to < num_ranks(),
                  ErrorCode::kPrecondition, "send: destination out of range");
+  // Stamp the trace context: the span id is a deterministic hash of the hop
+  // identity, so a resend of the stored copy (or the receiver, independently)
+  // derives the same id and the flow arrow stays paired across repairs.
+  if (message.trace.origin < 0) message.trace.origin = message.from;
+  if (message.trace.span_id == 0) {
+    std::uint64_t hash = nn::ckpt::fnv1a(&message.kind, sizeof(message.kind));
+    hash = nn::ckpt::fnv1a(&message.from, sizeof(message.from), hash);
+    hash = nn::ckpt::fnv1a(&message.to, sizeof(message.to), hash);
+    hash = nn::ckpt::fnv1a(&message.step, sizeof(message.step), hash);
+    hash = nn::ckpt::fnv1a(&message.phase, sizeof(message.phase), hash);
+    hash = nn::ckpt::fnv1a(&message.membership, sizeof(message.membership),
+                           hash);
+    message.trace.span_id = hash != 0 ? hash : 1;
+  }
+  if (message.kind == MsgKind::kChunk) {
+    APA_TRACE_FLOW_OUT("dist.chunk", message.trace.span_id);
+  }
   message.checksum = message.compute_checksum();
   // Fault hooks only touch data traffic; control (kResend) stays reliable so
   // the repair path itself cannot be injected away.

@@ -25,6 +25,17 @@ enum class MsgKind : std::uint32_t {
   kResend = 2,  ///< "re-send your last chunk to me" (no payload)
 };
 
+/// Cross-worker trace context (docs/OBSERVABILITY.md §Trace context), carried
+/// on every message. Together with the message's (from, step) it identifies
+/// one hop: the sender's flow-out and the receiver's flow-in trace events
+/// share `span_id`, so tools/obs/trace_merge renders the hop as one arrow in
+/// the merged timeline, and a postmortem can slice traffic by rewind round.
+struct TraceCtx {
+  std::uint64_t span_id = 0;      ///< stamped by LocalTransport::send when 0
+  std::uint32_t rewind_round = 0; ///< sender's rewind era (ControlBlock)
+  std::int32_t origin = -1;       ///< first sender; resend copies keep it
+};
+
 struct Message {
   MsgKind kind = MsgKind::kChunk;
   int from = -1;
@@ -32,6 +43,7 @@ struct Message {
   std::uint64_t step = 0;        ///< training step the collective belongs to
   std::uint32_t phase = 0;       ///< hop index within the collective
   std::uint64_t membership = 0;  ///< sender's membership version
+  TraceCtx trace;                ///< (rank, step, rewind-round, span-id) context
   std::vector<float> payload;
   std::uint64_t checksum = 0;  ///< FNV-1a over payload bytes, set by send
 

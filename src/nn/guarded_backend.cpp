@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
@@ -133,12 +135,24 @@ void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float
         rerun = true;
       }
     }
+    // Feed the numerical-health monitor: the EWMA of residual/tolerance
+    // ratios flags drift toward the bound long before a single check trips.
+    obs::health().record(algorithm().c_str(), m, k, n, report.worst_ratio,
+                         bound);
     if (!report.ok) {
       if (report.nonfinite_output) {
         APA_COUNTER_INC("guard.trips_nonfinite");
       } else {
         APA_COUNTER_INC("guard.trips_tolerance");
       }
+      // Black-box breadcrumb + dump: the ratio in ppm (b < 0 marks a
+      // non-finite output, where the ratio is meaningless).
+      obs::flight_note("guard.trip", static_cast<std::int64_t>(m * n),
+                       report.nonfinite_output
+                           ? -1
+                           : static_cast<std::int64_t>(report.worst_ratio *
+                                                       1e6));
+      obs::flight_dump("guard_trip");
     }
   }
   if (rerun) {

@@ -12,6 +12,7 @@
 #include "nn/checkpoint.h"
 #include "nn/derisk.h"
 #include "nn/guarded_backend.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
@@ -178,6 +179,9 @@ EpochStats train_epoch_guarded(Model& model, data::Dataset& dataset, index_t bat
                          << " recovery attempts — backend exhausted");
       ++out.recoveries;
       APA_COUNTER_INC("train.rollbacks");
+      obs::flight_note("train.rollback", static_cast<std::int64_t>(stats.steps),
+                       out.recoveries);
+      obs::flight_dump("rollback");
       const int lambda_shrinks_before = out.lambda_shrinks;
       {
         APA_TRACE_SCOPE("train.rollback");

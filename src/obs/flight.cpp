@@ -1,0 +1,399 @@
+#include "obs/flight.h"
+
+#if defined(APAMM_OBS_ENABLED)
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "obs/trace.h"
+#include "support/check.h"
+
+#endif
+
+namespace apa::obs {
+
+#if defined(APAMM_OBS_ENABLED)
+
+namespace detail {
+
+std::atomic<bool> g_flight_on{true};
+
+namespace {
+
+constexpr std::uint64_t kDefaultFlightCapacity = 4096;
+constexpr int kMaxFlightRings = 256;  ///< threads beyond this record nothing
+constexpr int kMaxDumpRanks = 64;
+constexpr std::size_t kDirCapacity = 512;
+
+struct FlightEntry {
+  const char* tag = nullptr;  ///< interned phase name or string literal
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::uint64_t t_ns = 0;
+  std::uint32_t kind = 0;  ///< 0 = mirrored span, 1 = note
+};
+
+/// Single-producer ring like the trace rings, but registered in a fixed array
+/// of atomic slots so the dump path can iterate without taking any lock.
+/// Capacity is fixed at construction — the dump may race active producers (a
+/// crashing process does not quiesce), reading at worst a torn entry, never
+/// out-of-bounds.
+struct FlightRing {
+  FlightRing(int tid_, int rank_, std::uint64_t cap)
+      : entries(static_cast<std::size_t>(std::max<std::uint64_t>(cap, 1))),
+        rank(rank_),
+        tid(tid_) {}
+  std::vector<FlightEntry> entries;
+  std::atomic<std::uint64_t> count{0};  ///< total events ever pushed
+  std::atomic<int> rank;
+  int tid;
+};
+
+std::atomic<FlightRing*> g_rings[kMaxFlightRings] = {};
+std::atomic<int> g_nrings{0};
+std::atomic<std::uint64_t> g_capacity{kDefaultFlightCapacity};
+
+// Dump directory in a fixed buffer so the signal path never allocates.
+// g_dir_len is the arm switch: 0 = disarmed; release-published after memcpy.
+char g_dir[kDirCapacity] = {};
+std::atomic<int> g_dir_len{0};
+
+thread_local FlightRing* tls_flight = nullptr;
+thread_local int tls_flight_rank = -1;
+
+FlightRing* this_ring() {
+  if (tls_flight == nullptr) {
+    const int slot = g_nrings.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= kMaxFlightRings) return nullptr;
+    auto* ring = new FlightRing(slot, tls_flight_rank,
+                                g_capacity.load(std::memory_order_relaxed));
+    // Leaked by design, like the trace rings: an exiting thread leaves its
+    // last events readable for the postmortem dump.
+    g_rings[slot].store(ring, std::memory_order_release);
+    tls_flight = ring;
+  }
+  return tls_flight;
+}
+
+void push(const char* tag, std::int64_t a, std::int64_t b, std::uint64_t t_ns,
+          std::uint32_t kind) {
+  FlightRing* ring = this_ring();
+  if (ring == nullptr) return;
+  const std::uint64_t n = ring->count.load(std::memory_order_relaxed);
+  FlightEntry& slot =
+      ring->entries[n % static_cast<std::uint64_t>(ring->entries.size())];
+  slot.tag = tag;
+  slot.a = a;
+  slot.b = b;
+  slot.t_ns = t_ns;
+  slot.kind = kind;
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+/// Buffered write(2) formatter — every method is async-signal-safe.
+struct RawWriter {
+  explicit RawWriter(int fd_) : fd(fd_) {}
+  void flush() {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t w = ::write(fd, buf + off, len - off);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+    len = 0;
+  }
+  void ch(char c) {
+    if (len == sizeof(buf)) flush();
+    buf[len++] = c;
+  }
+  void raw(const char* s) {
+    for (; *s != '\0'; ++s) ch(*s);
+  }
+  void str(const char* s) {
+    ch('"');
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        ch('\\');
+        ch(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        ch(' ');  // control chars never appear in our tags; keep JSON valid
+      } else {
+        ch(c);
+      }
+    }
+    ch('"');
+  }
+  void num_u(std::uint64_t v) {
+    char tmp[24];
+    int i = 0;
+    if (v == 0) tmp[i++] = '0';
+    while (v != 0) {
+      tmp[i++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    }
+    while (i > 0) ch(tmp[--i]);
+  }
+  void num_i(std::int64_t v) {
+    if (v < 0) {
+      ch('-');
+      num_u(static_cast<std::uint64_t>(-(v + 1)) + 1);
+    } else {
+      num_u(static_cast<std::uint64_t>(v));
+    }
+  }
+  int fd;
+  char buf[4096];
+  std::size_t len = 0;
+};
+
+void write_ring_events(RawWriter& w, const FlightRing& ring) {
+  const std::uint64_t n = ring.count.load(std::memory_order_acquire);
+  const auto cap = static_cast<std::uint64_t>(ring.entries.size());
+  const std::uint64_t kept = std::min(n, cap);
+  bool first = true;
+  for (std::uint64_t i = n - kept; i < n; ++i) {
+    const FlightEntry& e = ring.entries[i % cap];
+    if (e.tag == nullptr) continue;  // torn slot from a racing producer
+    if (!first) w.ch(',');
+    first = false;
+    w.raw("{\"tag\":");
+    w.str(e.tag);
+    w.raw(",\"t_ns\":");
+    w.num_u(e.t_ns);
+    if (e.kind == 0) {
+      w.raw(",\"kind\":\"span\",\"id\":");
+      w.num_i(e.a);
+      w.raw(",\"dur_ns\":");
+      w.num_i(e.b);
+    } else {
+      w.raw(",\"kind\":\"note\",\"a\":");
+      w.num_i(e.a);
+      w.raw(",\"b\":");
+      w.num_i(e.b);
+    }
+    w.ch('}');
+  }
+}
+
+int dump_rank_file(const char* reason, int rank, int nrings, const char* dir,
+                   int dir_len) {
+  char path[kDirCapacity + 32];
+  std::size_t p = 0;
+  std::memcpy(path, dir, static_cast<std::size_t>(dir_len));
+  p = static_cast<std::size_t>(dir_len);
+  path[p++] = '/';
+  const char* stem = "flight_";
+  for (; *stem != '\0'; ++stem) path[p++] = *stem;
+  char digits[12];
+  int d = 0;
+  int v = rank;
+  if (v == 0) digits[d++] = '0';
+  while (v > 0) {
+    digits[d++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  }
+  while (d > 0) path[p++] = digits[--d];
+  const char* ext = ".json";
+  for (; *ext != '\0'; ++ext) path[p++] = *ext;
+  path[p] = '\0';
+
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return 0;
+  RawWriter w(fd);
+  w.raw("{\"reason\":");
+  w.str(reason);
+  w.raw(",\"rank\":");
+  w.num_i(rank);
+  w.raw(",\"threads\":[");
+  bool first_thread = true;
+  for (int i = 0; i < nrings; ++i) {
+    const FlightRing* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const int ring_rank =
+        std::max(ring->rank.load(std::memory_order_relaxed), 0);
+    if (ring_rank != rank) continue;
+    if (ring->count.load(std::memory_order_acquire) == 0) continue;
+    if (!first_thread) w.ch(',');
+    first_thread = false;
+    w.raw("{\"tid\":");
+    w.num_i(ring->tid);
+    w.raw(",\"events\":[");
+    write_ring_events(w, *ring);
+    w.raw("]}");
+  }
+  w.raw("]}\n");
+  w.flush();
+  ::close(fd);
+  return 1;
+}
+
+struct sigaction g_prev_actions[5];
+const int kFatalSignals[5] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+
+void on_fatal_signal(int sig) {
+  flight_dump("fatal_signal");
+  for (int i = 0; i < 5; ++i) {
+    if (kFatalSignals[i] == sig) {
+      ::sigaction(sig, &g_prev_actions[i], nullptr);
+      break;
+    }
+  }
+  ::raise(sig);
+}
+
+void on_apa_error(ErrorCode code, const char* /*what*/) {
+  flight_note("obs.apa_error", static_cast<std::int64_t>(code));
+  flight_dump("apa_error");
+}
+
+}  // namespace
+
+void flight_span(const char* name, std::int64_t id, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) {
+  push(name, id, static_cast<std::int64_t>(dur_ns), start_ns, 0);
+}
+
+void flight_set_thread_rank(int rank) {
+  tls_flight_rank = rank;
+  if (tls_flight != nullptr) {
+    tls_flight->rank.store(rank, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
+
+void set_flight_enabled(bool on) {
+  detail::g_flight_on.store(on, std::memory_order_relaxed);
+}
+
+bool flight_enabled() {
+  return detail::g_flight_on.load(std::memory_order_relaxed);
+}
+
+void set_flight_capacity(std::uint64_t events_per_thread) {
+  detail::g_capacity.store(std::max<std::uint64_t>(events_per_thread, 1),
+                           std::memory_order_relaxed);
+}
+
+std::uint64_t flight_capacity() {
+  return detail::g_capacity.load(std::memory_order_relaxed);
+}
+
+void set_flight_dir(const std::string& dir) {
+  if (dir.empty() || dir.size() >= detail::kDirCapacity) {
+    detail::g_dir_len.store(0, std::memory_order_release);
+    return;
+  }
+  detail::g_dir_len.store(0, std::memory_order_release);
+  std::memcpy(detail::g_dir, dir.data(), dir.size());
+  detail::g_dir_len.store(static_cast<int>(dir.size()),
+                          std::memory_order_release);
+}
+
+std::string flight_dir() {
+  const int len = detail::g_dir_len.load(std::memory_order_acquire);
+  return std::string(detail::g_dir, static_cast<std::size_t>(len));
+}
+
+void flight_note(const char* tag, std::int64_t a, std::int64_t b) {
+  detail::push(tag, a, b, detail::now_ns(), 1);
+}
+
+int flight_dump(const char* reason) {
+  const int dir_len = detail::g_dir_len.load(std::memory_order_acquire);
+  if (dir_len == 0) return 0;
+  // Coalesce concurrent dumps (e.g. every worker hitting the same rewind):
+  // the first caller writes every rank's file; losers return immediately.
+  static std::atomic_flag dumping = ATOMIC_FLAG_INIT;
+  if (dumping.test_and_set(std::memory_order_acquire)) return 0;
+  const int nrings = std::min(detail::g_nrings.load(std::memory_order_acquire),
+                              detail::kMaxFlightRings);
+  bool rank_present[detail::kMaxDumpRanks] = {};
+  for (int i = 0; i < nrings; ++i) {
+    const detail::FlightRing* ring =
+        detail::g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    if (ring->count.load(std::memory_order_acquire) == 0) continue;
+    const int rank = std::max(ring->rank.load(std::memory_order_relaxed), 0);
+    if (rank < detail::kMaxDumpRanks) rank_present[rank] = true;
+  }
+  int files = 0;
+  for (int rank = 0; rank < detail::kMaxDumpRanks; ++rank) {
+    if (!rank_present[rank]) continue;
+    files += detail::dump_rank_file(reason, rank, nrings, detail::g_dir,
+                                    dir_len);
+  }
+  dumping.clear(std::memory_order_release);
+  return files;
+}
+
+void install_flight_triggers() {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true, std::memory_order_acq_rel)) return;
+  struct sigaction action {};
+  action.sa_handler = detail::on_fatal_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  for (int i = 0; i < 5; ++i) {
+    ::sigaction(detail::kFatalSignals[i], &action, &detail::g_prev_actions[i]);
+  }
+  apa_error_hook().store(&detail::on_apa_error, std::memory_order_release);
+}
+
+std::vector<FlightEventView> flight_events() {
+  const int nrings = std::min(detail::g_nrings.load(std::memory_order_acquire),
+                              detail::kMaxFlightRings);
+  std::vector<FlightEventView> out;
+  for (int i = 0; i < nrings; ++i) {
+    const detail::FlightRing* ring =
+        detail::g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    const auto cap = static_cast<std::uint64_t>(ring->entries.size());
+    const std::uint64_t kept = std::min(n, cap);
+    for (std::uint64_t j = n - kept; j < n; ++j) {
+      const detail::FlightEntry& e = ring->entries[j % cap];
+      if (e.tag == nullptr) continue;
+      out.push_back({e.tag, e.a, e.b, ring->tid,
+                     ring->rank.load(std::memory_order_relaxed), e.t_ns,
+                     e.kind == 0});
+    }
+  }
+  return out;
+}
+
+void reset_flight() {
+  const int nrings = std::min(detail::g_nrings.load(std::memory_order_acquire),
+                              detail::kMaxFlightRings);
+  for (int i = 0; i < nrings; ++i) {
+    detail::FlightRing* ring =
+        detail::g_rings[i].load(std::memory_order_acquire);
+    if (ring != nullptr) ring->count.store(0, std::memory_order_release);
+  }
+}
+
+#else  // !APAMM_OBS_ENABLED
+
+void set_flight_enabled(bool) {}
+bool flight_enabled() { return false; }
+void set_flight_capacity(std::uint64_t) {}
+std::uint64_t flight_capacity() { return 0; }
+void set_flight_dir(const std::string&) {}
+std::string flight_dir() { return {}; }
+void flight_note(const char*, std::int64_t, std::int64_t) {}
+int flight_dump(const char*) { return 0; }
+void install_flight_triggers() {}
+std::vector<FlightEventView> flight_events() { return {}; }
+void reset_flight() {}
+
+#endif  // APAMM_OBS_ENABLED
+
+}  // namespace apa::obs

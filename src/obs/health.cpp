@@ -1,0 +1,158 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace apa::obs {
+
+#if defined(APAMM_OBS_ENABLED)
+
+struct HealthMonitor::Impl {
+  using Key = std::tuple<std::string, long long, long long, long long>;
+
+  mutable std::mutex mu;
+  HealthOptions options;
+  TelemetrySink* sink = nullptr;
+  std::map<Key, ShapeHealth> streams;
+  std::uint64_t flagged = 0;
+
+  void emit(const ShapeHealth& s, const char* event) {
+    if (sink == nullptr) return;
+    JsonRecord record;
+    record.set("type", "health")
+        .set("event", event)
+        .set("algo", s.algo)
+        .set("m", s.m)
+        .set("k", s.k)
+        .set("n", s.n)
+        .set("samples", s.samples)
+        .set("ratio", s.last_ratio)
+        .set("ewma", s.ewma_ratio)
+        .set("slope", s.slope)
+        .set("peak", s.peak_ratio)
+        .set("bound", s.bound)
+        .set("drifting", s.drifting);
+    sink->write(record);
+  }
+};
+
+HealthMonitor::HealthMonitor(HealthOptions options) : impl_(new Impl) {
+  impl_->options = options;
+}
+
+HealthMonitor::~HealthMonitor() { delete impl_; }
+
+void HealthMonitor::record(const char* algo, long long m, long long k,
+                           long long n, double ratio, double bound) {
+  APA_COUNTER_INC("health.samples");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const HealthOptions& opt = impl_->options;
+  ShapeHealth& s = impl_->streams[{std::string(algo), m, k, n}];
+  if (s.samples == 0) {
+    s.algo = algo;
+    s.m = m;
+    s.k = k;
+    s.n = n;
+    s.ewma_ratio = ratio;
+  } else {
+    const double prev = s.ewma_ratio;
+    s.ewma_ratio = opt.decay * s.ewma_ratio + (1.0 - opt.decay) * ratio;
+    s.slope = opt.decay * s.slope + (1.0 - opt.decay) * (s.ewma_ratio - prev);
+  }
+  ++s.samples;
+  s.last_ratio = ratio;
+  s.peak_ratio = std::max(s.peak_ratio, ratio);
+  s.bound = bound;
+
+  const bool flag =
+      s.samples >= static_cast<std::uint64_t>(opt.min_samples) &&
+      (s.ewma_ratio >= opt.warn_ratio ||
+       (s.slope >= opt.slope_warn && s.ewma_ratio >= opt.slope_floor));
+  if (flag != s.drifting) {
+    s.drifting = flag;
+    if (flag) {
+      if (s.flagged_at == 0) s.flagged_at = s.samples;
+      ++impl_->flagged;
+      APA_COUNTER_INC("health.drift_flags");
+    } else {
+      --impl_->flagged;
+    }
+    impl_->emit(s, flag ? "drift" : "clear");
+  } else if (opt.emit_every > 0 &&
+             s.samples % static_cast<std::uint64_t>(opt.emit_every) == 0) {
+    impl_->emit(s, "sample");
+  }
+}
+
+bool HealthMonitor::drifting(long long m, long long k, long long n) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->flagged == 0) return false;
+  for (const auto& [key, s] : impl_->streams) {
+    if (s.m == m && s.k == k && s.n == n && s.drifting) return true;
+  }
+  return false;
+}
+
+std::uint64_t HealthMonitor::drifting_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->flagged;
+}
+
+std::vector<ShapeHealth> HealthMonitor::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<ShapeHealth> out;
+  out.reserve(impl_->streams.size());
+  for (const auto& [key, s] : impl_->streams) out.push_back(s);
+  return out;  // map key order == (algo, m, k, n)
+}
+
+void HealthMonitor::emit_all(const char* event) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& [key, s] : impl_->streams) impl_->emit(s, event);
+}
+
+void HealthMonitor::attach(TelemetrySink* sink) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->sink = sink;
+}
+
+void HealthMonitor::set_options(const HealthOptions& options) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->options = options;
+}
+
+void HealthMonitor::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->streams.clear();
+  impl_->flagged = 0;
+}
+
+#else  // !APAMM_OBS_ENABLED
+
+HealthMonitor::HealthMonitor(HealthOptions) : impl_(nullptr) {}
+HealthMonitor::~HealthMonitor() = default;
+void HealthMonitor::record(const char*, long long, long long, long long,
+                           double, double) {}
+bool HealthMonitor::drifting(long long, long long, long long) const {
+  return false;
+}
+std::uint64_t HealthMonitor::drifting_count() const { return 0; }
+std::vector<ShapeHealth> HealthMonitor::snapshot() const { return {}; }
+void HealthMonitor::emit_all(const char*) {}
+void HealthMonitor::attach(TelemetrySink*) {}
+void HealthMonitor::set_options(const HealthOptions&) {}
+void HealthMonitor::reset() {}
+
+#endif  // APAMM_OBS_ENABLED
+
+HealthMonitor& health() {
+  static HealthMonitor* monitor = new HealthMonitor();  // leaked: process-global
+  return *monitor;
+}
+
+}  // namespace apa::obs

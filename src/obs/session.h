@@ -1,16 +1,38 @@
 #pragma once
 // One-call observability wiring for example/bench binaries: construct an
-// ObsSession from the --trace-out / --metrics-out flag values and the outputs
-// are produced at scope exit. Enables ring recording only when a trace path
-// was given, so binaries run without flags pay only the dormant span cost.
+// ObsSession from the --trace-out / --metrics-out / --flight-dir /
+// --metrics-snapshot flag values and the outputs are produced at scope exit.
+// Enables ring recording only when a trace path was given, so binaries run
+// without flags pay only the dormant span cost.
+//
+// Distributed mode (ranks > 1): --trace-out and --metrics-out paths are
+// suffixed per rank ("trace.json" -> "trace.rank0.json", ...) so N workers
+// never race on one file; flush() writes one rank-filtered Chrome trace per
+// rank sharing a common time base for tools/obs/trace_merge.
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/telemetry.h"
 
 namespace apa::obs {
+
+class MetricsPublisher;
+
+/// "path" -> "path.rank<k>" inserted before the extension
+/// ("trace.json", 2 -> "trace.rank2.json"). rank < 0 returns `path` unchanged.
+[[nodiscard]] std::string rank_suffixed_path(const std::string& path, int rank);
+
+struct ObsSessionOptions {
+  std::string trace_path;    ///< Chrome-trace output; enables ring recording
+  std::string metrics_path;  ///< telemetry JSONL output
+  std::uint64_t trace_cap_events = 0;  ///< --trace-cap; 0 keeps current bound
+  std::string flight_dir;    ///< arms flight-recorder dumps into this dir
+  std::string snapshot_spec; ///< "path:period_s" live Prometheus exposition
+  int ranks = 1;             ///< > 1: per-rank trace/metrics files
+};
 
 class ObsSession {
  public:
@@ -20,6 +42,7 @@ class ObsSession {
   /// 0 keeps the current capacity (64Ki spans/thread by default).
   ObsSession(std::string trace_path, std::string metrics_path,
              std::uint64_t trace_cap_events = 0);
+  explicit ObsSession(ObsSessionOptions options);
   /// Calls flush().
   ~ObsSession();
   ObsSession(const ObsSession&) = delete;
@@ -27,16 +50,24 @@ class ObsSession {
 
   /// The JSONL sink for --metrics-out, or nullptr when the flag was absent.
   /// Feed it per-epoch records (nn::append_epoch_record) or pass it to
-  /// TrainGuardOptions::telemetry for per-step records.
-  [[nodiscard]] TelemetrySink* telemetry() const { return sink_.get(); }
+  /// TrainGuardOptions::telemetry for per-step records. With ranks > 1 this
+  /// is rank 0's sink (coordinator records land there).
+  [[nodiscard]] TelemetrySink* telemetry() const {
+    return sinks_.empty() ? nullptr : sinks_.front().get();
+  }
+  /// Rank `rank`'s sink in dist mode (clamped into range); same as
+  /// telemetry() for single-rank sessions. nullptr without --metrics-out.
+  [[nodiscard]] TelemetrySink* rank_telemetry(int rank) const;
 
   /// Appends the final counters record to the metrics stream and writes the
-  /// Chrome trace. Idempotent; called by the destructor.
+  /// Chrome trace(s) — one rank-filtered file per rank when ranks > 1.
+  /// Idempotent; called by the destructor.
   void flush();
 
  private:
-  std::string trace_path_;
-  std::unique_ptr<TelemetrySink> sink_;
+  ObsSessionOptions options_;
+  std::vector<std::unique_ptr<TelemetrySink>> sinks_;  // index = rank
+  std::unique_ptr<MetricsPublisher> publisher_;
   bool tracing_started_ = false;
   bool flushed_ = false;
 };

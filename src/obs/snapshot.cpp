@@ -1,0 +1,209 @@
+#include "obs/snapshot.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace apa::obs {
+
+namespace {
+
+/// Prometheus label values escape backslash, double quote, and newline.
+std::string label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_metric(std::string* out, const char* metric,
+                   const char* label_key, const std::string& label_value,
+                   double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += metric;
+  if (label_key != nullptr) {
+    *out += '{';
+    *out += label_key;
+    *out += "=\"";
+    *out += label_escape(label_value);
+    *out += "\"}";
+  }
+  *out += ' ';
+  *out += buf;
+  *out += '\n';
+}
+
+void append_header(std::string* out, const char* metric, const char* type,
+                   const char* help) {
+  *out += "# HELP ";
+  *out += metric;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += metric;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  std::string out;
+  out.reserve(4096);
+
+  const std::vector<CounterSample> counters = counter_samples();
+  append_header(&out, "apamm_counter_total", "counter",
+                "Named event counters from the obs registry");
+  for (const CounterSample& c : counters) {
+    append_metric(&out, "apamm_counter_total", "name", c.name,
+                  static_cast<double>(c.value));
+  }
+
+  const std::vector<HistogramSample> histograms = histogram_samples();
+  append_header(&out, "apamm_histogram_count", "counter",
+                "Sample counts of the obs log2-bucketed histograms");
+  for (const HistogramSample& h : histograms) {
+    append_metric(&out, "apamm_histogram_count", "name", h.name,
+                  static_cast<double>(h.count));
+  }
+  append_header(&out, "apamm_histogram_sum", "counter",
+                "Value sums of the obs log2-bucketed histograms");
+  for (const HistogramSample& h : histograms) {
+    append_metric(&out, "apamm_histogram_sum", "name", h.name,
+                  static_cast<double>(h.sum));
+  }
+
+  const std::vector<PhaseTotal> phases = phase_totals();
+  append_header(&out, "apamm_phase_seconds_total", "counter",
+                "Accumulated wall time per traced phase");
+  for (const PhaseTotal& p : phases) {
+    append_metric(&out, "apamm_phase_seconds_total", "phase", p.name,
+                  static_cast<double>(p.total_ns) / 1e9);
+  }
+  append_header(&out, "apamm_phase_count_total", "counter",
+                "Span counts per traced phase");
+  for (const PhaseTotal& p : phases) {
+    append_metric(&out, "apamm_phase_count_total", "phase", p.name,
+                  static_cast<double>(p.count));
+  }
+
+  // Achieved-throughput gauges via the PR 7 calibration formulas: flops (or
+  // bytes) counted by the blas/core layers over the matching phase time.
+  std::uint64_t gemm_ns = 0;
+  std::uint64_t combine_ns = 0;
+  for (const PhaseTotal& p : phases) {
+    if (p.name == "blas.gemm") gemm_ns += p.total_ns;
+    if (p.name.rfind("core.combine", 0) == 0) combine_ns += p.total_ns;
+  }
+  const std::uint64_t gemm_flops = counter_value("blas.gemm.flops");
+  const std::uint64_t combine_bytes = counter_value("core.combine.bytes");
+  append_header(&out, "apamm_gemm_gflops", "gauge",
+                "Achieved GEMM throughput: blas.gemm.flops over blas.gemm time");
+  if (gemm_ns > 0) {
+    append_metric(&out, "apamm_gemm_gflops", nullptr, "",
+                  static_cast<double>(gemm_flops) /
+                      static_cast<double>(gemm_ns));
+  }
+  append_header(&out, "apamm_combine_bandwidth_bytes_per_second", "gauge",
+                "Achieved combine bandwidth: core.combine.bytes over "
+                "core.combine_* time");
+  if (combine_ns > 0) {
+    append_metric(&out, "apamm_combine_bandwidth_bytes_per_second", nullptr,
+                  "",
+                  static_cast<double>(combine_bytes) /
+                      (static_cast<double>(combine_ns) / 1e9));
+  }
+  return out;
+}
+
+bool parse_snapshot_spec(const std::string& spec, std::string* path,
+                         double* period_s) {
+  *path = spec;
+  *period_s = 1.0;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos && colon + 1 < spec.size()) {
+    char* end = nullptr;
+    const double period = std::strtod(spec.c_str() + colon + 1, &end);
+    if (end != nullptr && *end == '\0' && period > 0) {
+      *path = spec.substr(0, colon);
+      *period_s = period;
+    }
+  }
+  return !path->empty();
+}
+
+struct MetricsPublisher::Impl {
+  std::string path;
+  double period_s;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  std::thread thread;
+};
+
+MetricsPublisher::MetricsPublisher(std::string path, double period_s)
+    : impl_(new Impl) {
+  impl_->path = std::move(path);
+  impl_->period_s = period_s > 0 ? period_s : 1.0;
+  impl_->thread = std::thread([impl = impl_, this] {
+    std::unique_lock<std::mutex> lock(impl->mu);
+    while (!impl->stop) {
+      impl->cv.wait_for(
+          lock, std::chrono::duration<double>(impl->period_s),
+          [impl] { return impl->stop; });
+      if (impl->stop) break;
+      lock.unlock();
+      publish_now();
+      lock.lock();
+    }
+  });
+}
+
+MetricsPublisher::~MetricsPublisher() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  publish_now();  // final snapshot reflects end-of-run totals
+  delete impl_;
+}
+
+bool MetricsPublisher::publish_now() {
+  const std::string tmp = impl_->path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = prometheus_text();
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // rename(2) is atomic within a filesystem: a scraper sees either the old
+  // snapshot or the new one, never a torn mix.
+  return std::rename(tmp.c_str(), impl_->path.c_str()) == 0;
+}
+
+const std::string& MetricsPublisher::path() const { return impl_->path; }
+
+}  // namespace apa::obs

@@ -5,6 +5,8 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/flight.h"
+
 namespace apa::obs {
 
 #if defined(APAMM_OBS_ENABLED)
@@ -16,34 +18,45 @@ std::atomic<bool> g_tracing{false};
 
 namespace {
 
-/// Default ring capacity per thread: 64k events x 32 bytes = 2 MiB. On
+/// Default ring capacity per thread: 64k events x 40 bytes = 2.5 MiB. On
 /// overflow the oldest events are overwritten and counted as dropped;
 /// set_trace_capacity (--trace-cap) rebounds the retention for long runs.
 constexpr std::uint64_t kDefaultRingCapacity = 1u << 16;
 
-/// Current bound for rings. Written only by set_trace_capacity under the
-/// registry mutex; read lock-free by ring creation (each ring then carries
-/// its own fixed size, so producers never observe a mid-write resize).
+/// Current bound for rings, paired with a generation counter. A resize only
+/// bumps the generation; each producer swaps its own ring to the new bound
+/// lazily (next record), so set_trace_capacity never touches storage that
+/// another thread is writing. Drains treat stale-generation rings as empty.
 std::atomic<std::uint64_t> g_ring_capacity{kDefaultRingCapacity};
+std::atomic<std::uint64_t> g_ring_generation{0};
 
 struct TraceEvent {
   const char* name = nullptr;  ///< interned Phase name — stable for process life
   std::int64_t id = -1;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
+  TraceEventKind kind = TraceEventKind::kSpan;
 };
 
-/// Single-producer ring: only the owning thread writes; readers drain under
-/// the registry mutex using the release-published count.
+/// Single-producer ring: only the owning thread writes slots; readers drain
+/// under the registry mutex using the release-published count. resize_mu
+/// serializes the owner's lazy reallocation against drains touching storage.
 struct ThreadRing {
-  explicit ThreadRing(int tid_)
-      : ring(g_ring_capacity.load(std::memory_order_relaxed)), tid(tid_) {}
+  ThreadRing(int tid_, int rank_, std::uint64_t capacity,
+             std::uint64_t generation_)
+      : ring(static_cast<std::size_t>(capacity)),
+        generation(generation_),
+        tid(tid_),
+        rank(rank_) {}
   [[nodiscard]] std::uint64_t capacity() const {
     return static_cast<std::uint64_t>(ring.size());
   }
   std::vector<TraceEvent> ring;
   std::atomic<std::uint64_t> count{0};  ///< total events ever pushed
+  std::atomic<std::uint64_t> generation;
+  std::mutex resize_mu;
   int tid;
+  std::atomic<int> rank;
 };
 
 struct RingRegistry {
@@ -59,13 +72,18 @@ RingRegistry& registry() {
 }
 
 thread_local ThreadRing* tls_ring = nullptr;
+thread_local int tls_rank = -1;
 
 ThreadRing* this_thread_ring() {
   if (tls_ring == nullptr) {
     RingRegistry& reg = registry();
     std::lock_guard<std::mutex> lock(reg.mu);
-    reg.rings.push_back(
-        std::make_unique<ThreadRing>(static_cast<int>(reg.rings.size())));
+    // Capacity and generation are read together under the registry mutex,
+    // which set_trace_capacity also holds — a fresh ring is never born stale.
+    reg.rings.push_back(std::make_unique<ThreadRing>(
+        static_cast<int>(reg.rings.size()), tls_rank,
+        g_ring_capacity.load(std::memory_order_relaxed),
+        g_ring_generation.load(std::memory_order_relaxed)));
     tls_ring = reg.rings.back().get();
   }
   return tls_ring;
@@ -81,11 +99,29 @@ PhaseRegistry& phase_registry() {
   return *r;
 }
 
+/// Per-rank barrier clock marks for trace_merge alignment. Fixed-size atomic
+/// table so publication from worker threads takes no lock.
+constexpr int kMaxClockRanks = 64;
+std::atomic<std::uint64_t> g_clock_marks[kMaxClockRanks] = {};
+
 }  // namespace
 
 void record_event(const char* name, std::int64_t id, std::uint64_t start_ns,
-                  std::uint64_t dur_ns) {
+                  std::uint64_t dur_ns, TraceEventKind kind) {
   ThreadRing* ring = this_thread_ring();
+  // Lazy resize: a stale generation means set_trace_capacity ran since this
+  // ring was (re)allocated. Only the owner swaps its storage, under resize_mu
+  // so a concurrent drain never reads a vector mid-reallocation.
+  const std::uint64_t gen = g_ring_generation.load(std::memory_order_acquire);
+  if (ring->generation.load(std::memory_order_relaxed) != gen) {
+    std::lock_guard<std::mutex> lock(ring->resize_mu);
+    ring->ring.assign(
+        static_cast<std::size_t>(
+            g_ring_capacity.load(std::memory_order_relaxed)),
+        TraceEvent{});
+    ring->count.store(0, std::memory_order_release);
+    ring->generation.store(gen, std::memory_order_release);
+  }
   // Memory-order audit (single-producer ring): the relaxed self-load is safe
   // because only this thread ever stores count; the release store publishes
   // the filled slot to drains, whose acquire load of count (trace_events,
@@ -100,6 +136,7 @@ void record_event(const char* name, std::int64_t id, std::uint64_t start_ns,
   slot.id = id;
   slot.start_ns = start_ns;
   slot.dur_ns = dur_ns;
+  slot.kind = kind;
   ring->count.store(n + 1, std::memory_order_release);
 }
 
@@ -122,7 +159,44 @@ void Span::finish() {
   const std::uint64_t dur = detail::now_ns() - start_;
   phase_->record(dur);
   if (detail::g_tracing.load(std::memory_order_relaxed)) {
-    detail::record_event(phase_->name(), id_, start_, dur);
+    detail::record_event(phase_->name(), id_, start_, dur,
+                         TraceEventKind::kSpan);
+  }
+  // Mirror into the flight recorder's always-on black box (obs/flight.h).
+  if (detail::g_flight_on.load(std::memory_order_relaxed)) {
+    detail::flight_span(phase_->name(), id_, start_, dur);
+  }
+}
+
+void set_thread_rank(int rank) {
+  detail::tls_rank = rank;
+  if (detail::tls_ring != nullptr) {
+    detail::tls_ring->rank.store(rank, std::memory_order_relaxed);
+  }
+  detail::flight_set_thread_rank(rank);
+}
+
+int thread_rank() { return detail::tls_rank; }
+
+void clock_mark(int rank) {
+  if (rank < 0 || rank >= detail::kMaxClockRanks) return;
+  detail::g_clock_marks[rank].store(detail::now_ns(),
+                                    std::memory_order_relaxed);
+}
+
+std::vector<ClockMark> clock_marks() {
+  std::vector<ClockMark> out;
+  for (int r = 0; r < detail::kMaxClockRanks; ++r) {
+    const std::uint64_t mark =
+        detail::g_clock_marks[r].load(std::memory_order_relaxed);
+    if (mark != 0) out.push_back({r, mark});
+  }
+  return out;
+}
+
+void reset_clock_marks() {
+  for (auto& mark : detail::g_clock_marks) {
+    mark.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -131,13 +205,11 @@ void set_trace_capacity(std::uint64_t events_per_thread) {
   detail::RingRegistry& reg = detail::registry();
   std::lock_guard<std::mutex> lock(reg.mu);
   detail::g_ring_capacity.store(cap, std::memory_order_relaxed);
-  // Reallocate existing rings to the new bound. This is only safe while their
-  // owning threads are not recording (the documented quiescent contract);
-  // emptying the counts keeps count/capacity consistent for the drains.
-  for (const auto& ring : reg.rings) {
-    ring->ring.assign(static_cast<std::size_t>(cap), detail::TraceEvent{});
-    ring->count.store(0, std::memory_order_release);
-  }
+  // Publishing the new generation is the whole resize: producers observe the
+  // bump on their next record and swap their own storage; drains below skip
+  // rings still on the old generation. No other thread's ring is touched, so
+  // this is safe against concurrent recorders.
+  detail::g_ring_generation.fetch_add(1, std::memory_order_release);
 }
 
 std::uint64_t trace_capacity() {
@@ -190,14 +262,22 @@ void reset_phases() {
 std::vector<TraceEventView> trace_events() {
   detail::RingRegistry& reg = detail::registry();
   std::lock_guard<std::mutex> lock(reg.mu);
+  const std::uint64_t gen =
+      detail::g_ring_generation.load(std::memory_order_acquire);
   std::vector<TraceEventView> out;
   for (const auto& ring : reg.rings) {
+    std::lock_guard<std::mutex> storage_lock(ring->resize_mu);
+    // A ring the owner has not yet migrated to the current capacity holds
+    // pre-resize events; set_trace_capacity documents those as discarded.
+    if (ring->generation.load(std::memory_order_acquire) != gen) continue;
+    const int rank = ring->rank.load(std::memory_order_relaxed);
     const std::uint64_t n = ring->count.load(std::memory_order_acquire);
     const std::uint64_t kept = std::min(n, ring->capacity());
     const std::uint64_t first = n - kept;  // oldest surviving event index
     for (std::uint64_t i = first; i < n; ++i) {
       const detail::TraceEvent& ev = ring->ring[i % ring->capacity()];
-      out.push_back({ev.name, ev.id, ring->tid, ev.start_ns, ev.dur_ns});
+      out.push_back({ev.name, ev.id, ring->tid, rank, ev.kind, ev.start_ns,
+                     ev.dur_ns});
     }
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
@@ -209,8 +289,12 @@ std::vector<TraceEventView> trace_events() {
 std::uint64_t trace_dropped() {
   detail::RingRegistry& reg = detail::registry();
   std::lock_guard<std::mutex> lock(reg.mu);
+  const std::uint64_t gen =
+      detail::g_ring_generation.load(std::memory_order_acquire);
   std::uint64_t dropped = 0;
   for (const auto& ring : reg.rings) {
+    std::lock_guard<std::mutex> storage_lock(ring->resize_mu);
+    if (ring->generation.load(std::memory_order_acquire) != gen) continue;
     const std::uint64_t n = ring->count.load(std::memory_order_acquire);
     if (n > ring->capacity()) dropped += n - ring->capacity();
   }
@@ -233,6 +317,11 @@ void set_enabled(bool) {}
 bool enabled() { return false; }
 void set_tracing(bool) {}
 bool tracing() { return false; }
+void set_thread_rank(int) {}
+int thread_rank() { return -1; }
+void clock_mark(int) {}
+std::vector<ClockMark> clock_marks() { return {}; }
+void reset_clock_marks() {}
 std::vector<PhaseTotal> phase_totals() { return {}; }
 std::vector<PhaseTotal> phase_delta(const std::vector<PhaseTotal>&,
                                     const std::vector<PhaseTotal>&) {

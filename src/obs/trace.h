@@ -10,6 +10,13 @@
 //     (obs/trace_export.h). Rings are single-producer (the owning thread) and
 //     drained at export time, so recording takes no lock.
 //
+// Distributed correlation (docs/OBSERVABILITY.md §Trace context): a thread can
+// declare the worker rank it acts for (set_thread_rank), ring sends/receives
+// record paired flow events (APA_TRACE_FLOW_OUT/IN) keyed by a span id carried
+// in the dist::Message trace context, and clock_mark() publishes a per-rank
+// barrier timestamp that tools/obs/trace_merge uses to align N per-rank trace
+// files onto one timeline.
+//
 // Configuring with -DAPAMM_OBS=OFF compiles every macro to a no-op with zero
 // runtime cost; the query functions below remain callable and return empty.
 
@@ -38,13 +45,25 @@ struct PhaseTotal {
   std::uint64_t count = 0;
 };
 
+/// What a recorded event represents in the Chrome trace: a duration slice or
+/// one side of a cross-worker flow arrow (ring send -> ring receive).
+enum class TraceEventKind : std::uint8_t { kSpan = 0, kFlowOut = 1, kFlowIn = 2 };
+
 /// One recorded span, flattened for export and tests.
 struct TraceEventView {
   std::string name;
-  std::int64_t id = -1;  ///< APA_TRACE_SCOPE_ID payload; -1 when absent
+  std::int64_t id = -1;  ///< APA_TRACE_SCOPE_ID payload / flow id; -1 when absent
   int tid = 0;           ///< registration-order thread index
+  int rank = -1;         ///< worker rank declared via set_thread_rank, -1 = none
+  TraceEventKind kind = TraceEventKind::kSpan;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
+};
+
+/// Per-rank clock-alignment mark captured at a dist barrier (clock_mark).
+struct ClockMark {
+  int rank = -1;
+  std::uint64_t mark_ns = 0;
 };
 
 // Runtime controls. All are no-ops (and the getters constant) when compiled out.
@@ -53,10 +72,26 @@ void set_enabled(bool on);
 void set_tracing(bool on);
 [[nodiscard]] bool tracing();
 
+/// Declares the dist worker rank the calling thread acts for; recorded events
+/// from this thread carry the rank so per-rank trace files can be split out.
+/// Threads that never call this stay at rank -1 (exported with rank 0's file).
+void set_thread_rank(int rank);
+/// The calling thread's declared rank, or -1.
+[[nodiscard]] int thread_rank();
+
+/// Publishes "rank's steady clock read `now` while all live workers sat at the
+/// same barrier". trace_merge subtracts the pairwise mark deltas to place N
+/// per-rank trace files on one aligned timeline. Last call per rank wins.
+void clock_mark(int rank);
+/// All published marks, sorted by rank. Empty when compiled out.
+[[nodiscard]] std::vector<ClockMark> clock_marks();
+void reset_clock_marks();
+
 /// Bounds ring retention to `events_per_thread` spans (default 64Ki; clamped
-/// to >= 1). Existing rings are reallocated and emptied, so call while span
-/// producers are quiescent — normally once at startup before enabling ring
-/// recording (the --trace-cap flag in the example/bench binaries).
+/// to >= 1). Safe to call while other threads are actively recording: the
+/// resize only bumps a global generation — each producer lazily swaps its own
+/// ring to the new bound on its next record, and drains treat rings from an
+/// older generation as empty. Events recorded before the resize are discarded.
 void set_trace_capacity(std::uint64_t events_per_thread);
 /// Current per-thread ring bound, or 0 when compiled out.
 [[nodiscard]] std::uint64_t trace_capacity();
@@ -89,7 +124,7 @@ inline std::uint64_t now_ns() {
 }
 
 void record_event(const char* name, std::int64_t id, std::uint64_t start_ns,
-                  std::uint64_t dur_ns);
+                  std::uint64_t dur_ns, TraceEventKind kind);
 }  // namespace detail
 
 /// Named span accumulator. Interned once per name (APA_TRACE_SCOPE caches the
@@ -138,6 +173,16 @@ class Span {
   std::uint64_t start_ = 0;
 };
 
+/// Records one side of a cross-worker flow arrow (zero-duration event bound to
+/// the enclosing slice in Perfetto). `id` must match on both sides — dist uses
+/// the Message trace-context span id.
+inline void record_flow(Phase* phase, std::uint64_t id, bool out) {
+  if (!detail::g_tracing.load(std::memory_order_relaxed)) return;
+  detail::record_event(phase->name(), static_cast<std::int64_t>(id),
+                       detail::now_ns(), 0,
+                       out ? TraceEventKind::kFlowOut : TraceEventKind::kFlowIn);
+}
+
 #define APA_OBS_CONCAT_INNER(a, b) a##b
 #define APA_OBS_CONCAT(a, b) APA_OBS_CONCAT_INNER(a, b)
 
@@ -159,6 +204,25 @@ class Span {
       APA_OBS_CONCAT(apa_obs_phase_, __LINE__),                      \
       static_cast<std::int64_t>(id))
 
+/// Emitting half of a send->receive flow arrow under `name` (string literal).
+#define APA_TRACE_FLOW_OUT(name, flow_id)                            \
+  do {                                                               \
+    static ::apa::obs::Phase* const apa_obs_flow_phase =             \
+        ::apa::obs::Phase::intern(name);                             \
+    ::apa::obs::record_flow(apa_obs_flow_phase,                      \
+                            static_cast<std::uint64_t>(flow_id), true); \
+  } while (false)
+
+/// Receiving half of a send->receive flow arrow; `flow_id` must match the
+/// sender's.
+#define APA_TRACE_FLOW_IN(name, flow_id)                             \
+  do {                                                               \
+    static ::apa::obs::Phase* const apa_obs_flow_phase =             \
+        ::apa::obs::Phase::intern(name);                             \
+    ::apa::obs::record_flow(apa_obs_flow_phase,                      \
+                            static_cast<std::uint64_t>(flow_id), false); \
+  } while (false)
+
 #else  // !APAMM_OBS_ENABLED
 
 #define APA_TRACE_SCOPE(name) \
@@ -167,6 +231,14 @@ class Span {
 #define APA_TRACE_SCOPE_ID(name, id) \
   do {                               \
     (void)sizeof((id));              \
+  } while (false)
+#define APA_TRACE_FLOW_OUT(name, flow_id) \
+  do {                                    \
+    (void)sizeof((flow_id));              \
+  } while (false)
+#define APA_TRACE_FLOW_IN(name, flow_id) \
+  do {                                   \
+    (void)sizeof((flow_id));             \
   } while (false)
 
 #endif  // APAMM_OBS_ENABLED

@@ -9,6 +9,7 @@
 // that an older snapshot can replace — from programming errors that should
 // abort.
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -34,10 +35,24 @@ enum class ErrorCode {
   return "kUnknown";
 }
 
+/// Observation hook fired from every ApaError constructor — the obs flight
+/// recorder registers here (obs::install_flight_triggers) so a structured
+/// throw dumps the black box before any catch site reacts. Header-inline so
+/// support keeps zero link dependency on obs. The hook must not throw.
+using ApaErrorHook = void (*)(ErrorCode, const char* what);
+inline std::atomic<ApaErrorHook>& apa_error_hook() {
+  static std::atomic<ApaErrorHook> hook{nullptr};
+  return hook;
+}
+
 class ApaError : public std::logic_error {
  public:
   ApaError(ErrorCode code, const std::string& message)
-      : std::logic_error(tagged(code, message)), code_(code) {}
+      : std::logic_error(tagged(code, message)), code_(code) {
+    if (ApaErrorHook hook = apa_error_hook().load(std::memory_order_acquire)) {
+      hook(code_, what());
+    }
+  }
 
   [[nodiscard]] ErrorCode code() const noexcept { return code_; }
 

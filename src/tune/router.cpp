@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/registry.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
@@ -345,6 +346,18 @@ void TunedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> 
         ++state_->stats.quarantine_overrides;
       }
       APA_COUNTER_INC("tune.router.quarantine_overrides");
+      candidate = classical_fallback();
+    } else if (candidate.algorithm != "classical" && options_.consult_health &&
+               obs::health().drifting(m, k, n)) {
+      // Softer than quarantine: the health monitor flags residual drift
+      // *before* any guard trip, and the router derates the shape to exact
+      // gemm until the drift flag clears (EWMA decays back under the
+      // threshold). The committed decision is untouched.
+      {
+        std::lock_guard<std::mutex> lock(state_->mu);
+        ++state_->stats.health_overrides;
+      }
+      APA_COUNTER_INC("tune.router.health_overrides");
       candidate = classical_fallback();
     }
     run_candidate(candidate, a, b, c, transpose_a, transpose_b, fusion);

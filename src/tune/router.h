@@ -98,6 +98,11 @@ struct RouterOptions {
   nn::BackendOptions backend;
   /// Guard policy applied to every APA candidate (fault injection included).
   nn::GuardPolicy guard;
+  /// Consult the numerical-health monitor (obs::health()) on every decided
+  /// APA call and derate a drifting shape to classical gemm until its flag
+  /// clears. Softer than quarantine: no trip is required and the committed
+  /// decision stays in the table. No-op under APAMM_OBS=OFF.
+  bool consult_health = true;
   /// Decision/telemetry stream (nullable). Records one "route_decision" line
   /// per committed choice and one "route_cache" line per load attempt.
   obs::TelemetrySink* telemetry = nullptr;
@@ -116,6 +121,7 @@ struct RouterStats {
   std::uint64_t decisions = 0;         ///< choices committed this process
   std::uint64_t static_calls = 0;      ///< below min_dim or tuning disabled
   std::uint64_t quarantine_overrides = 0;  ///< APA choice served classically
+  std::uint64_t health_overrides = 0;  ///< APA choice derated by drift flag
   std::uint64_t warm_entries = 0;      ///< decisions loaded from the cache
   std::uint64_t cache_saves = 0;
   CacheStatus cache_status = CacheStatus::kMissing;

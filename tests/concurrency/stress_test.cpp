@@ -11,14 +11,19 @@
 
 #include <gtest/gtest.h>
 #include <omp.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "blas/gemm.h"
 #include "blas/plan.h"
 #include "core/executor.h"
 #include "core/registry.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/matrix.h"
@@ -193,6 +198,93 @@ TEST_F(ConcurrencyTest, TraceRingsAndMetricsRegistriesUnderContention) {
   obs::reset_trace();
   obs::reset_phases();
   obs::reset_counters();
+}
+
+TEST_F(ConcurrencyTest, TraceCapacityResizeUnderConcurrentRecording) {
+  // One thread hammers set_trace_capacity through a cycle of bounds while the
+  // other seven record spans nonstop — the generation-bump resize protocol
+  // must never tear a ring or crash a producer mid-record. Counts are
+  // unknowable across generations; correctness here is "TSan-clean and the
+  // rings still work afterwards".
+  obs::set_enabled(true);
+  obs::set_tracing(true);
+  obs::reset_trace();
+  const std::uint64_t original = obs::trace_capacity();
+#pragma omp parallel num_threads(kThreads)
+  {
+    const int tid = omp_get_thread_num();
+    if (tid == 0) {
+      const std::uint64_t bounds[] = {16, 128, 1024, 64};
+      for (int rep = 0; rep < 200; ++rep) {
+        obs::set_trace_capacity(bounds[rep % 4]);
+      }
+    } else {
+      for (int rep = 0; rep < 2000; ++rep) {
+        APA_TRACE_SCOPE_ID("stress.resize_span", rep);
+      }
+    }
+  }
+  if (obs::kCompiledIn) {
+    // Drained events are structurally intact whatever generation survived.
+    for (const auto& e : obs::trace_events()) {
+      EXPECT_EQ(e.name, "stress.resize_span");
+      EXPECT_GE(e.id, 0);
+      EXPECT_LT(e.id, 2000);
+    }
+    // The rings keep recording after the churn: every thread lands exactly
+    // one span under the final bound.
+    obs::set_trace_capacity(64);
+    obs::reset_trace();
+#pragma omp parallel num_threads(kThreads)
+    {
+      APA_TRACE_SCOPE("stress.post_resize");
+    }
+    EXPECT_EQ(obs::trace_events().size(), static_cast<std::size_t>(kThreads));
+    EXPECT_EQ(obs::trace_dropped(), 0u);
+  }
+  obs::set_tracing(false);
+  obs::reset_trace();
+  obs::set_trace_capacity(original);
+}
+
+TEST_F(ConcurrencyTest, FlightRingsRecordConcurrentlyAndDumpAfterQuiesce) {
+  // All 8 threads stream breadcrumbs concurrently (racing on the ring
+  // registry's atomic slots and their own release-published counts), then a
+  // quiescent dump must capture every retained note. The dump-races-producers
+  // path is exercised only by the real crash triggers, deliberately outside
+  // the TSan suite: its torn-entry tolerance is a documented data race, and
+  // tsan.supp's policy is that nothing under src/ gets suppressed.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("apamm_stress_flight_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  obs::reset_flight();
+  obs::set_flight_dir(dir.string());
+#pragma omp parallel num_threads(kThreads)
+  {
+    const int tid = omp_get_thread_num();
+    for (int rep = 0; rep < 500; ++rep) {
+      obs::flight_note("stress.flight", tid, rep);
+    }
+  }
+  const int dumped = obs::flight_dump("stress");
+  obs::set_flight_dir("");
+  if (obs::kCompiledIn) {
+    EXPECT_GE(dumped, 1);
+    EXPECT_TRUE(fs::exists(dir / "flight_0.json"));
+    std::uint64_t notes = 0;
+    for (const auto& e : obs::flight_events()) {
+      if (e.tag == "stress.flight") ++notes;
+    }
+    // Quiescent drain: every note within each ring's bound survives.
+    const std::uint64_t expected = std::min<std::uint64_t>(
+        500, obs::flight_capacity());
+    EXPECT_EQ(notes, expected * kThreads);
+  }
+  obs::reset_flight();
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+// Flight recorder: per-thread black-box rings, the span mirror, ring bounds,
+// and the postmortem dump files (schema, arming, coalescing). The dump path
+// itself is async-signal-safe by construction; here we drive it from normal
+// code and validate what lands on disk. Skips (but still compiles) under
+// APAMM_OBS=OFF, where every entry point is a no-op.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace apa;
+namespace fs = std::filesystem;
+
+/// Structural JSON check (braces/brackets/quotes pair up) — the dump writer is
+/// hand-rolled for signal safety, so malformed output is a real failure mode.
+bool balanced_json(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+fs::path make_temp_dir(const char* stem) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (std::string(stem) + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::set_flight_enabled(true);
+    obs::set_flight_dir("");  // disarm: no test dumps unless it opts in
+    obs::reset_flight();
+  }
+  void TearDown() override {
+    obs::set_flight_dir("");
+    obs::set_flight_enabled(true);
+    obs::reset_flight();
+  }
+};
+
+int count_tag(const std::vector<obs::FlightEventView>& events,
+              const std::string& tag) {
+  int n = 0;
+  for (const auto& e : events) {
+    if (e.tag == tag) ++n;
+  }
+  return n;
+}
+
+TEST_F(FlightTest, NoteRecordsTagAndPayload) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  obs::flight_note("test.note", 7, -9);
+  const auto events = obs::flight_events();
+  bool found = false;
+  for (const auto& e : events) {
+    if (e.tag != "test.note") continue;
+    found = true;
+    EXPECT_FALSE(e.is_span);
+    EXPECT_EQ(e.a, 7);
+    EXPECT_EQ(e.b, -9);
+    EXPECT_GT(e.t_ns, 0u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FlightTest, FinishedSpansMirrorIntoTheRing) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  {
+    APA_TRACE_SCOPE_ID("test.flight_mirror", 3);
+  }
+  bool found = false;
+  for (const auto& e : obs::flight_events()) {
+    if (e.tag != "test.flight_mirror") continue;
+    found = true;
+    EXPECT_TRUE(e.is_span);
+    EXPECT_EQ(e.a, 3);     // span id
+    EXPECT_GE(e.b, 0);     // duration
+  }
+  EXPECT_TRUE(found) << "span did not mirror into the flight ring";
+}
+
+TEST_F(FlightTest, DisablingTheMirrorKeepsExplicitNotes) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  obs::set_flight_enabled(false);
+  EXPECT_FALSE(obs::flight_enabled());
+  {
+    APA_TRACE_SCOPE("test.flight_muted");
+  }
+  obs::flight_note("test.flight_note_anyway", 1);
+  const auto events = obs::flight_events();
+  EXPECT_EQ(count_tag(events, "test.flight_muted"), 0);
+  EXPECT_EQ(count_tag(events, "test.flight_note_anyway"), 1);
+}
+
+TEST_F(FlightTest, RingBoundKeepsOnlyTheNewestEvents) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  // Capacity applies to rings allocated after the call, so record from a
+  // fresh thread whose ring is born with the small bound.
+  const std::uint64_t original = obs::flight_capacity();
+  obs::set_flight_capacity(8);
+  EXPECT_EQ(obs::flight_capacity(), 8u);
+  std::thread recorder([] {
+    for (int i = 0; i < 20; ++i) {
+      obs::flight_note("test.flight_cap", i);
+    }
+  });
+  recorder.join();
+  std::vector<std::int64_t> seen;
+  for (const auto& e : obs::flight_events()) {
+    if (e.tag == "test.flight_cap") seen.push_back(e.a);
+  }
+  ASSERT_EQ(seen.size(), 8u);
+  // Oldest-first overwrite: only notes 12..19 survive, in order.
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<std::int64_t>(12 + i));
+  }
+  obs::set_flight_capacity(original);
+}
+
+TEST_F(FlightTest, CapacityClampsToOne) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  const std::uint64_t original = obs::flight_capacity();
+  obs::set_flight_capacity(0);
+  EXPECT_EQ(obs::flight_capacity(), 1u);
+  obs::set_flight_capacity(original);
+}
+
+TEST_F(FlightTest, DumpIsDisarmedUntilADirectoryIsNamed) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  obs::flight_note("test.flight_disarmed", 1);
+  EXPECT_EQ(obs::flight_dump("never"), 0);
+  EXPECT_EQ(obs::flight_dir(), "");
+}
+
+TEST_F(FlightTest, OverlongDirectoryLeavesDumpsDisarmed) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  obs::set_flight_dir(std::string(600, 'x'));  // exceeds the signal-safe buffer
+  EXPECT_EQ(obs::flight_dir(), "");
+  EXPECT_EQ(obs::flight_dump("overlong"), 0);
+}
+
+TEST_F(FlightTest, DumpWritesBalancedPerRankJsonWithReasonAndEvents) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  const fs::path dir = make_temp_dir("apamm_flight_test_");
+  obs::set_flight_dir(dir.string());
+  EXPECT_EQ(obs::flight_dir(), dir.string());
+  obs::flight_note("test.flight_dump", 42, 99);
+  const int files = obs::flight_dump("unit_test");
+  EXPECT_GE(files, 1);
+
+  // The main thread never declared a rank, so it dumps as rank 0.
+  const fs::path dump = dir / "flight_0.json";
+  ASSERT_TRUE(fs::exists(dump));
+  const std::string text = slurp(dump);
+  EXPECT_TRUE(balanced_json(text)) << text.substr(0, 400);
+  EXPECT_NE(text.find("\"reason\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(text.find("\"rank\":0"), std::string::npos);
+  EXPECT_NE(text.find("\"tag\":\"test.flight_dump\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"note\",\"a\":42,\"b\":99"),
+            std::string::npos);
+
+  // Disarming stops further dumps.
+  obs::set_flight_dir("");
+  EXPECT_EQ(obs::flight_dump("after_disarm"), 0);
+  fs::remove_all(dir);
+}
+
+TEST_F(FlightTest, ResetEmptiesEveryRing) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "APAMM_OBS=OFF";
+  obs::flight_note("test.flight_reset", 1);
+  ASSERT_GE(count_tag(obs::flight_events(), "test.flight_reset"), 1);
+  obs::reset_flight();
+  EXPECT_EQ(count_tag(obs::flight_events(), "test.flight_reset"), 0);
+}
+
+TEST_F(FlightTest, CompiledOutBuildStaysCallable) {
+  // The OFF stubs must accept every call without effect; in ON builds this
+  // just exercises the getters.
+  if (obs::kCompiledIn) {
+    EXPECT_GT(obs::flight_capacity(), 0u);
+    return;
+  }
+  obs::flight_note("test.off", 1, 2);
+  EXPECT_EQ(obs::flight_dump("off"), 0);
+  EXPECT_TRUE(obs::flight_events().empty());
+  EXPECT_FALSE(obs::flight_enabled());
+  EXPECT_EQ(obs::flight_capacity(), 0u);
+}
+
+}  // namespace

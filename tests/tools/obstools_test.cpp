@@ -1,0 +1,284 @@
+// Postmortem tooling: the minimal JSON reader, trace_merge's clock-alignment
+// and flow pairing, health_report's JSONL folding, and the rule_lint
+// --bounds-json handshake the drift table reads catalog bounds through.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/rule_lint.h"
+#include "obs/health_report.h"
+#include "obs/json_min.h"
+#include "obs/trace_merge.h"
+
+namespace apa::obstools {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path make_temp_dir(const char* stem) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (std::string(stem) + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void write_file(const fs::path& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+TEST(JsonMin, ParsesScalarsArraysAndOrderedObjects) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(
+      R"({"a": 1, "b": [true, null, "x\u0041"], "c": -2.5e2, "d": "q\"e"})",
+      &doc, &error))
+      << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get_int("a", -1), 1);
+  EXPECT_DOUBLE_EQ(doc.get_num("c", 0.0), -250.0);
+  EXPECT_EQ(doc.get_str("d", ""), "q\"e");
+  const JsonValue* b = doc.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_EQ(b->array[0].kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_EQ(b->array[1].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(b->array[2].str, "xA");  // A decodes to 'A'
+  // Insertion order survives the round trip (trace events depend on it).
+  EXPECT_EQ(to_json(doc).find("\"a\""), 1u);
+}
+
+TEST(JsonMin, IntegralNumbersReprintWithoutExponent) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(R"({"ts": 123456789.0, "f": 1.5})", &doc, &error));
+  const std::string out = to_json(doc);
+  EXPECT_NE(out.find("\"ts\": 123456789"), std::string::npos) << out;
+  EXPECT_NE(out.find("1.5"), std::string::npos) << out;
+}
+
+TEST(JsonMin, RejectsMalformedInputWithAnOffset) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(parse_json("{\"a\": }", &doc, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(parse_json("{} trailing", &doc, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  EXPECT_FALSE(parse_json("", &doc, &error));
+}
+
+TEST(JsonMin, ReadFileReportsMissingPaths) {
+  std::string text, error;
+  EXPECT_FALSE(read_file("/nonexistent_apamm_file.json", &text, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+/// Two synthetic per-rank traces: rank 1's steady clock reads 200us ahead of
+/// rank 0's at the shared barrier, and a ring send (flow id 42) crosses from
+/// rank 0 into rank 1.
+std::string rank0_trace() {
+  return R"({"displayTimeUnit": "ms",
+"clockSync": {"rank": 0, "mark_us": 100.0},
+"traceEvents": [
+{"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "apamm rank 0"}},
+{"name": "step", "cat": "apamm", "ph": "X", "pid": 1, "tid": 0, "ts": 50.0, "dur": 10.0},
+{"name": "dist.send", "cat": "dist", "ph": "s", "id": 42, "pid": 1, "tid": 0, "ts": 60.0}
+]})";
+}
+
+std::string rank1_trace(bool with_mark) {
+  std::string head = with_mark
+                         ? R"({"clockSync": {"rank": 1, "mark_us": 300.0},)"
+                         : R"({"clockSync": {"rank": 1},)";
+  return head + R"(
+"traceEvents": [
+{"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "apamm rank 1"}},
+{"name": "step", "cat": "apamm", "ph": "X", "pid": 1, "tid": 0, "ts": 250.0, "dur": 10.0},
+{"name": "dist.send", "cat": "dist", "ph": "f", "bp": "e", "id": 42, "pid": 1, "tid": 0, "ts": 260.0}
+]})";
+}
+
+TEST(TraceMerge, AlignsClocksPairsFlowsAndRebasesToZero) {
+  const fs::path dir = make_temp_dir("apamm_trace_merge_");
+  write_file(dir / "t0.json", rank0_trace());
+  write_file(dir / "t1.json", rank1_trace(/*with_mark=*/true));
+
+  std::string merged, error;
+  TraceMergeStats stats;
+  ASSERT_TRUE(merge_trace_files(
+      {(dir / "t0.json").string(), (dir / "t1.json").string()}, &merged,
+      &stats, &error))
+      << error;
+  EXPECT_EQ(stats.files, 2);
+  EXPECT_EQ(stats.events, 4);
+  EXPECT_EQ(stats.metadata, 2);
+  EXPECT_EQ(stats.flow_pairs, 1);
+  EXPECT_EQ(stats.flow_unpaired, 0);
+  EXPECT_EQ(stats.ranks_without_mark, 0);
+  EXPECT_DOUBLE_EQ(stats.max_offset_us, 200.0);
+
+  JsonValue doc;
+  ASSERT_TRUE(parse_json(merged, &doc, &error)) << error;
+  const JsonValue* sync = doc.find("clockSync");
+  ASSERT_NE(sync, nullptr);
+  ASSERT_EQ(sync->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(sync->array[0].get_num("offset_us", -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(sync->array[1].get_num("offset_us", -1.0), 200.0);
+
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 6u);
+  double prev_ts = 0.0;
+  bool seen_non_metadata = false;
+  for (const JsonValue& ev : events->array) {
+    const std::string ph = ev.get_str("ph", "");
+    if (ph == "M") {
+      // Metadata sorts first; pid is rewritten to the rank lane.
+      EXPECT_FALSE(seen_non_metadata);
+      continue;
+    }
+    seen_non_metadata = true;
+    const double ts = ev.get_num("ts", -1.0);
+    EXPECT_GE(ts, 0.0);         // rebased to a non-negative axis
+    EXPECT_GE(ts, prev_ts);     // monotone after the merge sort
+    prev_ts = ts;
+  }
+  // Both ranks' "step" spans sat 150us apart on raw clocks but started at the
+  // same aligned instant: after the 200us correction and the common rebase
+  // they both land at ts 0.
+  int steps_at_zero = 0;
+  for (const JsonValue& ev : events->array) {
+    if (ev.get_str("name", "") == "step" &&
+        std::fabs(ev.get_num("ts", -1.0)) < 1e-9) {
+      ++steps_at_zero;
+    }
+  }
+  EXPECT_EQ(steps_at_zero, 2);
+  // One process lane per rank.
+  for (const JsonValue& ev : events->array) {
+    const long long pid = ev.get_int("pid", -1);
+    EXPECT_TRUE(pid == 0 || pid == 1);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(TraceMerge, MissingMarkPassesThroughUnshifted) {
+  const fs::path dir = make_temp_dir("apamm_trace_merge_nomark_");
+  write_file(dir / "t0.json", rank0_trace());
+  write_file(dir / "t1.json", rank1_trace(/*with_mark=*/false));
+  std::string merged, error;
+  TraceMergeStats stats;
+  ASSERT_TRUE(merge_trace_files(
+      {(dir / "t0.json").string(), (dir / "t1.json").string()}, &merged,
+      &stats, &error))
+      << error;
+  EXPECT_EQ(stats.ranks_without_mark, 1);
+  EXPECT_DOUBLE_EQ(stats.max_offset_us, 0.0);
+  // The unpaired tally still works: both flow halves are present.
+  EXPECT_EQ(stats.flow_pairs, 1);
+  fs::remove_all(dir);
+}
+
+TEST(TraceMerge, CountsUnpairedFlowsAndRejectsGarbage) {
+  const fs::path dir = make_temp_dir("apamm_trace_merge_bad_");
+  write_file(dir / "only_send.json", rank0_trace());
+  std::string merged, error;
+  TraceMergeStats stats;
+  ASSERT_TRUE(merge_trace_files({(dir / "only_send.json").string()}, &merged,
+                                &stats, &error));
+  EXPECT_EQ(stats.flow_pairs, 0);
+  EXPECT_EQ(stats.flow_unpaired, 1);
+
+  write_file(dir / "garbage.json", "not json at all");
+  EXPECT_FALSE(merge_trace_files({(dir / "garbage.json").string()}, &merged,
+                                 &stats, &error));
+  EXPECT_FALSE(error.empty());
+
+  write_file(dir / "wrong.json", R"({"foo": 1})");
+  EXPECT_FALSE(merge_trace_files({(dir / "wrong.json").string()}, &merged,
+                                 &stats, &error));
+  EXPECT_NE(error.find("not a chrome trace"), std::string::npos);
+
+  EXPECT_FALSE(merge_trace_files({}, &merged, &stats, &error));
+  fs::remove_all(dir);
+}
+
+const char kHealthJsonl[] =
+    R"({"type": "health", "event": "sample", "algo": "bini322", "m": 300, "k": 784, "n": 300, "samples": 16, "ratio": 0.31, "ewma": 0.3, "slope": 0.01, "peak": 0.4, "bound": 0.000345, "drifting": false}
+{"type": "epoch", "loss": 0.5}
+{"type": "health", "event": "drift", "algo": "bini322", "m": 300, "k": 784, "n": 300, "samples": 20, "ratio": 0.8, "ewma": 0.55, "slope": 0.05, "peak": 0.8, "bound": 0.000345, "drifting": true}
+{"type": "health", "event": "clear", "algo": "bini322", "m": 300, "k": 784, "n": 300, "samples": 30, "ratio": 0.1, "ewma": 0.4, "slope": -0.02, "peak": 0.8, "bound": 0.000345, "drifting": false}
+{"type": "health", "event": "sample", "algo": "apa422", "m": 64, "k": 64, "n": 64, "samples": 16, "ratio": 0.7, "ewma": 0.6, "slope": 0.05, "peak": 0.7, "bound": 0.0001, "drifting": true}
+this line is not json
+)";
+
+TEST(HealthReport, FoldsLatestRecordPerStreamAndCountsFlips) {
+  int bad_lines = 0;
+  const std::vector<HealthRow> rows =
+      summarize_health(kHealthJsonl, &bad_lines);
+  EXPECT_EQ(bad_lines, 1);
+  ASSERT_EQ(rows.size(), 2u);  // sorted by (algo, m, k, n): apa422 first
+  EXPECT_EQ(rows[0].algo, "apa422");
+  EXPECT_TRUE(rows[0].drifting);
+  EXPECT_EQ(rows[1].algo, "bini322");
+  EXPECT_EQ(rows[1].samples, 30);
+  EXPECT_DOUBLE_EQ(rows[1].ewma, 0.4);
+  EXPECT_DOUBLE_EQ(rows[1].peak, 0.8);
+  EXPECT_FALSE(rows[1].drifting);     // the newest record cleared
+  EXPECT_TRUE(rows[1].ever_flagged);  // but the episode is remembered
+  EXPECT_EQ(rows[1].drift_events, 1);
+  EXPECT_TRUE(any_drifting(rows));    // apa422 is still flagged
+}
+
+TEST(HealthReport, RenderedTableShowsStatusAndSummary) {
+  const std::vector<HealthRow> rows = summarize_health(kHealthJsonl, nullptr);
+  RuleBounds bounds;
+  bounds.precision_bits = 23;
+  bounds.bound_1step["bini322"] = 3.45e-4;
+  const std::string table = render_health_table(rows, bounds);
+  EXPECT_NE(table.find("bini322"), std::string::npos);
+  EXPECT_NE(table.find("DRIFT"), std::string::npos);      // apa422 row
+  EXPECT_NE(table.find("recovered"), std::string::npos);  // bini322 row
+  EXPECT_NE(table.find("catalog"), std::string::npos);    // bound annotation
+  EXPECT_NE(table.find("2 stream(s)"), std::string::npos);
+  EXPECT_NE(table.find("1 drifting"), std::string::npos);
+
+  // No rows and no bounds still renders a parseable summary.
+  const std::string empty = render_health_table({}, RuleBounds{});
+  EXPECT_NE(empty.find("0 stream(s)"), std::string::npos);
+  EXPECT_FALSE(any_drifting({}));
+}
+
+TEST(HealthReport, ConsumesRuleLintBoundsJson) {
+  // S6 handshake end-to-end in process: rule_lint exports the catalog σ/φ
+  // bounds, health_report parses them back.
+  const std::string json = apa::lint::bounds_json();
+  RuleBounds bounds;
+  std::string error;
+  ASSERT_TRUE(parse_rule_bounds(json, &bounds, &error)) << error;
+  EXPECT_EQ(bounds.precision_bits, 23);
+  ASSERT_TRUE(bounds.bound_1step.count("bini322"));
+  // bini322's 1-step λ-optimal bound at 23 bits is ~3.4e-4 (Table 1).
+  EXPECT_GT(bounds.bound_1step["bini322"], 1e-5);
+  EXPECT_LT(bounds.bound_1step["bini322"], 1e-2);
+  ASSERT_TRUE(bounds.bound_1step.count("strassen"));
+  EXPECT_GT(bounds.bound_1step["strassen"], 0.0);
+  // Every catalog rule made it across.
+  EXPECT_EQ(bounds.bound_1step.size(), apa::lint::catalog_bounds().size());
+
+  EXPECT_FALSE(parse_rule_bounds("[1, 2]", &bounds, &error));
+  EXPECT_FALSE(parse_rule_bounds("junk", &bounds, &error));
+}
+
+}  // namespace
+}  // namespace apa::obstools

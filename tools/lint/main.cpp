@@ -23,6 +23,27 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bool strict = args.get_bool("strict");
 
+  // Bounds export mode: dump the catalog's σ/φ error-bound table as JSON
+  // (the single source of truth tools/obs/health_report reads) and exit.
+  if (const std::string bounds_path = args.get("bounds-json", "");
+      !bounds_path.empty()) {
+    const std::string json = lint::bounds_json();
+    if (bounds_path == "-") {
+      std::fputs(json.c_str(), stdout);
+      return 0;
+    }
+    std::FILE* f = std::fopen(bounds_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "rule_lint: cannot write '%s'\n",
+                   bounds_path.c_str());
+      return 2;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("rule_lint: wrote catalog bounds to %s\n", bounds_path.c_str());
+    return 0;
+  }
+
   std::vector<lint::Finding> findings;
   const auto run = [&](const char* what, std::vector<lint::Finding> batch) {
     std::size_t errors = 0;

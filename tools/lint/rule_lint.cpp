@@ -7,7 +7,10 @@
 #include <optional>
 #include <sstream>
 
+#include <cstdio>
+
 #include "core/codegen.h"
+#include "core/guard.h"
 #include "core/params.h"
 #include "core/registry.h"
 #include "core/serialize.h"
@@ -258,7 +261,7 @@ std::vector<Finding> lint_rule_file(const std::string& path) {
   }
 }
 
-std::vector<Finding> lint_catalog() {
+const std::map<std::string, Expectations>& documented_expectations() {
   // Documented sigma/phi per catalog entry (catalog.h, registry.cpp
   // construction notes, DESIGN.md). Direct sums and tensor products with
   // exact rules preserve bini322's sigma = 1; phi adds across tensor factors.
@@ -275,7 +278,12 @@ std::vector<Finding> lint_catalog() {
       {"apa644", {70, 1, 1}},   {"apa664", {100, 1, 2}},
       {"apa555", {110, 1, 1}},
   };
+  return kDocumented;
+}
 
+std::vector<Finding> lint_catalog() {
+  const std::map<std::string, Expectations>& kDocumented =
+      documented_expectations();
   std::vector<Finding> out;
   for (const core::AlgorithmInfo& info : core::list_algorithms()) {
     Expectations expected;
@@ -303,6 +311,54 @@ std::vector<Finding> lint_catalog() {
     }
   }
   return out;
+}
+
+std::vector<RuleBound> catalog_bounds() {
+  std::vector<RuleBound> out;
+  const auto& documented = documented_expectations();
+  for (const core::AlgorithmInfo& info : core::list_algorithms()) {
+    RuleBound b;
+    b.name = info.name;
+    b.m = info.m;
+    b.k = info.k;
+    b.n = info.n;
+    b.rank = info.rank;
+    b.documented = documented.count(info.name) > 0;
+    const core::AlgorithmParams params =
+        core::analyze(core::rule_by_name(info.name));
+    b.sigma = params.sigma;
+    b.phi = params.phi;
+    b.exact = params.exact;
+    b.bound_1step = core::ProductGuard::model_error_bound(
+        params, core::kPrecisionBitsSingle, 1);
+    b.bound_2step = core::ProductGuard::model_error_bound(
+        params, core::kPrecisionBitsSingle, 2);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::string bounds_json() {
+  std::ostringstream os;
+  os << "{\"precision_bits\": " << core::kPrecisionBitsSingle
+     << ", \"rules\": [\n";
+  bool first = true;
+  for (const RuleBound& b : catalog_bounds()) {
+    if (!first) os << ",\n";
+    first = false;
+    char buf[64];
+    os << "  {\"name\": \"" << b.name << "\", \"m\": " << b.m
+       << ", \"k\": " << b.k << ", \"n\": " << b.n << ", \"rank\": " << b.rank
+       << ", \"sigma\": " << b.sigma << ", \"phi\": " << b.phi
+       << ", \"exact\": " << (b.exact ? "true" : "false")
+       << ", \"documented\": " << (b.documented ? "true" : "false");
+    std::snprintf(buf, sizeof(buf), "%.9e", b.bound_1step);
+    os << ", \"bound_1step\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.9e", b.bound_2step);
+    os << ", \"bound_2step\": " << buf << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
 }
 
 std::vector<Finding> lint_generated(const std::string& generated_dir) {

@@ -25,6 +25,7 @@
 // context for a Brent failure; `duplicate-product` (both sides proportional)
 // is always reported since it means the rank is not minimal.
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,34 @@ struct Expectations {
 /// Lints every registry algorithm against its AlgorithmInfo rank and the
 /// documented sigma/phi values (catalog.h, DESIGN.md).
 [[nodiscard]] std::vector<Finding> lint_catalog();
+
+/// The documented (rank, sigma, phi) table the catalog lint checks against —
+/// the single source of truth for every rule's error model. Exposed so the
+/// bounds export below (and tests) read the same values the linter enforces.
+[[nodiscard]] const std::map<std::string, Expectations>&
+documented_expectations();
+
+/// One catalog rule's documented metadata plus its σ/φ-derived model error
+/// bounds at single precision (core::ProductGuard::model_error_bound) — what
+/// the guard tolerance and tools/obs/health_report derive from.
+struct RuleBound {
+  std::string name;
+  index_t m = 0, k = 0, n = 0;
+  index_t rank = 0;
+  int sigma = 0;
+  int phi = 0;
+  bool exact = false;
+  bool documented = false;  ///< false: not yet pinned in the linter's table
+  double bound_1step = 0.0;  ///< model bound at 23 bits, one recursive step
+  double bound_2step = 0.0;
+};
+
+/// Bounds for every registry algorithm, in catalog order.
+[[nodiscard]] std::vector<RuleBound> catalog_bounds();
+
+/// The same table rendered as a machine-readable JSON array — the
+/// `rule_lint --bounds-json=PATH` payload consumed by health_report.
+[[nodiscard]] std::string bounds_json();
 
 /// Regenerates each committed kernel in `generated_dir` through core::codegen
 /// with the same lambda policy as examples/codegen_tool and byte-diffs it

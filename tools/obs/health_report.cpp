@@ -1,0 +1,114 @@
+#include "obs/health_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+#include "obs/json_min.h"
+
+namespace apa::obstools {
+
+std::vector<HealthRow> summarize_health(const std::string& jsonl,
+                                        int* bad_lines) {
+  std::map<std::tuple<std::string, long long, long long, long long>, HealthRow>
+      streams;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue record;
+    std::string error;
+    if (!parse_json(line, &record, &error)) {
+      if (bad_lines != nullptr) ++*bad_lines;
+      continue;
+    }
+    if (record.get_str("type", "") != "health") continue;
+    const std::string algo = record.get_str("algo", "?");
+    const long long m = record.get_int("m", 0);
+    const long long k = record.get_int("k", 0);
+    const long long n = record.get_int("n", 0);
+    HealthRow& row = streams[{algo, m, k, n}];
+    row.algo = algo;
+    row.m = m;
+    row.k = k;
+    row.n = n;
+    row.samples = record.get_int("samples", row.samples);
+    row.last_ratio = record.get_num("ratio", row.last_ratio);
+    row.ewma = record.get_num("ewma", row.ewma);
+    row.slope = record.get_num("slope", row.slope);
+    row.peak = record.get_num("peak", row.peak);
+    row.bound = record.get_num("bound", row.bound);
+    const JsonValue* drifting = record.find("drifting");
+    row.drifting = drifting != nullptr && drifting->bool_or(false);
+    if (record.get_str("event", "") == "drift") ++row.drift_events;
+    row.ever_flagged = row.ever_flagged || row.drifting;
+  }
+  std::vector<HealthRow> rows;
+  rows.reserve(streams.size());
+  for (auto& [key, row] : streams) rows.push_back(std::move(row));
+  return rows;  // map order == (algo, m, k, n)
+}
+
+bool parse_rule_bounds(const std::string& json, RuleBounds* out,
+                       std::string* error) {
+  *out = RuleBounds{};
+  JsonValue doc;
+  if (!parse_json(json, &doc, error)) return false;
+  if (!doc.is_object() || doc.find("rules") == nullptr ||
+      !doc.find("rules")->is_array()) {
+    if (error != nullptr) *error = "not a rule_lint bounds document";
+    return false;
+  }
+  out->precision_bits = static_cast<int>(doc.get_int("precision_bits", 0));
+  for (const JsonValue& rule : doc.find("rules")->array) {
+    if (!rule.is_object()) continue;
+    const std::string name = rule.get_str("name", "");
+    if (name.empty()) continue;
+    out->bound_1step[name] = rule.get_num("bound_1step", 0.0);
+  }
+  return true;
+}
+
+std::string render_health_table(const std::vector<HealthRow>& rows,
+                                const RuleBounds& bounds) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-10s %6s %6s %6s %8s %9s %9s %9s %9s %11s %s\n",
+                "algo", "m", "k", "n", "samples", "ratio", "ewma", "slope",
+                "peak", "bound", "status");
+  out += buf;
+  int drifting = 0;
+  for (const HealthRow& row : rows) {
+    const char* status = row.drifting          ? "DRIFT"
+                         : row.ever_flagged    ? "recovered"
+                                               : "ok";
+    if (row.drifting) ++drifting;
+    std::snprintf(buf, sizeof(buf),
+                  "%-10s %6lld %6lld %6lld %8lld %9.4f %9.4f %9.4f %9.4f %11.3e %s",
+                  row.algo.c_str(), row.m, row.k, row.n, row.samples,
+                  row.last_ratio, row.ewma, row.slope, row.peak, row.bound,
+                  status);
+    out += buf;
+    if (const auto it = bounds.bound_1step.find(row.algo);
+        it != bounds.bound_1step.end()) {
+      // The catalog bound is absolute error; the record's `bound` is what the
+      // guard actually used at the call. Print both so a tolerance drifted
+      // away from the catalog shows up in the same row.
+      std::snprintf(buf, sizeof(buf), "  (catalog %.3e)", it->second);
+      out += buf;
+    }
+    out += '\n';
+  }
+  std::snprintf(buf, sizeof(buf), "%zu stream(s), %d drifting\n", rows.size(),
+                drifting);
+  out += buf;
+  return out;
+}
+
+bool any_drifting(const std::vector<HealthRow>& rows) {
+  return std::any_of(rows.begin(), rows.end(),
+                     [](const HealthRow& row) { return row.drifting; });
+}
+
+}  // namespace apa::obstools

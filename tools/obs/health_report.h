@@ -1,0 +1,59 @@
+#pragma once
+// health_report: renders the numerical-health drift table from telemetry
+// JSONL. Input is any file the obs::TelemetrySink wrote while an
+// obs::HealthMonitor was attached — each `"type": "health"` line is one
+// EWMA snapshot of a ⟨algo, M, K, N⟩ residual stream (obs/health.h). The
+// report keeps the newest record per stream, remembers whether the stream
+// ever flagged, and renders a fixed-width drift table.
+//
+// With --bounds=PATH (the `rule_lint --bounds-json` payload) each row also
+// shows the rule's catalog σ/φ error bound, so drift is read against the one
+// source of truth the guard tolerances derive from.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apa::obstools {
+
+/// Latest state of one ⟨algo, M, K, N⟩ stream plus its history highlights.
+struct HealthRow {
+  std::string algo;
+  long long m = 0, k = 0, n = 0;
+  long long samples = 0;
+  double last_ratio = 0.0;
+  double ewma = 0.0;
+  double slope = 0.0;
+  double peak = 0.0;
+  double bound = 0.0;       ///< runtime bound carried on the record
+  bool drifting = false;    ///< per the newest record
+  bool ever_flagged = false;
+  long long drift_events = 0;  ///< "drift" flips seen in the stream
+};
+
+/// Catalog bound per rule name, from rule_lint --bounds-json.
+struct RuleBounds {
+  int precision_bits = 0;
+  std::map<std::string, double> bound_1step;
+};
+
+/// Folds `jsonl` (one JSON record per line; non-health lines are skipped,
+/// unparsable lines are counted into `*bad_lines` when non-null) into rows
+/// sorted by (algo, m, k, n).
+[[nodiscard]] std::vector<HealthRow> summarize_health(const std::string& jsonl,
+                                                      int* bad_lines = nullptr);
+
+/// Parses a rule_lint --bounds-json document. Returns false with `error` set
+/// on malformed input.
+bool parse_rule_bounds(const std::string& json, RuleBounds* out,
+                       std::string* error);
+
+/// Fixed-width drift table; `bounds` may be empty. Ends with a one-line
+/// summary ("N stream(s), M drifting").
+[[nodiscard]] std::string render_health_table(
+    const std::vector<HealthRow>& rows, const RuleBounds& bounds);
+
+/// True when any row is currently drifting (CI gate for --fail-on-drift).
+[[nodiscard]] bool any_drifting(const std::vector<HealthRow>& rows);
+
+}  // namespace apa::obstools

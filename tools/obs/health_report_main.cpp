@@ -1,0 +1,74 @@
+// health_report CLI: drift table from numerical-health telemetry JSONL.
+//
+//   ./build/tools/health_report metrics.jsonl
+//   ./build/tools/health_report --bounds=bounds.json --fail-on-drift m.jsonl
+//
+// `--bounds` takes the `rule_lint --bounds-json` payload so each row shows
+// the catalog σ/φ bound next to the runtime one. Exit status: 0 clean,
+// 1 a stream is currently drifting and --fail-on-drift was given,
+// 2 usage or I/O problem.
+
+#include <cstdio>
+
+#include "obs/health_report.h"
+#include "obs/json_min.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace apa;
+  const CliArgs args(argc, argv);
+
+  // CliArgs accepts `--flag value`, so a bare `--fail-on-drift` followed by a
+  // metrics path swallows that path as its "value". Reclaim it: any value
+  // that is not a boolean literal is really the first positional input.
+  bool fail_on_drift = args.get_bool("fail-on-drift");
+  std::vector<std::string> inputs = args.positional();
+  if (const std::string v = args.get("fail-on-drift", "");
+      !v.empty() && !fail_on_drift) {
+    inputs.insert(inputs.begin(), v);
+    fail_on_drift = true;
+  }
+
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: health_report [--bounds=bounds.json] "
+                 "[--fail-on-drift] metrics.jsonl ...\n");
+    return 2;
+  }
+
+  obstools::RuleBounds bounds;
+  if (const std::string bounds_path = args.get("bounds", "");
+      !bounds_path.empty()) {
+    std::string text;
+    std::string error;
+    if (!obstools::read_file(bounds_path, &text, &error) ||
+        !obstools::parse_rule_bounds(text, &bounds, &error)) {
+      std::fprintf(stderr, "health_report: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  std::string jsonl;
+  for (const std::string& path : inputs) {
+    std::string text;
+    std::string error;
+    if (!obstools::read_file(path, &text, &error)) {
+      std::fprintf(stderr, "health_report: %s\n", error.c_str());
+      return 2;
+    }
+    jsonl += text;
+    if (!jsonl.empty() && jsonl.back() != '\n') jsonl += '\n';
+  }
+
+  int bad_lines = 0;
+  const auto rows = obstools::summarize_health(jsonl, &bad_lines);
+  std::fputs(obstools::render_health_table(rows, bounds).c_str(), stdout);
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "health_report: skipped %d unparsable line(s)\n",
+                 bad_lines);
+  }
+  if (fail_on_drift && obstools::any_drifting(rows)) {
+    return 1;
+  }
+  return 0;
+}

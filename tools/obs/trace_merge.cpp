@@ -1,0 +1,205 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+
+#include "obs/json_min.h"
+
+namespace apa::obstools {
+namespace {
+
+struct LoadedTrace {
+  int rank = 0;
+  bool has_mark = false;  ///< clockSync.mark_us present (it may be negative)
+  double mark_us = 0.0;
+  double offset_us = 0.0;
+  JsonValue doc;
+};
+
+struct MergedEvent {
+  double sort_ts = 0.0;
+  bool is_metadata = false;
+  std::string json;
+};
+
+}  // namespace
+
+bool merge_trace_files(const std::vector<std::string>& paths,
+                       std::string* merged_json, TraceMergeStats* stats,
+                       std::string* error) {
+  *stats = TraceMergeStats{};
+  if (paths.empty()) {
+    if (error != nullptr) *error = "no input traces";
+    return false;
+  }
+
+  std::vector<LoadedTrace> traces;
+  traces.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::string text;
+    std::string parse_error;
+    if (!read_file(paths[i], &text, &parse_error)) {
+      if (error != nullptr) *error = parse_error;
+      return false;
+    }
+    LoadedTrace trace;
+    if (!parse_json(text, &trace.doc, &parse_error)) {
+      if (error != nullptr) *error = paths[i] + ": " + parse_error;
+      return false;
+    }
+    if (!trace.doc.is_object() || trace.doc.find("traceEvents") == nullptr) {
+      if (error != nullptr) *error = paths[i] + ": not a chrome trace file";
+      return false;
+    }
+    trace.rank = static_cast<int>(trace.doc.get_int("rank", -1));
+    if (const JsonValue* sync = trace.doc.find("clockSync");
+        sync != nullptr && sync->is_object()) {
+      trace.rank = static_cast<int>(sync->get_int("rank", trace.rank));
+      if (const JsonValue* mark = sync->find("mark_us");
+          mark != nullptr && mark->kind == JsonValue::Kind::kNumber) {
+        trace.has_mark = true;
+        trace.mark_us = mark->number;
+      }
+    }
+    if (trace.rank < 0) trace.rank = static_cast<int>(i);
+    traces.push_back(std::move(trace));
+  }
+
+  // Alignment: the earliest mark is the reference axis; every other marked
+  // rank shifts back by its barrier-time skew. Unmarked ranks pass through.
+  double min_mark = std::numeric_limits<double>::infinity();
+  for (const LoadedTrace& t : traces) {
+    if (t.has_mark && t.mark_us < min_mark) min_mark = t.mark_us;
+  }
+  for (LoadedTrace& t : traces) {
+    if (t.has_mark && std::isfinite(min_mark)) {
+      t.offset_us = t.mark_us - min_mark;
+    } else {
+      t.offset_us = 0.0;
+      ++stats->ranks_without_mark;
+    }
+    stats->max_offset_us = std::max(stats->max_offset_us, t.offset_us);
+  }
+
+  std::vector<MergedEvent> events;
+  std::set<long long> flow_out_ids;
+  std::set<long long> flow_in_ids;
+  double min_ts = std::numeric_limits<double>::infinity();
+  for (LoadedTrace& trace : traces) {
+    JsonValue* list = trace.doc.find("traceEvents");
+    for (JsonValue& ev : list->array) {
+      if (!ev.is_object()) continue;
+      // One process lane per rank in the merged view.
+      if (JsonValue* pid = ev.find("pid"); pid != nullptr) {
+        pid->kind = JsonValue::Kind::kNumber;
+        pid->number = static_cast<double>(trace.rank);
+      }
+      const std::string ph = ev.get_str("ph", "");
+      MergedEvent merged;
+      merged.is_metadata = ph == "M";
+      if (JsonValue* ts = ev.find("ts");
+          ts != nullptr && ts->kind == JsonValue::Kind::kNumber) {
+        ts->number -= trace.offset_us;
+        merged.sort_ts = ts->number;
+        if (!merged.is_metadata) min_ts = std::min(min_ts, ts->number);
+      }
+      if (ph == "s" || ph == "f") {
+        const long long id = ev.get_int("id", -1);
+        (ph == "s" ? flow_out_ids : flow_in_ids).insert(id);
+      }
+      merged.json = to_json(ev);
+      events.push_back(std::move(merged));
+    }
+  }
+
+  // Rebase so the merged timeline starts at zero — clock corrections can pull
+  // pre-barrier events of the reference rank negative, and the validators
+  // (and some viewers) want a non-negative monotone axis. The shift is common
+  // to every event, so it cannot reorder anything; it is applied by reprint,
+  // so re-parse each event once.
+  if (std::isfinite(min_ts) && min_ts != 0.0) {
+    for (MergedEvent& ev : events) {
+      JsonValue parsed;
+      std::string parse_error;
+      if (!parse_json(ev.json, &parsed, &parse_error)) continue;
+      if (JsonValue* ts = parsed.find("ts");
+          ts != nullptr && ts->kind == JsonValue::Kind::kNumber) {
+        ts->number -= min_ts;
+        ev.sort_ts = ts->number;
+        ev.json = to_json(parsed);
+      }
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     if (a.is_metadata != b.is_metadata) return a.is_metadata;
+                     return a.sort_ts < b.sort_ts;
+                   });
+
+  for (const long long id : flow_out_ids) {
+    if (flow_in_ids.count(id) > 0) {
+      ++stats->flow_pairs;
+    } else {
+      ++stats->flow_unpaired;
+    }
+  }
+  for (const long long id : flow_in_ids) {
+    if (flow_out_ids.count(id) == 0) ++stats->flow_unpaired;
+  }
+  stats->files = static_cast<int>(traces.size());
+
+  std::string out;
+  out.reserve(events.size() * 96 + 512);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n\"clockSync\": [";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    char buf[128];
+    if (traces[i].has_mark) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"rank\": %d, \"mark_us\": %.3f, \"offset_us\": %.3f}",
+                    i == 0 ? "" : ", ", traces[i].rank, traces[i].mark_us,
+                    traces[i].offset_us);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s{\"rank\": %d, \"offset_us\": 0.0}",
+                    i == 0 ? "" : ", ", traces[i].rank);
+    }
+    out += buf;
+  }
+  out += "],\n\"traceEvents\": [\n";
+  bool first = true;
+  for (const MergedEvent& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += ev.json;
+    if (ev.is_metadata) {
+      ++stats->metadata;
+    } else {
+      ++stats->events;
+    }
+  }
+  out += "\n]\n}\n";
+  *merged_json = std::move(out);
+  return true;
+}
+
+bool merge_trace_files_to(const std::vector<std::string>& paths,
+                          const std::string& out_path, TraceMergeStats* stats,
+                          std::string* error) {
+  std::string merged;
+  if (!merge_trace_files(paths, &merged, stats, error)) return false;
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot write " + out_path;
+    return false;
+  }
+  const bool ok = std::fwrite(merged.data(), 1, merged.size(), f) ==
+                  merged.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write to " + out_path;
+  return ok;
+}
+
+}  // namespace apa::obstools

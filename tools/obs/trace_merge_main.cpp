@@ -1,0 +1,46 @@
+// trace_merge CLI: fuse per-rank Chrome traces into one timeline.
+//
+//   ./build/tools/trace_merge --out=merged.json trace.rank0.json trace.rank1.json
+//
+// Exit status: 0 merged, 1 nothing merged / unpaired-flow threshold exceeded
+// with --strict-flows, 2 usage or I/O problem.
+
+#include <cstdio>
+
+#include "obs/trace_merge.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace apa;
+  const CliArgs args(argc, argv);
+  const std::string out_path = args.get("out", "merged_trace.json");
+  const bool strict_flows = args.get_bool("strict-flows");
+
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_merge [--out=merged.json] [--strict-flows] "
+                 "trace.rank0.json trace.rank1.json ...\n");
+    return 2;
+  }
+
+  obstools::TraceMergeStats stats;
+  std::string error;
+  if (!obstools::merge_trace_files_to(args.positional(), out_path, &stats,
+                                      &error)) {
+    std::fprintf(stderr, "trace_merge: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf(
+      "trace_merge: %d file(s) -> %s: %zu event(s), %zu metadata, "
+      "%d flow pair(s), %d unpaired, max clock offset %.1f us, "
+      "%d rank(s) without a mark\n",
+      stats.files, out_path.c_str(), stats.events, stats.metadata,
+      stats.flow_pairs, stats.flow_unpaired, stats.max_offset_us,
+      stats.ranks_without_mark);
+  if (strict_flows && stats.flow_unpaired > 0) {
+    std::fprintf(stderr, "trace_merge: %d unpaired flow event(s)\n",
+                 stats.flow_unpaired);
+    return 1;
+  }
+  return 0;
+}
