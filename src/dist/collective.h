@@ -84,7 +84,7 @@ class RingReducer {
   RecvStatus recv_chunk(index_t step, std::uint32_t phase, int from,
                         std::uint64_t membership, Message* out);
 
-  int rank_;
+  int rank_ = -1;
   LocalTransport* transport_;
   ControlBlock* control_;
   CollectiveOptions options_;

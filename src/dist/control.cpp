@@ -38,7 +38,7 @@ std::int64_t ControlBlock::now_ns() const {
 }
 
 bool ControlBlock::is_alive(int rank) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return alive_[static_cast<std::size_t>(rank)];
 }
 
@@ -47,12 +47,12 @@ int ControlBlock::live_count_locked() const {
 }
 
 int ControlBlock::live_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return live_count_locked();
 }
 
 std::vector<int> ControlBlock::live_ranks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<int> out;
   for (int r = 0; r < num_workers_; ++r) {
     if (alive_[static_cast<std::size_t>(r)]) out.push_back(r);
@@ -61,7 +61,7 @@ std::vector<int> ControlBlock::live_ranks() const {
 }
 
 std::uint64_t ControlBlock::live_snapshot(std::vector<int>* ranks) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ranks->clear();
   for (int r = 0; r < num_workers_; ++r) {
     if (alive_[static_cast<std::size_t>(r)]) ranks->push_back(r);
@@ -70,7 +70,7 @@ std::uint64_t ControlBlock::live_snapshot(std::vector<int>* ranks) const {
 }
 
 std::uint64_t ControlBlock::membership_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return membership_version_;
 }
 
@@ -82,7 +82,7 @@ int ControlBlock::coordinator_locked() const {
 }
 
 int ControlBlock::coordinator() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return coordinator_locked();
 }
 
@@ -99,7 +99,7 @@ void ControlBlock::mark_dead_locked(int rank) {
 }
 
 void ControlBlock::mark_dead(int rank) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   mark_dead_locked(rank);
 }
 
@@ -128,7 +128,7 @@ int ControlBlock::expel_stale_locked() {
 }
 
 int ControlBlock::expel_stale() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return expel_stale_locked();
 }
 
@@ -143,12 +143,12 @@ void ControlBlock::abort_locked(ErrorCode code, const std::string& what) {
 }
 
 void ControlBlock::abort(ErrorCode code, const std::string& what) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   abort_locked(code, what);
 }
 
 bool ControlBlock::aborted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return aborted_;
 }
 
@@ -157,7 +157,7 @@ void ControlBlock::check_abort_locked() const {
 }
 
 void ControlBlock::check_abort() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   check_abort_locked();
 }
 
@@ -166,7 +166,7 @@ BarrierResult ControlBlock::barrier(int rank, std::uint64_t tag,
                                     std::uint64_t expected_membership) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (aborted_) return BarrierResult::kAborted;
   if (rewind_interrupts && rewind_active_) return BarrierResult::kRewind;
   if (!alive_[static_cast<std::size_t>(rank)]) return BarrierResult::kAborted;
@@ -216,7 +216,7 @@ BarrierResult ControlBlock::barrier(int rank, std::uint64_t tag,
                    "barrier timed out with no stale heartbeat to blame");
       return BarrierResult::kAborted;
     }
-    cv_.wait_for(lock, kPollSlice);
+    cv_.wait_for(mu_, kPollSlice);
   }
   return membership_version_ == entry_membership
              ? BarrierResult::kOk
@@ -224,7 +224,7 @@ BarrierResult ControlBlock::barrier(int rank, std::uint64_t tag,
 }
 
 void ControlBlock::propose_rewind(int rank, index_t restorable_step) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (aborted_) return;
   if (!rewind_active_) {
     rewind_active_ = true;
@@ -244,12 +244,12 @@ void ControlBlock::propose_rewind(int rank, index_t restorable_step) {
 }
 
 bool ControlBlock::rewind_pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rewind_active_;
 }
 
 std::uint64_t ControlBlock::rewind_rounds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rewind_round_;
 }
 
@@ -258,7 +258,7 @@ RewindDecision ControlBlock::join_rewind(
     const std::function<RewindDecision(index_t min_proposed)>& decide) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   check_abort_locked();
   APA_CHECK_CODE(rewind_active_, ErrorCode::kPrecondition,
                  "join_rewind with no active round (propose first)");
@@ -283,7 +283,7 @@ RewindDecision ControlBlock::join_rewind(
       abort_locked(ErrorCode::kDiverged, "rewind barrier timed out");
     }
     check_abort_locked();
-    cv_.wait_for(lock, kPollSlice);
+    cv_.wait_for(mu_, kPollSlice);
   }
 
   // Phase 2: the coordinator folds min() over the live proposals, validates
@@ -323,7 +323,7 @@ RewindDecision ControlBlock::join_rewind(
       abort_locked(ErrorCode::kDiverged, "rewind decision timed out");
     }
     check_abort_locked();
-    cv_.wait_for(lock, kPollSlice);
+    cv_.wait_for(mu_, kPollSlice);
   }
 
   const RewindDecision decision = rewind_decision_;

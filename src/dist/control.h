@@ -22,16 +22,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "support/check.h"
 #include "support/matrix.h"
+#include "support/thread_annotations.h"
 
 namespace apa::dist {
 
@@ -54,29 +53,30 @@ class ControlBlock {
 
   // -- membership ---------------------------------------------------------
   [[nodiscard]] int num_workers() const { return num_workers_; }
-  [[nodiscard]] bool is_alive(int rank) const;
-  [[nodiscard]] int live_count() const;
-  [[nodiscard]] std::vector<int> live_ranks() const;
+  [[nodiscard]] bool is_alive(int rank) const APAMM_EXCLUDES(mu_);
+  [[nodiscard]] int live_count() const APAMM_EXCLUDES(mu_);
+  [[nodiscard]] std::vector<int> live_ranks() const APAMM_EXCLUDES(mu_);
   /// Atomic pair read: fills `ranks` with the live set and returns the
   /// matching membership version, so callers can lay out work over the live
   /// set and later detect (via barrier) that the layout went stale.
-  std::uint64_t live_snapshot(std::vector<int>* ranks) const;
+  std::uint64_t live_snapshot(std::vector<int>* ranks) const
+      APAMM_EXCLUDES(mu_);
   /// Monotonic counter bumped on every expulsion; messages carry it so chunks
   /// from a pre-death ring layout are discarded instead of misassembled.
-  [[nodiscard]] std::uint64_t membership_version() const;
+  [[nodiscard]] std::uint64_t membership_version() const APAMM_EXCLUDES(mu_);
   /// Lowest live rank. Coordinator for manifest writes and rewind decisions.
-  [[nodiscard]] int coordinator() const;
+  [[nodiscard]] int coordinator() const APAMM_EXCLUDES(mu_);
 
   /// Marks `rank` dead (idempotent), bumps the membership version, and wakes
   /// every waiter so barriers re-evaluate who they are waiting for.
-  void mark_dead(int rank);
+  void mark_dead(int rank) APAMM_EXCLUDES(mu_);
 
   // -- heartbeats ---------------------------------------------------------
   void heartbeat(int rank);
   /// True when `rank` has not heartbeat within the staleness window.
   [[nodiscard]] bool heartbeat_stale(int rank) const;
   /// Expels every live worker whose heartbeat is stale; returns how many.
-  int expel_stale();
+  int expel_stale() APAMM_EXCLUDES(mu_);
 
   // -- barriers ------------------------------------------------------------
   /// Compare-against-entry sentinel for barrier()'s expected_membership.
@@ -92,18 +92,19 @@ class ControlBlock {
   /// snapshot and barrier is reported as kMembershipChanged, not kOk.
   BarrierResult barrier(int rank, std::uint64_t tag, double timeout_s,
                         bool rewind_interrupts = true,
-                        std::uint64_t expected_membership = kEntryMembership);
+                        std::uint64_t expected_membership = kEntryMembership)
+      APAMM_EXCLUDES(mu_);
 
   // -- two-phase rewind -----------------------------------------------------
   /// Phase-1 entry: publish `restorable_step` (newest step this worker can
   /// restore; -1 if none) and wake everyone. Idempotent per round.
-  void propose_rewind(int rank, index_t restorable_step);
-  [[nodiscard]] bool rewind_pending() const;
+  void propose_rewind(int rank, index_t restorable_step) APAMM_EXCLUDES(mu_);
+  [[nodiscard]] bool rewind_pending() const APAMM_EXCLUDES(mu_);
   /// Completed rewind rounds. The collective folds this into its message tag
   /// ("era") so chunks from an interrupted pre-rewind collective can never
   /// alias the replayed one (the replay may use de-risked backends, so the
   /// replayed bytes are NOT guaranteed equal to the aborted attempt's).
-  [[nodiscard]] std::uint64_t rewind_rounds() const;
+  [[nodiscard]] std::uint64_t rewind_rounds() const APAMM_EXCLUDES(mu_);
 
   /// Joins the current rewind round: waits for all live workers to propose
   /// (expelling stale ones), then — on the coordinator — calls `decide` with
@@ -112,31 +113,32 @@ class ControlBlock {
   /// decision every worker saw. Throws ApaError{kDiverged} on abort.
   RewindDecision join_rewind(
       int rank, double timeout_s,
-      const std::function<RewindDecision(index_t min_proposed)>& decide);
+      const std::function<RewindDecision(index_t min_proposed)>& decide)
+      APAMM_EXCLUDES(mu_);
 
   // -- abort ---------------------------------------------------------------
   /// Poison-pills the run: all waiters wake and see kAborted / throw.
-  void abort(ErrorCode code, const std::string& what);
-  [[nodiscard]] bool aborted() const;
+  void abort(ErrorCode code, const std::string& what) APAMM_EXCLUDES(mu_);
+  [[nodiscard]] bool aborted() const APAMM_EXCLUDES(mu_);
   /// Rethrows the abort error on the calling thread (no-op if not aborted).
-  void check_abort() const;
+  void check_abort() const APAMM_EXCLUDES(mu_);
 
  private:
-  [[nodiscard]] int live_count_locked() const;
-  [[nodiscard]] int coordinator_locked() const;
-  void mark_dead_locked(int rank);
-  int expel_stale_locked();
-  void maybe_close_rewind_locked();
-  void abort_locked(ErrorCode code, const std::string& what);
-  void check_abort_locked() const;
+  [[nodiscard]] int live_count_locked() const APAMM_REQUIRES(mu_);
+  [[nodiscard]] int coordinator_locked() const APAMM_REQUIRES(mu_);
+  void mark_dead_locked(int rank) APAMM_REQUIRES(mu_);
+  int expel_stale_locked() APAMM_REQUIRES(mu_);
+  void maybe_close_rewind_locked() APAMM_REQUIRES(mu_);
+  void abort_locked(ErrorCode code, const std::string& what) APAMM_REQUIRES(mu_);
+  void check_abort_locked() const APAMM_REQUIRES(mu_);
 
   const int num_workers_;
   const double heartbeat_timeout_s_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<bool> alive_;
-  std::uint64_t membership_version_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<bool> alive_ APAMM_GUARDED_BY(mu_);
+  std::uint64_t membership_version_ APAMM_GUARDED_BY(mu_) = 0;
 
   // steady_clock ns since start(); 0 = never. Atomics so the hot heartbeat
   // write and staleness reads skip the control mutex.
@@ -148,20 +150,20 @@ class ControlBlock {
     int arrived = 0;
     std::uint64_t generation = 0;
   };
-  BarrierState barrier_;
+  BarrierState barrier_ APAMM_GUARDED_BY(mu_);
 
   // rewind round state.
-  std::uint64_t rewind_round_ = 0;   ///< completed rounds
-  bool rewind_active_ = false;
-  int rewind_exited_ = 0;            ///< participants done with this round
-  std::vector<bool> rewind_joined_;
-  std::vector<index_t> rewind_proposal_;
-  bool rewind_decided_ = false;
-  RewindDecision rewind_decision_;
+  std::uint64_t rewind_round_ APAMM_GUARDED_BY(mu_) = 0;  ///< completed rounds
+  bool rewind_active_ APAMM_GUARDED_BY(mu_) = false;
+  int rewind_exited_ APAMM_GUARDED_BY(mu_) = 0;  ///< done with this round
+  std::vector<bool> rewind_joined_ APAMM_GUARDED_BY(mu_);
+  std::vector<index_t> rewind_proposal_ APAMM_GUARDED_BY(mu_);
+  bool rewind_decided_ APAMM_GUARDED_BY(mu_) = false;
+  RewindDecision rewind_decision_ APAMM_GUARDED_BY(mu_);
 
-  bool aborted_ = false;
-  ErrorCode abort_code_ = ErrorCode::kPrecondition;
-  std::string abort_what_;
+  bool aborted_ APAMM_GUARDED_BY(mu_) = false;
+  ErrorCode abort_code_ APAMM_GUARDED_BY(mu_) = ErrorCode::kPrecondition;
+  std::string abort_what_ APAMM_GUARDED_BY(mu_);
 
   const std::chrono::steady_clock::time_point start_;
   [[nodiscard]] std::int64_t now_ns() const;

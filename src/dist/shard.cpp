@@ -44,7 +44,7 @@ ShardLoader::ShardLoader(const data::Dataset* data, index_t batch_size,
 
 ShardLoader::~ShardLoader() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -57,14 +57,14 @@ void ShardLoader::reshard(RowRange range) {
                  ErrorCode::kPrecondition,
                  "reshard: bad range [" << range.begin << ", " << range.end
                                         << ") for " << data_->size() << " rows");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   range_ = range;
   requested_step_.reset();
   ready_step_.reset();
 }
 
 RowRange ShardLoader::range() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return range_;
 }
 
@@ -97,7 +97,7 @@ Batch ShardLoader::batch_at(index_t step) {
   bool hit = false;
   RowRange range;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     range = range_;
     APA_CHECK_CODE(range.size() >= 1, ErrorCode::kPrecondition,
                    "batch_at before reshard()");
@@ -116,7 +116,7 @@ Batch ShardLoader::batch_at(index_t step) {
     batch = build_batch(step, range);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (range_ == range) {  // reshard may have raced; don't prefetch stale
       requested_step_ = step + 1;
       requested_range_ = range;
@@ -127,10 +127,10 @@ Batch ShardLoader::batch_at(index_t step) {
 }
 
 void ShardLoader::prefetch_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
     if (!requested_step_) {
-      cv_.wait(lock);
+      cv_.wait(mu_);
       continue;
     }
     const index_t step = *requested_step_;

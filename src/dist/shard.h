@@ -15,15 +15,14 @@
 // yields the exact same bytes.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "data/dataset.h"
 #include "support/matrix.h"
+#include "support/thread_annotations.h"
 
 namespace apa::dist {
 
@@ -85,17 +84,17 @@ class ShardLoader {
   const index_t batch_size_;
   const std::uint64_t seed_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  RowRange range_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  RowRange range_ APAMM_GUARDED_BY(mu_);
+  bool stop_ APAMM_GUARDED_BY(mu_) = false;
   // Request slot (what the prefetch thread should build next)...
-  std::optional<index_t> requested_step_;
-  RowRange requested_range_;
+  std::optional<index_t> requested_step_ APAMM_GUARDED_BY(mu_);
+  RowRange requested_range_ APAMM_GUARDED_BY(mu_);
   // ...and the ready slot it fills.
-  std::optional<index_t> ready_step_;
-  RowRange ready_range_;
-  Batch ready_batch_;
+  std::optional<index_t> ready_step_ APAMM_GUARDED_BY(mu_);
+  RowRange ready_range_ APAMM_GUARDED_BY(mu_);
+  Batch ready_batch_ APAMM_GUARDED_BY(mu_);
 
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};

@@ -7,7 +7,6 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -21,6 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
+#include "support/thread_annotations.h"
 
 namespace apa::dist {
 namespace {
@@ -115,8 +115,9 @@ struct DistContext {
   ControlBlock control;
   FaultState* faults_fired;
 
-  std::mutex ckpt_mu;
-  std::map<std::pair<index_t, int>, ShardInfo> ckpt_shards;
+  Mutex ckpt_mu;
+  std::map<std::pair<index_t, int>, ShardInfo> ckpt_shards
+      APAMM_GUARDED_BY(ckpt_mu);
 
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> checksum_slots;
 };
@@ -269,7 +270,7 @@ class Worker {
         APA_COUNTER_INC("dist.fault.shard_corrupted");
       }
       {
-        std::lock_guard<std::mutex> lock(ctx_.ckpt_mu);
+        MutexLock lock(ctx_.ckpt_mu);
         ctx_.ckpt_shards[{step, pos}] = info;
       }
 
@@ -288,7 +289,7 @@ class Worker {
       if (rank_ == ctx_.control.coordinator()) {
         std::vector<ShardInfo> shards;
         {
-          std::lock_guard<std::mutex> lock(ctx_.ckpt_mu);
+          MutexLock lock(ctx_.ckpt_mu);
           for (int k = 0; k < n; ++k) shards.push_back(ctx_.ckpt_shards.at({step, k}));
         }
         write_checkpoint_manifest(opts().checkpoint_dir, step, shards,
@@ -505,7 +506,7 @@ class Worker {
   }
 
   DistContext& ctx_;
-  int rank_;
+  int rank_ = -1;
   nn::Mlp model_;
   WorkerResult& result_;
   obs::TelemetrySink* sink_;  ///< per-rank JSONL sink (may be null; not owned)

@@ -23,7 +23,7 @@ std::uint64_t Message::compute_checksum() const {
 
 void Mailbox::push(Message message) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(message));
   }
   cv_.notify_one();
@@ -38,13 +38,13 @@ std::optional<Message> Mailbox::pop(double timeout_s,
   // proposal, abort) unblocks a receiver that would otherwise wait out the
   // full collective timeout.
   constexpr auto kSlice = std::chrono::milliseconds(5);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (queue_.empty()) {
     if (interrupt && interrupt()) return std::nullopt;
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return std::nullopt;
-    cv_.wait_for(lock, std::min<std::chrono::steady_clock::duration>(
-                           kSlice, deadline - now));
+    cv_.wait_for(mu_, std::min<std::chrono::steady_clock::duration>(
+                          kSlice, deadline - now));
   }
   Message out = std::move(queue_.front());
   queue_.pop_front();
@@ -52,12 +52,12 @@ std::optional<Message> Mailbox::pop(double timeout_s,
 }
 
 void Mailbox::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queue_.clear();
 }
 
 std::size_t Mailbox::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

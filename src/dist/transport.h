@@ -8,15 +8,15 @@
 // protocol, retry with backoff, heartbeat-based death detection) the same way
 // a TCP ring would, while tests stay deterministic and TSan-instrumented.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "dist/fault.h"
+#include "support/thread_annotations.h"
 
 namespace apa::dist {
 
@@ -59,18 +59,19 @@ struct Message {
 /// true (polled, so a pending rollback proposal unblocks a stalled ring).
 class Mailbox {
  public:
-  void push(Message message);
+  void push(Message message) APAMM_EXCLUDES(mu_);
   std::optional<Message> pop(double timeout_s,
-                             const std::function<bool()>& interrupt = {});
+                             const std::function<bool()>& interrupt = {})
+      APAMM_EXCLUDES(mu_);
   /// Discards everything queued (used when re-forming the ring after a
   /// membership change so stale chunks cannot alias a new collective).
-  void clear();
-  [[nodiscard]] std::size_t size() const;
+  void clear() APAMM_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t size() const APAMM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Message> queue_ APAMM_GUARDED_BY(mu_);
 };
 
 /// N mailboxes plus the fault hooks. Thread-safe for concurrent sends.

@@ -34,28 +34,28 @@ GuardedBackend::GuardedBackend(const std::string& algorithm, BackendOptions opti
 }
 
 GuardStats GuardedBackend::stats() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->stats;
 }
 
 void GuardedBackend::reset_stats() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->stats = GuardStats{};
 }
 
 bool GuardedBackend::is_quarantined(index_t m, index_t k, index_t n) const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   const auto it = state_->trips_by_shape.find(ShapeKey{m, k, n});
   return it != state_->trips_by_shape.end() && it->second >= policy_.quarantine_after;
 }
 
 void GuardedBackend::clear_quarantine(index_t m, index_t k, index_t n) const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->trips_by_shape.erase(ShapeKey{m, k, n});
 }
 
 int GuardedBackend::trips_for(index_t m, index_t k, index_t n) const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   const auto it = state_->trips_by_shape.find(ShapeKey{m, k, n});
   return it != state_->trips_by_shape.end() ? it->second : 0;
 }
@@ -79,7 +79,7 @@ void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float
   bool quarantined = false;
   bool check_this_call = false;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     const auto it = state_->trips_by_shape.find(key);
     quarantined = it != state_->trips_by_shape.end() &&
                   it->second >= policy_.quarantine_after;
@@ -115,7 +115,7 @@ void GuardedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float
     const core::ProductGuard guard(bound, policy_.guard);
     core::GuardReport report;
     {
-      std::lock_guard<std::mutex> lock(state_->mu);
+      MutexLock lock(state_->mu);
       report = guard.verify(a, b, c.as_const(), state_->rng, transpose_a, transpose_b);
       ++state_->stats.checks_run;
       state_->stats.worst_ratio =

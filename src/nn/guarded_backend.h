@@ -19,12 +19,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 
 #include "core/guard.h"
 #include "nn/backend.h"
+#include "support/thread_annotations.h"
 
 namespace apa::nn {
 
@@ -98,11 +98,12 @@ class GuardedBackend : public MatmulBackend {
  private:
   using ShapeKey = std::tuple<index_t, index_t, index_t>;
   struct State {
-    std::mutex mu;
-    Rng rng;
-    std::uint64_t fast_call_count = 0;
-    std::map<ShapeKey, int> trips_by_shape;  // quarantined once >= threshold
-    GuardStats stats;
+    Mutex mu;
+    Rng rng APAMM_GUARDED_BY(mu);
+    std::uint64_t fast_call_count APAMM_GUARDED_BY(mu) = 0;
+    /// Quarantined once >= threshold.
+    std::map<ShapeKey, int> trips_by_shape APAMM_GUARDED_BY(mu);
+    GuardStats stats APAMM_GUARDED_BY(mu);
     explicit State(std::uint64_t seed) : rng(seed) {}
   };
 

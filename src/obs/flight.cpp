@@ -53,7 +53,7 @@ struct FlightRing {
   std::vector<FlightEntry> entries;
   std::atomic<std::uint64_t> count{0};  ///< total events ever pushed
   std::atomic<int> rank;
-  int tid;
+  int tid = 0;
 };
 
 std::atomic<FlightRing*> g_rings[kMaxFlightRings] = {};
@@ -149,7 +149,7 @@ struct RawWriter {
       num_u(static_cast<std::uint64_t>(v));
     }
   }
-  int fd;
+  int fd = -1;
   char buf[4096];
   std::size_t len = 0;
 };
@@ -238,6 +238,7 @@ int dump_rank_file(const char* reason, int rank, int nrings, const char* dir,
 struct sigaction g_prev_actions[5];
 const int kFatalSignals[5] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
 
+// apamm-check: signal-path
 void on_fatal_signal(int sig) {
   flight_dump("fatal_signal");
   for (int i = 0; i < 5; ++i) {

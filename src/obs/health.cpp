@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <tuple>
 
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "support/thread_annotations.h"
 
 namespace apa::obs {
 
@@ -15,13 +15,15 @@ namespace apa::obs {
 struct HealthMonitor::Impl {
   using Key = std::tuple<std::string, long long, long long, long long>;
 
-  mutable std::mutex mu;
-  HealthOptions options;
-  TelemetrySink* sink = nullptr;
-  std::map<Key, ShapeHealth> streams;
-  std::uint64_t flagged = 0;
+  mutable Mutex mu;
+  HealthOptions options APAMM_GUARDED_BY(mu);
+  TelemetrySink* sink APAMM_GUARDED_BY(mu) = nullptr;
+  std::map<Key, ShapeHealth> streams APAMM_GUARDED_BY(mu);
+  std::uint64_t flagged APAMM_GUARDED_BY(mu) = 0;
 
-  void emit(const ShapeHealth& s, const char* event) {
+  // Lock order: mu is held across emit(), which writes to the sink — the
+  // sink's own mu_ nests strictly inside this monitor's mu.
+  void emit(const ShapeHealth& s, const char* event) APAMM_REQUIRES(mu) {
     if (sink == nullptr) return;
     JsonRecord record;
     record.set("type", "health")
@@ -42,6 +44,7 @@ struct HealthMonitor::Impl {
 };
 
 HealthMonitor::HealthMonitor(HealthOptions options) : impl_(new Impl) {
+  MutexLock lock(impl_->mu);
   impl_->options = options;
 }
 
@@ -50,7 +53,7 @@ HealthMonitor::~HealthMonitor() { delete impl_; }
 void HealthMonitor::record(const char* algo, long long m, long long k,
                            long long n, double ratio, double bound) {
   APA_COUNTER_INC("health.samples");
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   const HealthOptions& opt = impl_->options;
   ShapeHealth& s = impl_->streams[{std::string(algo), m, k, n}];
   if (s.samples == 0) {
@@ -90,7 +93,7 @@ void HealthMonitor::record(const char* algo, long long m, long long k,
 }
 
 bool HealthMonitor::drifting(long long m, long long k, long long n) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   if (impl_->flagged == 0) return false;
   for (const auto& [key, s] : impl_->streams) {
     if (s.m == m && s.k == k && s.n == n && s.drifting) return true;
@@ -99,12 +102,12 @@ bool HealthMonitor::drifting(long long m, long long k, long long n) const {
 }
 
 std::uint64_t HealthMonitor::drifting_count() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->flagged;
 }
 
 std::vector<ShapeHealth> HealthMonitor::snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   std::vector<ShapeHealth> out;
   out.reserve(impl_->streams.size());
   for (const auto& [key, s] : impl_->streams) out.push_back(s);
@@ -112,22 +115,22 @@ std::vector<ShapeHealth> HealthMonitor::snapshot() const {
 }
 
 void HealthMonitor::emit_all(const char* event) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   for (const auto& [key, s] : impl_->streams) impl_->emit(s, event);
 }
 
 void HealthMonitor::attach(TelemetrySink* sink) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->sink = sink;
 }
 
 void HealthMonitor::set_options(const HealthOptions& options) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->options = options;
 }
 
 void HealthMonitor::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->streams.clear();
   impl_->flagged = 0;
 }

@@ -4,7 +4,8 @@
 #include <bit>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "support/thread_annotations.h"
 #endif
 
 namespace apa::obs {
@@ -24,11 +25,12 @@ namespace {
 // advisory — they may trail in-flight adds by design.
 template <class T>
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, std::unique_ptr<T>, std::less<>> entries;
+  Mutex mu;
+  std::map<std::string, std::unique_ptr<T>, std::less<>> entries
+      APAMM_GUARDED_BY(mu);
 
-  T* intern(const char* name) {
-    std::lock_guard<std::mutex> lock(mu);
+  T* intern(const char* name) APAMM_EXCLUDES(mu) {
+    MutexLock lock(mu);
     auto it = entries.find(std::string_view(name));
     if (it == entries.end()) {
       it = entries
@@ -66,7 +68,7 @@ void Histogram::record(std::uint64_t v) {
 
 std::vector<CounterSample> counter_samples() {
   Registry<Counter>& reg = counter_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::vector<CounterSample> out;
   out.reserve(reg.entries.size());
   for (const auto& [name, counter] : reg.entries) {
@@ -77,14 +79,14 @@ std::vector<CounterSample> counter_samples() {
 
 std::uint64_t counter_value(std::string_view name) {
   Registry<Counter>& reg = counter_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.entries.find(name);
   return it == reg.entries.end() ? 0 : it->second->value();
 }
 
 std::vector<HistogramSample> histogram_samples() {
   Registry<Histogram>& reg = histogram_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::vector<HistogramSample> out;
   out.reserve(reg.entries.size());
   for (const auto& [name, hist] : reg.entries) {
@@ -105,13 +107,13 @@ std::vector<HistogramSample> histogram_samples() {
 void reset_counters() {
   {
     Registry<Counter>& reg = counter_registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     for (const auto& [name, counter] : reg.entries) {
       counter->value_.store(0, std::memory_order_relaxed);
     }
   }
   Registry<Histogram>& reg = histogram_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& [name, hist] : reg.entries) {
     hist->count_.store(0, std::memory_order_relaxed);
     hist->sum_.store(0, std::memory_order_relaxed);

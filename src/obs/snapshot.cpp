@@ -3,13 +3,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/thread_annotations.h"
 
 namespace apa::obs {
 
@@ -151,11 +150,11 @@ bool parse_snapshot_spec(const std::string& spec, std::string* path,
 }
 
 struct MetricsPublisher::Impl {
-  std::string path;
-  double period_s;
-  std::mutex mu;
-  std::condition_variable cv;
-  bool stop = false;
+  std::string path;     // immutable once the publisher thread starts
+  double period_s = 1.0;  // immutable once the publisher thread starts
+  Mutex mu;
+  CondVar cv;
+  bool stop APAMM_GUARDED_BY(mu) = false;
   std::thread thread;
 };
 
@@ -164,11 +163,13 @@ MetricsPublisher::MetricsPublisher(std::string path, double period_s)
   impl_->path = std::move(path);
   impl_->period_s = period_s > 0 ? period_s : 1.0;
   impl_->thread = std::thread([impl = impl_, this] {
-    std::unique_lock<std::mutex> lock(impl->mu);
+    MutexLock lock(impl->mu);
     while (!impl->stop) {
-      impl->cv.wait_for(
-          lock, std::chrono::duration<double>(impl->period_s),
-          [impl] { return impl->stop; });
+      // Plain timed wait (no predicate lambda — TSA cannot see the caller's
+      // lock inside one): a spurious wakeup costs one early snapshot, and the
+      // stop flag is re-checked right after under the same lock.
+      impl->cv.wait_for(impl->mu,
+                        std::chrono::duration<double>(impl->period_s));
       if (impl->stop) break;
       lock.unlock();
       publish_now();
@@ -179,7 +180,7 @@ MetricsPublisher::MetricsPublisher(std::string path, double period_s)
 
 MetricsPublisher::~MetricsPublisher() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->stop = true;
   }
   impl_->cv.notify_all();

@@ -44,6 +44,7 @@ void unregister_crash_fd(int fd) {
 // Async-signal-safe: only atomics loads and fsync. User-space buffers are
 // already empty (write() fflushes per record), so fsync pushes every
 // completed record to stable storage before the process dies.
+// apamm-check: signal-path
 void crash_flush_fds() {
   for (auto& slot : g_crash_fds) {
     const int stored = slot.load(std::memory_order_acquire);
@@ -51,6 +52,7 @@ void crash_flush_fds() {
   }
 }
 
+// apamm-check: signal-path
 void crash_flush_signal_handler(int signo) {
   crash_flush_fds();
   // Chain to the previous disposition so the process still terminates with
@@ -102,6 +104,7 @@ std::string JsonRecord::to_json() const {
 
 TelemetrySink::TelemetrySink(const std::string& path) : path_(path) {
   if (path_.empty()) return;
+  MutexLock lock(mu_);
   file_ = std::fopen(path_.c_str(), "w");
   if (file_ == nullptr) {
     std::fprintf(stderr, "obs: cannot open telemetry output %s\n", path_.c_str());
@@ -111,23 +114,29 @@ TelemetrySink::TelemetrySink(const std::string& path) : path_(path) {
 }
 
 TelemetrySink::~TelemetrySink() {
+  // The close runs under the write/sync lock: a thread mid-write finishes its
+  // record before the stream goes away, instead of racing the fclose (the
+  // pre-annotation code read and closed file_ with no lock held).
+  MutexLock lock(mu_);
   if (file_ == nullptr) return;
-  sync();
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
   unregister_crash_fd(::fileno(file_));
   std::fclose(file_);
+  file_ = nullptr;
 }
 
 void TelemetrySink::sync() {
+  MutexLock lock(mu_);
   if (file_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
   std::fflush(file_);
   ::fsync(::fileno(file_));
 }
 
 void TelemetrySink::write(const JsonRecord& record) {
-  if (file_ == nullptr) return;
   const std::string line = record.to_json();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  if (file_ == nullptr) return;
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fputc('\n', file_);
   std::fflush(file_);

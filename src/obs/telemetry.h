@@ -6,13 +6,13 @@
 // ambient instrumentation.
 
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/json.h"
+#include "support/thread_annotations.h"
 
 namespace apa::obs {
 
@@ -78,19 +78,25 @@ class TelemetrySink {
   TelemetrySink(const TelemetrySink&) = delete;
   TelemetrySink& operator=(const TelemetrySink&) = delete;
 
-  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] bool ok() const APAMM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return file_ != nullptr;
+  }
   [[nodiscard]] const std::string& path() const { return path_; }
 
-  void write(const JsonRecord& record);
+  void write(const JsonRecord& record) APAMM_EXCLUDES(mu_);
 
   /// Pushes user-space and kernel buffers to disk (fflush + fsync). Called
   /// by the destructor; safe to call at any time from any thread.
-  void sync();
+  void sync() APAMM_EXCLUDES(mu_);
 
  private:
   std::string path_;
-  std::FILE* file_ = nullptr;
-  std::mutex mu_;
+  mutable Mutex mu_;
+  // Guarded by mu_ for its whole lifecycle: the destructor closes the stream
+  // under the same lock write()/sync() hold, so a concurrent writer can never
+  // race the fclose into a use-after-close.
+  std::FILE* file_ APAMM_GUARDED_BY(mu_) = nullptr;
 };
 
 /// Installs an atexit hook and SIGTERM/SIGINT handlers that fsync every

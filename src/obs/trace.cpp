@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "obs/flight.h"
+#include "support/thread_annotations.h"
 
 namespace apa::obs {
 
@@ -54,16 +54,19 @@ struct ThreadRing {
   std::vector<TraceEvent> ring;
   std::atomic<std::uint64_t> count{0};  ///< total events ever pushed
   std::atomic<std::uint64_t> generation;
-  std::mutex resize_mu;
-  int tid;
+  // apamm-check-allow(R3): single-producer ring — slots are written lock-free
+  // by the owner; resize_mu only serializes the owner's storage swap against
+  // drains, so no field is exclusively guarded by it.
+  Mutex resize_mu;
+  int tid = 0;
   std::atomic<int> rank;
 };
 
 struct RingRegistry {
-  std::mutex mu;
+  Mutex mu;
   // Owned here, never freed: a thread that exits leaves its ring readable, and
   // a dangling thread_local pointer can never observe a destroyed ring.
-  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::vector<std::unique_ptr<ThreadRing>> rings APAMM_GUARDED_BY(mu);
 };
 
 RingRegistry& registry() {
@@ -77,7 +80,7 @@ thread_local int tls_rank = -1;
 ThreadRing* this_thread_ring() {
   if (tls_ring == nullptr) {
     RingRegistry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     // Capacity and generation are read together under the registry mutex,
     // which set_trace_capacity also holds — a fresh ring is never born stale.
     reg.rings.push_back(std::make_unique<ThreadRing>(
@@ -90,8 +93,9 @@ ThreadRing* this_thread_ring() {
 }
 
 struct PhaseRegistry {
-  std::mutex mu;
-  std::map<std::string, std::unique_ptr<Phase>, std::less<>> phases;
+  Mutex mu;
+  std::map<std::string, std::unique_ptr<Phase>, std::less<>> phases
+      APAMM_GUARDED_BY(mu);
 };
 
 PhaseRegistry& phase_registry() {
@@ -114,7 +118,7 @@ void record_event(const char* name, std::int64_t id, std::uint64_t start_ns,
   // so a concurrent drain never reads a vector mid-reallocation.
   const std::uint64_t gen = g_ring_generation.load(std::memory_order_acquire);
   if (ring->generation.load(std::memory_order_relaxed) != gen) {
-    std::lock_guard<std::mutex> lock(ring->resize_mu);
+    MutexLock lock(ring->resize_mu);
     ring->ring.assign(
         static_cast<std::size_t>(
             g_ring_capacity.load(std::memory_order_relaxed)),
@@ -144,7 +148,7 @@ void record_event(const char* name, std::int64_t id, std::uint64_t start_ns,
 
 Phase* Phase::intern(const char* name) {
   detail::PhaseRegistry& reg = detail::phase_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   auto it = reg.phases.find(std::string_view(name));
   if (it == reg.phases.end()) {
     it = reg.phases
@@ -203,7 +207,7 @@ void reset_clock_marks() {
 void set_trace_capacity(std::uint64_t events_per_thread) {
   const std::uint64_t cap = std::max<std::uint64_t>(events_per_thread, 1);
   detail::RingRegistry& reg = detail::registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   detail::g_ring_capacity.store(cap, std::memory_order_relaxed);
   // Publishing the new generation is the whole resize: producers observe the
   // bump on their next record and swap their own storage; drains below skip
@@ -223,7 +227,7 @@ bool tracing() { return detail::g_tracing.load(std::memory_order_relaxed); }
 
 std::vector<PhaseTotal> phase_totals() {
   detail::PhaseRegistry& reg = detail::phase_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::vector<PhaseTotal> out;
   out.reserve(reg.phases.size());
   for (const auto& [name, phase] : reg.phases) {
@@ -252,7 +256,7 @@ std::vector<PhaseTotal> phase_delta(const std::vector<PhaseTotal>& after,
 
 void reset_phases() {
   detail::PhaseRegistry& reg = detail::phase_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& [name, phase] : reg.phases) {
     phase->total_ns_.store(0, std::memory_order_relaxed);
     phase->count_.store(0, std::memory_order_relaxed);
@@ -261,12 +265,12 @@ void reset_phases() {
 
 std::vector<TraceEventView> trace_events() {
   detail::RingRegistry& reg = detail::registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const std::uint64_t gen =
       detail::g_ring_generation.load(std::memory_order_acquire);
   std::vector<TraceEventView> out;
   for (const auto& ring : reg.rings) {
-    std::lock_guard<std::mutex> storage_lock(ring->resize_mu);
+    MutexLock storage_lock(ring->resize_mu);
     // A ring the owner has not yet migrated to the current capacity holds
     // pre-resize events; set_trace_capacity documents those as discarded.
     if (ring->generation.load(std::memory_order_acquire) != gen) continue;
@@ -288,12 +292,12 @@ std::vector<TraceEventView> trace_events() {
 
 std::uint64_t trace_dropped() {
   detail::RingRegistry& reg = detail::registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const std::uint64_t gen =
       detail::g_ring_generation.load(std::memory_order_acquire);
   std::uint64_t dropped = 0;
   for (const auto& ring : reg.rings) {
-    std::lock_guard<std::mutex> storage_lock(ring->resize_mu);
+    MutexLock storage_lock(ring->resize_mu);
     if (ring->generation.load(std::memory_order_acquire) != gen) continue;
     const std::uint64_t n = ring->count.load(std::memory_order_acquire);
     if (n > ring->capacity()) dropped += n - ring->capacity();
@@ -303,7 +307,7 @@ std::uint64_t trace_dropped() {
 
 void reset_trace() {
   detail::RingRegistry& reg = detail::registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& ring : reg.rings) {
     ring->count.store(0, std::memory_order_release);
   }

@@ -6,13 +6,14 @@
 // mallocs (large enough to be mmap-backed, i.e. page-fault heavy) into
 // free-list pops. Buffers are keyed by exact element count.
 
+#include <cstddef>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "support/aligned.h"
 #include "support/matrix.h"
+#include "support/thread_annotations.h"
 
 namespace apa {
 
@@ -29,7 +30,7 @@ class BufferPool {
   [[nodiscard]] AlignedBuffer<T> acquire(std::size_t count) {
     if (count == 0) return {};
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       auto it = free_.find(count);
       if (it != free_.end() && !it->second.empty()) {
         AlignedBuffer<T> buf = std::move(it->second.back());
@@ -45,7 +46,7 @@ class BufferPool {
 
   void release(AlignedBuffer<T>&& buffer) {
     if (buffer.empty()) return;
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (cached_count_ >= kMaxCached) return;  // drop: destructor frees
     ++cached_count_;
     free_[buffer.size()].push_back(std::move(buffer));
@@ -53,21 +54,22 @@ class BufferPool {
 
   /// Drops all cached buffers (tests / memory-pressure handling).
   void clear() {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     free_.clear();
     cached_count_ = 0;
   }
 
   [[nodiscard]] std::size_t cached() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return cached_count_;
   }
 
  private:
   static constexpr std::size_t kMaxCached = 256;
-  mutable std::mutex mutex_;
-  std::map<std::size_t, std::vector<AlignedBuffer<T>>> free_;
-  std::size_t cached_count_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::size_t, std::vector<AlignedBuffer<T>>> free_
+      APAMM_GUARDED_BY(mutex_);
+  std::size_t cached_count_ APAMM_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII lease of a raw pool buffer (1-D). Acquired from the singleton pool on

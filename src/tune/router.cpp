@@ -49,53 +49,6 @@ RouterCandidate candidate_from_choice(const TunedChoice& choice) {
 
 }  // namespace
 
-/// Per-shape exploration ledger. Sample slots are assigned in per-candidate
-/// bursts (each candidate runs its warm-ups then all its timed samples
-/// back-to-back) under the state lock, so the schedule is deterministic for
-/// serial callers and exact-count for concurrent ones. Bursts, not
-/// round-robin: interleaving candidates evicts the pools/cache lines a
-/// large-working-set candidate relies on, which biases the timings toward
-/// small-footprint candidates in a way steady-state traffic never would.
-/// The burst ladder runs twice — forward, then in reversed candidate order —
-/// and each candidate keeps its minimum across both bursts, so monotone
-/// machine drift (turbo decay, thermal throttle) cancels to first order
-/// instead of taxing whichever candidates happen to run last.
-struct TunedBackend::Entry {
-  std::vector<RouterCandidate> candidates;
-  std::vector<double> best_seconds;  ///< min over recorded samples, else +inf
-  std::vector<std::uint64_t> samples;
-  int next_slot = 0;
-  int recorded = 0;
-  bool decided = false;
-  TunedChoice decision;
-
-  /// Slots for `reps` calls per candidate, counting both passes of the
-  /// forward/reversed burst ladder.
-  [[nodiscard]] int total_slots(int reps) const {
-    return 2 * static_cast<int>(candidates.size()) * reps;
-  }
-  /// Best candidate so far (lowest index on ties); classical fallback slot 0
-  /// when nothing is recorded yet.
-  [[nodiscard]] std::size_t best_index() const {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < best_seconds.size(); ++i) {
-      if (best_seconds[i] < best_seconds[best]) best = i;
-    }
-    return best;
-  }
-};
-
-struct TunedBackend::State {
-  mutable std::mutex mu;  ///< entries + stats
-  std::map<ShapeKey, Entry> entries;
-  RouterStats stats;
-
-  mutable std::mutex backends_mu;  ///< candidate backend registry
-  std::map<std::string, std::unique_ptr<nn::MatmulBackend>> backends;
-
-  mutable std::mutex save_mu;  ///< serializes cache writes
-};
-
 TunedBackend::TunedBackend(RouterOptions options)
     : MatmulBackend("classical", options.backend),
       options_(std::move(options)),
@@ -113,15 +66,22 @@ TunedBackend::TunedBackend(RouterOptions options)
 
   if (!options_.enabled || options_.cache_path.empty()) return;
   const CacheLoad load = load_tuning_cache(options_.cache_path, cpu_);
-  state_->stats.cache_status = load.status;
-  state_->stats.warm_entries = load.entries.size();
-  APA_COUNTER_ADD("tune.cache.warm_entries", load.entries.size());
-  for (const auto& [key, choice] : load.entries) {
-    Entry entry;
-    entry.decided = true;
-    entry.decision = choice;
-    state_->entries.emplace(key, std::move(entry));
+  {
+    // Lock even in the constructor: state_ is a shared_ptr that outlives this
+    // frame via copies handed to candidate backends, and Clang's thread-safety
+    // analysis (rightly) has no "no concurrent access yet" carve-out for
+    // writes to another object's guarded fields.
+    MutexLock lock(state_->mu);
+    state_->stats.cache_status = load.status;
+    state_->stats.warm_entries = load.entries.size();
+    for (const auto& [key, choice] : load.entries) {
+      Entry entry;
+      entry.decided = true;
+      entry.decision = choice;
+      state_->entries.emplace(key, std::move(entry));
+    }
   }
+  APA_COUNTER_ADD("tune.cache.warm_entries", load.entries.size());
   if (options_.telemetry != nullptr) {
     obs::JsonRecord record;
     record.set("type", "route_cache")
@@ -172,7 +132,7 @@ std::vector<RouterCandidate> TunedBackend::candidates_for(index_t m, index_t k,
 const nn::MatmulBackend& TunedBackend::backend_for(
     const RouterCandidate& candidate) const {
   const std::string key = backend_key(candidate);
-  std::lock_guard<std::mutex> lock(state_->backends_mu);
+  MutexLock lock(state_->backends_mu);
   auto it = state_->backends.find(key);
   if (it == state_->backends.end()) {
     nn::BackendOptions options = options_.backend;
@@ -286,7 +246,7 @@ void TunedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> 
 
   if (!options_.enabled || std::min({m, k, n}) < options_.min_dim) {
     {
-      std::lock_guard<std::mutex> lock(state_->mu);
+      MutexLock lock(state_->mu);
       ++state_->stats.static_calls;
     }
     APA_COUNTER_INC("tune.router.static_calls");
@@ -300,7 +260,7 @@ void TunedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> 
   bool exploring = false;
   bool record = false;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     Entry& entry = state_->entries[key];
     if (!entry.decided && entry.candidates.empty()) {
       entry.candidates = candidates_for(m, k, n);
@@ -342,7 +302,7 @@ void TunedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> 
       // shape resumes its APA route once the quarantine is cleared), but
       // every call meanwhile is served by exact gemm.
       {
-        std::lock_guard<std::mutex> lock(state_->mu);
+        MutexLock lock(state_->mu);
         ++state_->stats.quarantine_overrides;
       }
       APA_COUNTER_INC("tune.router.quarantine_overrides");
@@ -354,7 +314,7 @@ void TunedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> 
       // gemm until the drift flag clears (EWMA decays back under the
       // threshold). The committed decision is untouched.
       {
-        std::lock_guard<std::mutex> lock(state_->mu);
+        MutexLock lock(state_->mu);
         ++state_->stats.health_overrides;
       }
       APA_COUNTER_INC("tune.router.health_overrides");
@@ -378,7 +338,7 @@ void TunedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> 
 
   bool committed = false;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     Entry& entry = state_->entries[key];
     entry.best_seconds[candidate_index] =
         std::min(entry.best_seconds[candidate_index], seconds);
@@ -396,12 +356,12 @@ void TunedBackend::matmul_ex(MatrixView<const float> a, MatrixView<const float> 
 }
 
 RouterStats TunedBackend::stats() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->stats;
 }
 
 ChoiceTable TunedBackend::choice_table() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   ChoiceTable table;
   for (const auto& [key, entry] : state_->entries) {
     if (entry.decided) table.emplace(key, entry.decision);
@@ -410,7 +370,7 @@ ChoiceTable TunedBackend::choice_table() const {
 }
 
 bool TunedBackend::is_decided(index_t m, index_t k, index_t n) const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   const auto it = state_->entries.find(ShapeKey{m, k, n});
   return it != state_->entries.end() && it->second.decided;
 }
@@ -419,7 +379,7 @@ std::optional<TunedChoice> TunedBackend::route_for(index_t m, index_t k,
                                                    index_t n) const {
   TunedChoice decision;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     const auto it = state_->entries.find(ShapeKey{m, k, n});
     if (it == state_->entries.end() || !it->second.decided) return std::nullopt;
     decision = it->second.decision;
@@ -435,7 +395,7 @@ std::optional<TunedChoice> TunedBackend::route_for(index_t m, index_t k,
 bool TunedBackend::save(const std::string& path) const {
   const std::string target = path.empty() ? options_.cache_path : path;
   if (target.empty()) return false;
-  std::lock_guard<std::mutex> lock(state_->save_mu);
+  MutexLock lock(state_->save_mu);
   // Snapshot under the save lock: a snapshot taken outside it could be
   // overtaken by a fresher save and then land last, losing decisions.
   const ChoiceTable table = choice_table();
@@ -445,14 +405,14 @@ bool TunedBackend::save(const std::string& path) const {
     return false;
   }
   {
-    std::lock_guard<std::mutex> stats_lock(state_->mu);
+    MutexLock stats_lock(state_->mu);
     ++state_->stats.cache_saves;
   }
   return true;
 }
 
 bool TunedBackend::is_quarantined(index_t m, index_t k, index_t n) const {
-  std::lock_guard<std::mutex> lock(state_->backends_mu);
+  MutexLock lock(state_->backends_mu);
   for (const auto& [key, backend] : state_->backends) {
     const auto* guarded = dynamic_cast<const nn::GuardedBackend*>(backend.get());
     if (guarded != nullptr && guarded->is_quarantined(m, k, n)) return true;
@@ -461,7 +421,7 @@ bool TunedBackend::is_quarantined(index_t m, index_t k, index_t n) const {
 }
 
 void TunedBackend::clear_quarantine(index_t m, index_t k, index_t n) const {
-  std::lock_guard<std::mutex> lock(state_->backends_mu);
+  MutexLock lock(state_->backends_mu);
   for (const auto& [key, backend] : state_->backends) {
     const auto* guarded = dynamic_cast<const nn::GuardedBackend*>(backend.get());
     if (guarded != nullptr) guarded->clear_quarantine(m, k, n);
@@ -469,7 +429,7 @@ void TunedBackend::clear_quarantine(index_t m, index_t k, index_t n) const {
 }
 
 nn::GuardStats TunedBackend::guard_stats() const {
-  std::lock_guard<std::mutex> lock(state_->backends_mu);
+  MutexLock lock(state_->backends_mu);
   nn::GuardStats total;
   for (const auto& [key, backend] : state_->backends) {
     const auto* guarded = dynamic_cast<const nn::GuardedBackend*>(backend.get());

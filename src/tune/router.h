@@ -35,13 +35,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "nn/guarded_backend.h"
 #include "obs/telemetry.h"
+#include "support/thread_annotations.h"
 #include "tune/cache.h"
 
 namespace apa::tune {
@@ -137,41 +137,104 @@ class TunedBackend : public nn::MatmulBackend {
                  MatrixView<float> c, bool transpose_a, bool transpose_b,
                  const nn::MatmulFusion& fusion) const override;
 
-  [[nodiscard]] RouterStats stats() const;
+  [[nodiscard]] RouterStats stats() const APAMM_EXCLUDES(state_->mu);
   [[nodiscard]] const RouterOptions& router_options() const { return options_; }
   /// Snapshot of every committed decision (warm-loaded ones included).
-  [[nodiscard]] ChoiceTable choice_table() const;
-  [[nodiscard]] bool is_decided(index_t m, index_t k, index_t n) const;
+  [[nodiscard]] ChoiceTable choice_table() const APAMM_EXCLUDES(state_->mu);
+  [[nodiscard]] bool is_decided(index_t m, index_t k, index_t n) const
+      APAMM_EXCLUDES(state_->mu);
   /// The choice the next call at (m, k, n) would run, after the quarantine
   /// override is applied; nullopt while the shape is still exploring.
   [[nodiscard]] std::optional<TunedChoice> route_for(index_t m, index_t k,
-                                                     index_t n) const;
+                                                     index_t n) const
+      APAMM_EXCLUDES(state_->mu);
 
   /// Persists the current table; empty path uses options.cache_path. Returns
   /// false (without throwing) when no path is configured or the write fails.
-  bool save(const std::string& path = "") const;
+  bool save(const std::string& path = "") const
+      APAMM_EXCLUDES(state_->save_mu, state_->mu);
 
   /// True when (m, k, n) is quarantined on any APA candidate's guard.
-  [[nodiscard]] bool is_quarantined(index_t m, index_t k, index_t n) const;
+  [[nodiscard]] bool is_quarantined(index_t m, index_t k, index_t n) const
+      APAMM_EXCLUDES(state_->backends_mu);
   /// Lifts the quarantine on every candidate guard, making the shape
   /// re-selectable for APA (operator action after a root cause is fixed).
-  void clear_quarantine(index_t m, index_t k, index_t n) const;
+  void clear_quarantine(index_t m, index_t k, index_t n) const
+      APAMM_EXCLUDES(state_->backends_mu);
   /// Aggregated guard stats across every APA candidate backend.
-  [[nodiscard]] nn::GuardStats guard_stats() const;
+  [[nodiscard]] nn::GuardStats guard_stats() const
+      APAMM_EXCLUDES(state_->backends_mu);
 
  private:
-  struct Entry;
-  struct State;
+  /// Per-shape exploration ledger. Sample slots are assigned in per-candidate
+  /// bursts (each candidate runs its warm-ups then all its timed samples
+  /// back-to-back) under the state lock, so the schedule is deterministic for
+  /// serial callers and exact-count for concurrent ones. Bursts, not
+  /// round-robin: interleaving candidates evicts the pools/cache lines a
+  /// large-working-set candidate relies on, which biases the timings toward
+  /// small-footprint candidates in a way steady-state traffic never would.
+  /// The burst ladder runs twice — forward, then in reversed candidate order —
+  /// and each candidate keeps its minimum across both bursts, so monotone
+  /// machine drift (turbo decay, thermal throttle) cancels to first order
+  /// instead of taxing whichever candidates happen to run last.
+  /// Entries live inside State::entries and are only reached through
+  /// references taken under State::mu, so the fields carry no per-field
+  /// annotations of their own.
+  struct Entry {
+    std::vector<RouterCandidate> candidates;
+    std::vector<double> best_seconds;  ///< min over recorded samples, else +inf
+    std::vector<std::uint64_t> samples;
+    int next_slot = 0;
+    int recorded = 0;
+    bool decided = false;
+    TunedChoice decision;
+
+    /// Slots for `reps` calls per candidate, counting both passes of the
+    /// forward/reversed burst ladder.
+    [[nodiscard]] int total_slots(int reps) const {
+      return 2 * static_cast<int>(candidates.size()) * reps;
+    }
+    /// Best candidate so far (lowest index on ties); classical fallback slot
+    /// 0 when nothing is recorded yet.
+    [[nodiscard]] std::size_t best_index() const {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < best_seconds.size(); ++i) {
+        if (best_seconds[i] < best_seconds[best]) best = i;
+      }
+      return best;
+    }
+  };
+
+  /// Lock order (outermost first): save_mu -> mu -> backends_mu. matmul_ex
+  /// holds mu while commit_decision consults the candidate guards
+  /// (backends_mu); save() snapshots the table (mu) under save_mu. The
+  /// ACQUIRED_AFTER edges let -Wthread-safety-beta verify the ordering.
+  struct State {
+    mutable Mutex mu;  ///< entries + stats
+    std::map<ShapeKey, Entry> entries APAMM_GUARDED_BY(mu);
+    RouterStats stats APAMM_GUARDED_BY(mu);
+
+    mutable Mutex backends_mu APAMM_ACQUIRED_AFTER(mu);
+    std::map<std::string, std::unique_ptr<nn::MatmulBackend>> backends
+        APAMM_GUARDED_BY(backends_mu);
+
+    // apamm-check-allow(R3): guards the on-disk tuning-cache file (serializes
+    // whole save() transactions), not an in-memory field.
+    mutable Mutex save_mu APAMM_ACQUIRED_BEFORE(mu);
+  };
 
   [[nodiscard]] std::vector<RouterCandidate> candidates_for(index_t m, index_t k,
-                                                            index_t n) const;
+                                                            index_t n) const
+      APAMM_EXCLUDES(state_->backends_mu);
   [[nodiscard]] const nn::MatmulBackend& backend_for(
-      const RouterCandidate& candidate) const;
+      const RouterCandidate& candidate) const
+      APAMM_EXCLUDES(state_->backends_mu);
   void run_candidate(const RouterCandidate& candidate,
                      MatrixView<const float> a, MatrixView<const float> b,
                      MatrixView<float> c, bool transpose_a, bool transpose_b,
                      const nn::MatmulFusion& fusion) const;
-  void commit_decision(const ShapeKey& key, Entry& entry) const;
+  void commit_decision(const ShapeKey& key, Entry& entry) const
+      APAMM_REQUIRES(state_->mu);
 
   RouterOptions options_;
   std::string cpu_;

@@ -1,0 +1,17 @@
+// Negative fixture for apamm_check R1 (guard-bypass). Never compiled — the
+// checker lexes it. A layer outside the audited backend surface constructs
+// core::FastMatmul directly, skipping the Freivalds guard and the router's
+// quarantine. Exactly one finding must fire: the mention of FastMatmul in
+// this comment is inside a comment and must be invisible to the scanner.
+
+#include "core/fastmm.h"
+
+namespace apa::fixture {
+
+void hand_rolled_apa_call(MatrixView<const float> a, MatrixView<const float> b,
+                          MatrixView<float> c) {
+  core::FastMatmul mm("bini322", {});  // R1: direct fast path, unguarded
+  mm.multiply(a, b, c);
+}
+
+}  // namespace apa::fixture

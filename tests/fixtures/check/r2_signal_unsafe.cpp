@@ -1,0 +1,31 @@
+// Negative fixture for apamm_check R2 (signal-unsafe). Never compiled. The
+// marked handler is directly unsafe (fprintf) and also reaches malloc through
+// a same-file helper, so the checker's file-local call graph must surface
+// BOTH: the direct stdio call and the transitive allocation. The unmarked
+// function at the bottom uses malloc too but is not reachable from the
+// marked one — it must NOT fire.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace apa::fixture {
+
+char* format_report(int sig) {
+  char* buf = static_cast<char*>(std::malloc(64));  // R2 via call graph
+  buf[0] = static_cast<char>('0' + sig % 10);
+  return buf;
+}
+
+// apamm-check: signal-path
+void crashy_signal_handler(int sig) {
+  std::fprintf(stderr, "caught %d\n", sig);  // R2: stdio in a handler
+  char* report = format_report(sig);
+  (void)report;
+}
+
+void unrelated_helper() {
+  void* scratch = std::malloc(16);  // not reachable from the marker: silent
+  std::free(scratch);
+}
+
+}  // namespace apa::fixture

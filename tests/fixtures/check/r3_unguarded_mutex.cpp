@@ -1,0 +1,34 @@
+// Negative fixture for apamm_check R3 (unguarded-mutex). Never compiled.
+// Exactly two findings must fire: the raw std::mutex and the apa::Mutex with
+// no APAMM_GUARDED_BY coverage. The guarded mutex and the one carrying an
+// explicit allow-comment must both stay silent.
+
+#include <mutex>
+
+#include "support/thread_annotations.h"
+
+namespace apa::fixture {
+
+struct LegacyState {
+  std::mutex legacy_mu;  // R3: raw std::mutex, invisible to -Wthread-safety
+  int value = 0;
+};
+
+struct DriftedState {
+  Mutex mu;  // R3: no field in this file is APAMM_GUARDED_BY(mu)
+  int value = 0;
+};
+
+struct GoodState {
+  Mutex good_mu;
+  int value APAMM_GUARDED_BY(good_mu) = 0;  // covered: silent
+};
+
+struct RingState {
+  // apamm-check-allow(R3): single-producer ring; the lock only serializes
+  // storage swaps, no field is exclusively guarded by it.
+  Mutex swap_mu;  // escape comment above: silent
+  int slots[8] = {};
+};
+
+}  // namespace apa::fixture

@@ -1,0 +1,17 @@
+// Negative fixture for apamm_check R4 (raw-counter). Never compiled. A call
+// site interns a counter and a histogram directly instead of going through
+// APA_COUNTER_INC / APA_HISTOGRAM_RECORD, so it pays the registry lock on
+// every call and ignores obs::enabled(). Two findings must fire; the macro
+// call below them is the sanctioned form and must stay silent.
+
+#include "obs/metrics.h"
+
+namespace apa::fixture {
+
+void record_step_time(std::uint64_t ns) {
+  obs::Counter::intern("fixture.steps")->add(1);          // R4
+  obs::Histogram::intern("fixture.step_ns")->record(ns);  // R4
+  APA_HISTOGRAM_RECORD("fixture.step_ns.sanctioned", ns);
+}
+
+}  // namespace apa::fixture

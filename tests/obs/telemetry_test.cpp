@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.h"
@@ -170,6 +171,54 @@ TEST_F(TelemetryTest, CrashFlushIgnoresFailedSinks) {
   obs::TelemetrySink sink("/nonexistent-dir/apamm/telemetry.jsonl");
   EXPECT_FALSE(sink.ok());
   EXPECT_EQ(obs::telemetry_crash_flush_registered(), before);
+}
+
+// Regression for the destructor race found while annotating the sink for
+// thread-safety analysis: ~TelemetrySink used to flush and fclose the stream
+// without taking the mutex write()/sync() hold, so a write racing the final
+// flush could touch a closed FILE*. The whole lifecycle is now serialized on
+// one lock; this hammer asserts the observable contract — every line written
+// by any thread lands on disk exactly once, complete, with the final flush
+// covering all of them. Meaningful under TSan, still a real check without it.
+TEST_F(TelemetryTest, ConcurrentWritersSyncAndDestructionKeepEveryLine) {
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 64;
+  {
+    obs::TelemetrySink sink(path_);
+    ASSERT_TRUE(sink.ok());
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&sink, t] {
+        for (int i = 0; i < kWritesPerThread; ++i) {
+          obs::JsonRecord rec;
+          rec.set("type", "stress").set("thread", t).set("seq", i);
+          sink.write(rec);
+          if (i % 16 == 0) sink.sync();
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }  // destruction is the final durability point
+
+  const auto lines = read_lines(path_);
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kThreads) * kWritesPerThread);
+  std::vector<std::vector<bool>> seen(kThreads,
+                                      std::vector<bool>(kWritesPerThread));
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');  // no torn/interleaved records
+    EXPECT_EQ(line.back(), '}');
+    const int t = std::stoi(field(line, "thread"));
+    const int i = std::stoi(field(line, "seq"));
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, kWritesPerThread);
+    EXPECT_FALSE(seen[t][i]) << "duplicate line t=" << t << " seq=" << i;
+    seen[t][i] = true;
+  }
 }
 
 TEST_F(TelemetryTest, EmptyRecordIsEmptyObject) {

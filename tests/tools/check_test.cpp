@@ -1,0 +1,132 @@
+// Drives the apamm_check domain-invariant checker (tools/check) on the
+// committed negative fixtures — each must be caught, with comment/string
+// stripping keeping the decoy mentions silent — and then on the real src/
+// tree, which must be clean: the fixture tests prove the rules can fire, the
+// tree test proves the contracts actually hold in the code we ship.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+
+#ifndef APAMM_REPO_DIR
+#error "APAMM_REPO_DIR must point at the repository root"
+#endif
+
+namespace {
+
+using apa::check::CheckOptions;
+using apa::check::Finding;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(APAMM_REPO_DIR) + "/tests/fixtures/check/" + name;
+}
+
+std::vector<Finding> check_fixture(const std::string& name) {
+  CheckOptions options = apa::check::default_options();
+  options.fixture_mode = true;  // fixtures live under tests/, not src/
+  return apa::check::check_file(fixture_path(name),
+                                "tests/fixtures/check/" + name, options);
+}
+
+std::string line_text(const std::string& path, int line) {
+  std::ifstream in(path);
+  std::string text;
+  for (int i = 0; i < line && std::getline(in, text); ++i) {
+  }
+  return text;
+}
+
+TEST(ApammCheckTest, R1CatchesGuardBypassOnceCommentMentionsSilent) {
+  const auto findings = check_fixture("r1_guard_bypass.cpp");
+  // The fixture names FastMatmul three times in comments and once in code;
+  // exactly the code mention may fire.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R1");
+  const std::string flagged =
+      line_text(fixture_path("r1_guard_bypass.cpp"), findings[0].line);
+  EXPECT_NE(flagged.find("core::FastMatmul mm"), std::string::npos)
+      << "flagged line " << findings[0].line << ": " << flagged;
+}
+
+TEST(ApammCheckTest, R2CatchesDirectAndTransitiveUnsafety) {
+  const auto findings = check_fixture("r2_signal_unsafe.cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "R2");
+  const auto has = [&](const char* token, const char* fn) {
+    return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+      return f.message.find(std::string("'") + token + "'") !=
+                 std::string::npos &&
+             f.message.find(std::string("'") + fn + "'") != std::string::npos;
+    });
+  };
+  EXPECT_TRUE(has("fprintf", "crashy_signal_handler"));  // direct
+  EXPECT_TRUE(has("malloc", "format_report"));           // via the call graph
+  // unrelated_helper also mallocs but is unreachable from the marker: the
+  // two findings above being the ONLY findings proves it stayed silent.
+}
+
+TEST(ApammCheckTest, R3CatchesRawAndUncoveredMutexesHonorsEscapes) {
+  const auto findings = check_fixture("r3_unguarded_mutex.cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "R3");
+  EXPECT_NE(findings[0].message.find("raw std::mutex"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("mutex 'mu'"), std::string::npos);
+  // GoodState (covered) and RingState (allow-comment) must not appear —
+  // guaranteed by the exact count of two.
+}
+
+TEST(ApammCheckTest, R4CatchesRawInternsSanctionedMacroSilent) {
+  const auto findings = check_fixture("r4_raw_sink.cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "R4");
+  EXPECT_NE(findings[0].message.find("Counter::intern"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("Histogram::intern"), std::string::npos);
+}
+
+TEST(ApammCheckTest, FormatIsStableOneLinePerFinding) {
+  const Finding f{"R1", "src/foo.cpp", 12, "something bad"};
+  EXPECT_EQ(apa::check::format(f), "error[R1] src/foo.cpp:12: something bad");
+  const Finding file_scoped{"R0", "src/foo.cpp", 0, "cannot read file"};
+  EXPECT_EQ(apa::check::format(file_scoped),
+            "error[R0] src/foo.cpp: cannot read file");
+}
+
+TEST(ApammCheckTest, BaselineSuppressesKnownFindingsByKeyNotLine) {
+  const Finding f{"R3", "src/x.cpp", 40, "mutex 'mu' has no coverage"};
+  Finding drifted = f;
+  drifted.line = 95;  // same defect, different line after unrelated edits
+  const std::vector<std::string> baseline = {apa::check::baseline_key(f)};
+  EXPECT_TRUE(apa::check::new_findings({drifted}, baseline).empty());
+  const Finding other{"R3", "src/y.cpp", 40, "mutex 'mu' has no coverage"};
+  EXPECT_EQ(apa::check::new_findings({other}, baseline).size(), 1u);
+}
+
+TEST(ApammCheckTest, RealSignalPathsAreMarkedAndClean) {
+  // The rule is only as good as its seeds: assert the two real signal paths
+  // carry the marker, so a refactor that drops it fails here instead of
+  // silently disabling R2.
+  for (const char* rel : {"src/obs/flight.cpp", "src/obs/telemetry.cpp"}) {
+    std::ifstream in(std::string(APAMM_REPO_DIR) + "/" + rel);
+    ASSERT_TRUE(in) << rel;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("apamm-check: signal-path"), std::string::npos)
+        << rel << " lost its signal-path marker";
+  }
+}
+
+TEST(ApammCheckTest, ShippedSourceTreeIsClean) {
+  const auto findings = apa::check::check_tree(
+      APAMM_REPO_DIR, {"src"}, apa::check::default_options());
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << apa::check::format(f);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Policy test for tsan.supp: suppressions rot silently — a symbol gets
+// renamed, the suppression stops matching anything, and years later someone
+// "fixes" a real race by copying the dead pattern. This test pins the file's
+// contract: every entry is either an external-library suppression (pattern
+// names a shared object — the only accepted reason to suppress, since
+// uninstrumented runtimes like libgomp produce structural false positives)
+// or it names a symbol that still exists in the source tree. Today the file
+// must contain ONLY external-library entries; if a src/ symbol ever needs
+// suppressing, this test forces the author to confront that here.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef APAMM_REPO_DIR
+#error "APAMM_REPO_DIR must point at the repository root"
+#endif
+
+namespace {
+
+struct Suppression {
+  std::string kind;     ///< race, called_from_lib, mutex, deadlock, ...
+  std::string pattern;  ///< symbol/library glob the runtime matches
+  int line = 0;
+};
+
+std::vector<Suppression> parse_supp(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  *ok = static_cast<bool>(in);
+  std::vector<Suppression> out;
+  int line_no = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++line_no;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const auto colon = line.find(':');
+    Suppression s;
+    s.line = line_no;
+    if (colon == std::string::npos) {
+      s.kind = line;  // malformed — surfaced by the format test below
+    } else {
+      s.kind = line.substr(0, colon);
+      s.pattern = line.substr(colon + 1);
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+bool tree_mentions(const std::string& token) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator
+           it(std::string(APAMM_REPO_DIR) + "/src", ec),
+       end;
+       it != end; it.increment(ec)) {
+    const fs::path& p = it->path();
+    if (p.extension() != ".h" && p.extension() != ".cpp") continue;
+    std::ifstream in(p);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (text.find(token) != std::string::npos) return true;
+  }
+  return false;
+}
+
+const char* kSuppPath = APAMM_REPO_DIR "/tsan.supp";
+
+TEST(TsanSuppTest, EveryLineIsWellFormed) {
+  bool ok = false;
+  const auto supps = parse_supp(kSuppPath, &ok);
+  ASSERT_TRUE(ok) << "tsan.supp missing";
+  ASSERT_FALSE(supps.empty()) << "tsan.supp parsed to nothing";
+  for (const Suppression& s : supps) {
+    EXPECT_FALSE(s.pattern.empty())
+        << "tsan.supp:" << s.line << ": no 'kind:pattern' separator";
+    EXPECT_TRUE(s.kind == "race" || s.kind == "called_from_lib" ||
+                s.kind == "thread" || s.kind == "mutex" ||
+                s.kind == "signal" || s.kind == "deadlock")
+        << "tsan.supp:" << s.line << ": unknown suppression kind '" << s.kind
+        << "'";
+  }
+}
+
+TEST(TsanSuppTest, EverySuppressionIsExternalOrNamesALiveSymbol) {
+  bool ok = false;
+  const auto supps = parse_supp(kSuppPath, &ok);
+  ASSERT_TRUE(ok);
+  for (const Suppression& s : supps) {
+    if (s.pattern.find(".so") != std::string::npos) continue;  // external lib
+    // A src-side suppression must still match something real: strip glob
+    // metacharacters and require the remaining symbol stem in the tree.
+    std::string stem;
+    for (const char c : s.pattern) {
+      if (c != '*' && c != '^' && c != '$') stem += c;
+    }
+    ASSERT_FALSE(stem.empty())
+        << "tsan.supp:" << s.line << ": pure-wildcard suppression";
+    EXPECT_TRUE(tree_mentions(stem))
+        << "tsan.supp:" << s.line << ": pattern '" << s.pattern
+        << "' names nothing in src/ — stale suppression, delete it";
+  }
+}
+
+TEST(TsanSuppTest, NoBlanketSrcSuppressions) {
+  // The file's header promises: nothing from this repository is suppressed.
+  // Keep that promise machine-checked.
+  bool ok = false;
+  const auto supps = parse_supp(kSuppPath, &ok);
+  ASSERT_TRUE(ok);
+  for (const Suppression& s : supps) {
+    EXPECT_NE(s.pattern.find(".so"), std::string::npos)
+        << "tsan.supp:" << s.line << ": suppression '" << s.kind << ":"
+        << s.pattern
+        << "' is not an external-library entry; fix the race instead";
+  }
+}
+
+}  // namespace

@@ -177,6 +177,50 @@ TEST_F(TunedRouterTest, ColdAndWarmConvergeToTheSameTable) {
   EXPECT_EQ(warm.choice_table(), cold.choice_table());
 }
 
+// Regression for a thread-safety-analysis finding: the constructor used to
+// populate state_->entries / stats from the warm cache with no lock held,
+// even though State is shared (via the state_ shared_ptr) and every other
+// access is mutex-guarded. The load now happens under the state lock; this
+// test pins the behavioral contract around that path — a warm router serves
+// its loaded decisions immediately and consistently when many threads hit it
+// straight out of the constructor (run under TSan in CI for the race itself).
+TEST_F(TunedRouterTest, WarmLoadIsVisibleToImmediateConcurrentReaders) {
+  RouterOptions options = test_options();
+  options.cache_path = path_;
+  {
+    const TunedBackend cold(options);
+    Problem problem;
+    drive_to_decision(cold, problem);
+  }
+
+  const TunedBackend warm(options);
+  constexpr int kThreads = 8;
+  std::atomic<int> routed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&warm, &routed] {
+      Problem problem;
+      for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(warm.is_decided(kDim, kDim, kDim));
+        const auto route = warm.route_for(kDim, kDim, kDim);
+        ASSERT_TRUE(route.has_value());
+        EXPECT_EQ(route->algorithm, "bini322");
+        problem.run(warm);
+        ++routed;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(routed.load(), kThreads * 8);
+  const RouterStats stats = warm.stats();
+  EXPECT_EQ(stats.cache_status, CacheStatus::kLoaded);
+  EXPECT_EQ(stats.warm_entries, 1u);
+  EXPECT_EQ(stats.explore_samples, 0u);  // every call exploited the warm entry
+  EXPECT_EQ(stats.decided_calls, static_cast<std::uint64_t>(kThreads) * 8);
+}
+
 TEST_F(TunedRouterTest, WarmRoutersTrainBitIdentically) {
   // The determinism contract of docs/TUNING.md: same cache file + same seed
   // => bit-identical routing and bit-identical training loss across fresh

@@ -1,0 +1,583 @@
+#include "check/check.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace apa::check {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexical layer: strip comments and literals, keep offsets stable.
+// ---------------------------------------------------------------------------
+
+/// Replaces comments, string literals, and char literals with spaces, byte
+/// for byte, so token offsets/line numbers in the stripped text match the
+/// original. Handles //, /* */, "...", '...', and R"delim(...)delim".
+std::string strip(const std::string& text) {
+  std::string out(text.size(), ' ');
+  enum class St { kCode, kLine, kBlock, kStr, kChr, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') out[i] = '\n';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          std::size_t p = i + 2;
+          while (p < text.size() && text[p] != '(') ++p;
+          raw_delim = ")" + text.substr(i + 2, p - (i + 2)) + "\"";
+          st = St::kRaw;
+          i = p;  // everything from R up to ( is blanked
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'') {
+          st = St::kChr;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') st = St::kCode;
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          ++i;
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') ++i;
+        else if (c == '"') st = St::kCode;
+        break;
+      case St::kChr:
+        if (c == '\\') ++i;
+        else if (c == '\'') st = St::kCode;
+        break;
+      case St::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` occurs in `line` with word boundaries on both sides.
+bool has_token(const std::string& line, const std::string& token,
+               std::size_t* pos_out = nullptr) {
+  std::string::size_type pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) {
+      if (pos_out != nullptr) *pos_out = pos;
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+bool has_prefix(const std::string& path, const std::string& prefix) {
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  // "src/nn" must not match "src/nnx/..."; exact file paths match exactly.
+  return path.size() == prefix.size() || path[prefix.size()] == '/' ||
+         prefix.back() == '/';
+}
+
+bool in_any(const std::string& path, const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (has_prefix(path, p)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Function extraction (for R2's file-local call graph).
+// ---------------------------------------------------------------------------
+
+struct FuncDef {
+  std::string name;       ///< unqualified name (last :: segment)
+  int signature_line = 0; ///< 1-based line of the name token
+  std::size_t body_begin = 0;  ///< offset of '{' in the stripped text
+  std::size_t body_end = 0;    ///< offset one past the matching '}'
+};
+
+/// Finds function definitions by scanning the stripped text for
+/// `identifier ( ... ) [trailing tokens] {` where the trailing tokens are
+/// specifiers, attribute macros (their parenthesized arguments included), or
+/// a constructor init list. Control-flow keywords are excluded, so `if (..) {`
+/// never registers. Lexical by design: good enough to chain the dump/crash
+/// paths, which is all R2 asks of it.
+std::vector<FuncDef> find_functions(const std::string& stripped) {
+  static const std::unordered_set<std::string> kNotNames = {
+      "if",     "for",    "while",   "switch", "catch",  "return",
+      "sizeof", "alignof", "decltype", "static_assert", "defined",
+      "namespace", "struct", "class", "enum", "union", "new", "delete"};
+  std::vector<FuncDef> defs;
+  std::size_t i = 0;
+  const std::size_t n = stripped.size();
+  auto line_of = [&stripped](std::size_t off) {
+    return 1 + static_cast<int>(
+                   std::count(stripped.begin(), stripped.begin() +
+                              static_cast<std::ptrdiff_t>(off), '\n'));
+  };
+  while (i < n) {
+    if (!ident_char(stripped[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t name_begin = i;
+    while (i < n && ident_char(stripped[i])) ++i;
+    const std::string name = stripped.substr(name_begin, i - name_begin);
+    // Skip whitespace between name and a candidate '('.
+    std::size_t j = i;
+    while (j < n && std::isspace(static_cast<unsigned char>(stripped[j]))) ++j;
+    if (j >= n || stripped[j] != '(' || kNotNames.count(name) != 0) continue;
+    // The char before the name must not be part of a larger token or a
+    // member-access/operator context that cannot open a definition body.
+    if (name_begin > 0) {
+      const char prev = stripped[name_begin - 1];
+      if (prev == '.' ) continue;  // member call, never a definition
+    }
+    // Balance the parameter list.
+    int depth = 1;
+    std::size_t k = j + 1;
+    while (k < n && depth > 0) {
+      if (stripped[k] == '(') ++depth;
+      else if (stripped[k] == ')') --depth;
+      ++k;
+    }
+    if (depth != 0) break;
+    // Walk trailing tokens until '{' (definition) or a terminator.
+    bool is_def = false;
+    while (k < n) {
+      const char c = stripped[k];
+      if (std::isspace(static_cast<unsigned char>(c)) || ident_char(c) ||
+          c == ':' || c == ',' || c == '&' || c == '*' || c == '<' ||
+          c == '>' || c == '[' || c == ']' || c == '-') {
+        ++k;
+      } else if (c == '(') {  // attribute macro args or ctor init list
+        int d = 1;
+        ++k;
+        while (k < n && d > 0) {
+          if (stripped[k] == '(') ++d;
+          else if (stripped[k] == ')') --d;
+          ++k;
+        }
+      } else if (c == '{') {
+        is_def = true;
+        break;
+      } else {
+        break;  // ';' declaration, '=' initializer, anything else
+      }
+    }
+    if (!is_def) continue;
+    // Balance the body.
+    std::size_t body_begin = k;
+    int braces = 1;
+    ++k;
+    while (k < n && braces > 0) {
+      if (stripped[k] == '{') ++braces;
+      else if (stripped[k] == '}') --braces;
+      ++k;
+    }
+    FuncDef def;
+    def.name = name;
+    def.signature_line = line_of(name_begin);
+    def.body_begin = body_begin;
+    def.body_end = k;
+    defs.push_back(def);
+    i = body_begin + 1;  // member functions inside this body still scanned
+  }
+  return defs;
+}
+
+// ---------------------------------------------------------------------------
+// R2: async-signal-safety of marked call trees.
+// ---------------------------------------------------------------------------
+
+/// Identifiers that allocate, lock, throw, or enter stdio — none of which may
+/// appear anywhere in a signal-path call tree. Matched with word boundaries
+/// against stripped text, so `atexit` does not trip `exit` and a comment
+/// mentioning malloc is invisible.
+const std::unordered_set<std::string>& banned_signal_tokens() {
+  static const std::unordered_set<std::string> kBanned = {
+      // allocation
+      "malloc", "calloc", "realloc", "free", "new", "delete", "string",
+      "vector", "make_unique", "make_shared",
+      // locks (a handler interrupting the holder self-deadlocks)
+      "mutex", "Mutex", "MutexLock", "lock_guard", "unique_lock",
+      "scoped_lock", "condition_variable", "CondVar",
+      // C++ runtime control flow
+      "throw",
+      // stdio and process-level exits (write(2)/open/close/fsync are fine)
+      "printf", "fprintf", "sprintf", "snprintf", "vsnprintf", "puts",
+      "fputs", "fputc", "fwrite", "fread", "fopen", "fclose", "fflush",
+      "exit", "cout", "cerr"};
+  return kBanned;
+}
+
+void check_signal_paths(const std::string& path,
+                        const std::vector<std::string>& raw_lines,
+                        const std::string& stripped,
+                        std::vector<Finding>* findings) {
+  // Seed functions: first definition at or after each marker comment.
+  std::vector<int> marker_lines;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    if (raw_lines[i].find("apamm-check: signal-path") != std::string::npos) {
+      marker_lines.push_back(static_cast<int>(i) + 1);
+    }
+  }
+  if (marker_lines.empty()) return;
+
+  const std::vector<FuncDef> defs = find_functions(stripped);
+  std::unordered_map<std::string, std::vector<const FuncDef*>> by_name;
+  for (const FuncDef& def : defs) by_name[def.name].push_back(&def);
+
+  std::set<const FuncDef*> closure;
+  std::vector<const FuncDef*> queue;
+  for (const int marker : marker_lines) {
+    const FuncDef* best = nullptr;
+    for (const FuncDef& def : defs) {
+      if (def.signature_line >= marker &&
+          def.signature_line <= marker + 8 &&
+          (best == nullptr || def.signature_line < best->signature_line)) {
+        best = &def;
+      }
+    }
+    if (best == nullptr) {
+      findings->push_back({"R2", path, marker,
+                           "signal-path marker with no function definition "
+                           "in the following 8 lines"});
+      continue;
+    }
+    if (closure.insert(best).second) queue.push_back(best);
+  }
+
+  // Transitive closure over file-local calls: any `name(` in a body whose
+  // name matches a definition in this file pulls that definition in.
+  while (!queue.empty()) {
+    const FuncDef* fn = queue.back();
+    queue.pop_back();
+    std::size_t i = fn->body_begin;
+    while (i < fn->body_end) {
+      if (!ident_char(stripped[i])) {
+        ++i;
+        continue;
+      }
+      const std::size_t begin = i;
+      while (i < fn->body_end && ident_char(stripped[i])) ++i;
+      std::size_t j = i;
+      while (j < fn->body_end &&
+             std::isspace(static_cast<unsigned char>(stripped[j]))) {
+        ++j;
+      }
+      if (j >= fn->body_end || stripped[j] != '(') continue;
+      const auto it = by_name.find(stripped.substr(begin, i - begin));
+      if (it == by_name.end()) continue;
+      for (const FuncDef* callee : it->second) {
+        if (callee != fn && closure.insert(callee).second) {
+          queue.push_back(callee);
+        }
+      }
+    }
+  }
+
+  // Scan every body in the closure for banned identifiers.
+  const auto& banned = banned_signal_tokens();
+  for (const FuncDef* fn : closure) {
+    std::size_t i = fn->body_begin;
+    int line = 1 + static_cast<int>(std::count(
+                   stripped.begin(),
+                   stripped.begin() +
+                       static_cast<std::ptrdiff_t>(fn->body_begin),
+                   '\n'));
+    while (i < fn->body_end) {
+      const char c = stripped[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (!ident_char(c)) {
+        ++i;
+        continue;
+      }
+      const std::size_t begin = i;
+      while (i < fn->body_end && ident_char(stripped[i])) ++i;
+      const std::string token = stripped.substr(begin, i - begin);
+      if (banned.count(token) != 0) {
+        findings->push_back(
+            {"R2", path, line,
+             "async-signal-unsafe token '" + token + "' in '" + fn->name +
+                 "', which is reachable from a signal-path function"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: every mutex in an annotated module carries coverage or an escape.
+// ---------------------------------------------------------------------------
+
+void check_mutexes(const std::string& path,
+                   const std::vector<std::string>& raw_lines,
+                   const std::vector<std::string>& code_lines,
+                   const std::string& stripped,
+                   std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    std::size_t pos = 0;
+    std::string decl_name;
+    if (has_token(line, "mutex", &pos) && pos >= 5 &&
+        line.compare(pos - 5, 5, "std::") == 0) {
+      findings->push_back({"R3", path, static_cast<int>(i) + 1,
+                           "raw std::mutex; declare an apa::Mutex "
+                           "(support/thread_annotations.h) so the "
+                           "thread-safety build can check its discipline"});
+      continue;
+    }
+    if (!has_token(line, "Mutex", &pos)) continue;
+    // Declaration shape: `Mutex name` — a reference/pointer parameter or a
+    // mention inside an attribute has no identifier directly after the type.
+    std::size_t j = pos + 5;
+    while (j < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    const std::size_t name_begin = j;
+    while (j < line.size() && ident_char(line[j])) ++j;
+    if (j == name_begin) continue;  // `Mutex&`, `Mutex*`, `Mutex {` ...
+    decl_name = line.substr(name_begin, j - name_begin);
+    // Coverage: some field in the same file is guarded by this mutex, or an
+    // explicit escape comment sits on or within 8 lines above the decl.
+    if (stripped.find("APAMM_GUARDED_BY(" + decl_name + ")") !=
+            std::string::npos ||
+        stripped.find("APAMM_PT_GUARDED_BY(" + decl_name + ")") !=
+            std::string::npos) {
+      continue;
+    }
+    bool allowed = false;
+    for (std::size_t back = 0; back <= 8 && back <= i; ++back) {
+      if (raw_lines[i - back].find("apamm-check-allow(R3)") !=
+          std::string::npos) {
+        allowed = true;
+        break;
+      }
+    }
+    if (allowed) continue;
+    findings->push_back(
+        {"R3", path, static_cast<int>(i) + 1,
+         "mutex '" + decl_name +
+             "' has no APAMM_GUARDED_BY coverage in this file; annotate "
+             "the fields it protects or add an "
+             "`// apamm-check-allow(R3): why` comment above it"});
+  }
+}
+
+std::string read_file(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *ok = true;
+  return buf.str();
+}
+
+}  // namespace
+
+CheckOptions default_options() {
+  CheckOptions options;
+  // The audited APA surface: the algorithm core itself, the dispatching
+  // backend, the Freivalds guard, and the router/calibrator that only ever
+  // reach FastMatmul through guarded candidates.
+  options.guard_allowlist = {
+      "src/core",
+      "src/nn/backend.h",
+      "src/nn/backend.cpp",
+      "src/nn/guarded_backend.h",
+      "src/nn/guarded_backend.cpp",
+      "src/tune/router.cpp",
+      "src/tune/calibrate.cpp",
+  };
+  options.annotated_dirs = {"src/support", "src/nn", "src/dist", "src/obs",
+                            "src/tune"};
+  options.counter_impl_dirs = {"src/obs"};
+  return options;
+}
+
+std::vector<Finding> check_source(const std::string& path,
+                                  const std::string& text,
+                                  const CheckOptions& options) {
+  std::vector<Finding> findings;
+  // The annotation shim defines the Mutex wrapper itself — its internal
+  // std::mutex is the one place the raw type is the point.
+  if (path == "src/support/thread_annotations.h") return findings;
+
+  const std::string stripped = strip(text);
+  const std::vector<std::string> raw_lines = split_lines(text);
+  const std::vector<std::string> code_lines = split_lines(stripped);
+
+  // R1 — guard bypass.
+  if (options.fixture_mode || !in_any(path, options.guard_allowlist)) {
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      if (has_token(code_lines[i], "FastMatmul")) {
+        findings.push_back(
+            {"R1", path, static_cast<int>(i) + 1,
+             "core::FastMatmul referenced outside the audited backend "
+             "layers; route through MatmulBackend/GuardedBackend/"
+             "TunedBackend or extend tools/check/guard_allowlist.txt"});
+      }
+    }
+  }
+
+  // R2 — async-signal-safety of marked call trees (any file can opt in).
+  check_signal_paths(path, raw_lines, stripped, &findings);
+
+  // R3 — mutex annotation coverage in the annotated modules.
+  if (options.fixture_mode || in_any(path, options.annotated_dirs)) {
+    check_mutexes(path, raw_lines, code_lines, stripped, &findings);
+  }
+
+  // R4 — counters through the registry macros only.
+  if (options.fixture_mode || !in_any(path, options.counter_impl_dirs)) {
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      const bool counter = code_lines[i].find("Counter::intern") !=
+                           std::string::npos;
+      const bool histogram = code_lines[i].find("Histogram::intern") !=
+                             std::string::npos;
+      if (counter || histogram) {
+        findings.push_back(
+            {"R4", path, static_cast<int>(i) + 1,
+             std::string(counter ? "Counter" : "Histogram") +
+                 "::intern called directly; use APA_COUNTER_INC / "
+                 "APA_COUNTER_ADD / APA_HISTOGRAM_RECORD so the intern is "
+                 "cached per call site and gated on obs::enabled()"});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_file(const std::string& abs_path,
+                                const std::string& repo_rel,
+                                const CheckOptions& options) {
+  bool ok = false;
+  const std::string text = read_file(abs_path, &ok);
+  if (!ok) {
+    return {{"R0", repo_rel, 0, "cannot read file"}};
+  }
+  return check_source(repo_rel, text, options);
+}
+
+std::vector<Finding> check_tree(const std::string& repo_root,
+                                const std::vector<std::string>& roots,
+                                const CheckOptions& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    const fs::path abs = fs::path(repo_root) / root;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end; it != end;
+           it.increment(ec)) {
+        const fs::path& p = it->path();
+        if (p.extension() == ".h" || p.extension() == ".cpp") {
+          files.push_back(
+              fs::relative(p, repo_root, ec).generic_string());
+        }
+      }
+    } else {
+      files.push_back(root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::vector<Finding> findings;
+  for (const std::string& rel : files) {
+    const std::vector<Finding> batch = check_file(
+        (fs::path(repo_root) / rel).string(), rel, options);
+    findings.insert(findings.end(), batch.begin(), batch.end());
+  }
+  return findings;
+}
+
+std::string format(const Finding& finding) {
+  std::ostringstream out;
+  out << "error[" << finding.rule << "] " << finding.file;
+  if (finding.line > 0) out << ":" << finding.line;
+  out << ": " << finding.message;
+  return out.str();
+}
+
+std::string baseline_key(const Finding& finding) {
+  return finding.rule + " " + finding.file + " " + finding.message;
+}
+
+std::vector<std::string> load_baseline(const std::string& path) {
+  std::vector<std::string> keys;
+  std::ifstream in(path);
+  for (std::string line; std::getline(in, line);) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    keys.push_back(line);
+  }
+  return keys;
+}
+
+std::vector<Finding> new_findings(const std::vector<Finding>& findings,
+                                  const std::vector<std::string>& baseline) {
+  const std::set<std::string> known(baseline.begin(), baseline.end());
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    if (known.count(baseline_key(f)) == 0) fresh.push_back(f);
+  }
+  return fresh;
+}
+
+}  // namespace apa::check

@@ -1,0 +1,105 @@
+#pragma once
+// Domain-invariant checker for the runtime's concurrency and observability
+// contracts (tools/apamm_check). Complements the Clang thread-safety build
+// (-DAPAMM_TSA=ON): the compiler proves lock discipline where annotations
+// exist; this linter proves the *project conventions* that annotations cannot
+// express — which layers may touch the APA fast path, which functions must
+// stay async-signal-safe, that every mutex opts into annotation coverage, and
+// that counters flow through the registry macros. Four rules:
+//
+//   R1  guard-bypass      core::FastMatmul referenced outside the audited
+//                         backend layers (tools/check/guard_allowlist.txt).
+//                         Everything else must route through MatmulBackend /
+//                         GuardedBackend / TunedBackend so APA traffic is
+//                         verified and quarantinable.
+//   R2  signal-unsafe     a function marked `// apamm-check: signal-path`
+//                         (or a same-file function it transitively calls)
+//                         uses a token that allocates, locks, throws, or
+//                         enters stdio — none of which are async-signal-safe.
+//                         Seeds: the flight-recorder dump path and the
+//                         telemetry crash-flush handlers.
+//   R3  unguarded-mutex   a mutex declared in an annotated module
+//                         (src/support, src/nn, src/dist, src/obs, src/tune)
+//                         with no APAMM_GUARDED_BY coverage in its file and
+//                         no `// apamm-check-allow(R3): why` escape comment;
+//                         also any raw std::mutex there (use apa::Mutex so
+//                         the thread-safety build can see it).
+//   R4  raw-counter       obs::Counter/Histogram intern()ed directly outside
+//                         src/obs instead of via APA_COUNTER_* /
+//                         APA_HISTOGRAM_RECORD (the macros cache the intern
+//                         per call site and respect obs::enabled()).
+//
+// The scanner is lexical but C++-aware: comments, string/char literals are
+// stripped before token matching (a doc comment mentioning FastMatmul never
+// fires), and R2 builds a file-local call graph from function definitions.
+// Cross-file calls are outside its reach by design — the signal paths are
+// deliberately self-contained single files, and the checker keeps them so.
+//
+// Findings print one per line — `error[R2] src/obs/flight.cpp:123: ...` — and
+// CI diffs them against the committed tools/check/baseline.txt, so only NEW
+// findings fail the build.
+
+#include <string>
+#include <vector>
+
+namespace apa::check {
+
+struct Finding {
+  std::string rule;     ///< "R1".."R4"
+  std::string file;     ///< repo-relative path
+  int line = 0;         ///< 1-based; 0 when the finding is file-scoped
+  std::string message;  ///< human-readable diagnostic
+};
+
+struct CheckOptions {
+  /// R1: path prefixes (repo-relative) allowed to name core::FastMatmul.
+  std::vector<std::string> guard_allowlist;
+  /// R3 scope: path prefixes whose mutexes must carry annotation coverage.
+  std::vector<std::string> annotated_dirs;
+  /// R4 scope: path prefixes exempt from the raw-intern rule (the registry
+  /// implementation itself).
+  std::vector<std::string> counter_impl_dirs;
+  /// Treat every scanned file as in scope for every rule — used by the
+  /// negative-fixture gate, where the fixtures live under tests/.
+  bool fixture_mode = false;
+};
+
+/// The committed project policy: allowlist/scopes matching the tree layout.
+/// The CLI overlays tools/check/guard_allowlist.txt on top of this.
+[[nodiscard]] CheckOptions default_options();
+
+/// Lints one file's contents. `path` is the repo-relative path used for both
+/// scoping decisions and reporting.
+[[nodiscard]] std::vector<Finding> check_source(const std::string& path,
+                                                const std::string& text,
+                                                const CheckOptions& options);
+
+/// Reads and lints one file on disk; `repo_rel` is how it is scoped/reported.
+/// Unreadable files yield a single file-scoped "io-error" finding (rule "R0").
+[[nodiscard]] std::vector<Finding> check_file(const std::string& abs_path,
+                                              const std::string& repo_rel,
+                                              const CheckOptions& options);
+
+/// Walks `roots` (files or directories, repo-relative) under `repo_root` and
+/// lints every .h/.cpp found, in sorted path order.
+[[nodiscard]] std::vector<Finding> check_tree(
+    const std::string& repo_root, const std::vector<std::string>& roots,
+    const CheckOptions& options);
+
+/// "error[R1] src/foo.cpp:12: message" — the stable one-line rendering.
+[[nodiscard]] std::string format(const Finding& finding);
+
+/// Baseline identity: rule + file + message, line number excluded so pure
+/// line drift in an unrelated edit does not resurrect a baselined finding.
+[[nodiscard]] std::string baseline_key(const Finding& finding);
+
+/// Loads a baseline file (one baseline_key per line, '#' comments); a missing
+/// file is an empty baseline.
+[[nodiscard]] std::vector<std::string> load_baseline(const std::string& path);
+
+/// Findings whose baseline_key is NOT in `baseline` — what CI fails on.
+[[nodiscard]] std::vector<Finding> new_findings(
+    const std::vector<Finding>& findings,
+    const std::vector<std::string>& baseline);
+
+}  // namespace apa::check

@@ -1,0 +1,94 @@
+// apamm_check CLI — domain-invariant checker (see check.h for the rules).
+//
+//   ./build/tools/apamm_check                              # scan src/
+//   ./build/tools/apamm_check --root=/path/to/repo src tools
+//   ./build/tools/apamm_check --fixture-mode=1 tests/fixtures/check/r1_guard_bypass.cpp
+//   ./build/tools/apamm_check --write-baseline              # refresh baseline
+//
+// Findings are diffed against --baseline (default tools/check/baseline.txt):
+// only findings absent from the baseline fail the run, so adopting a rule on
+// a codebase with known debt is a one-commit operation and CI still catches
+// every regression. Exit status: 0 clean (or fully baselined), 1 new
+// findings, 2 usage/setup problem.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace apa;
+  namespace fs = std::filesystem;
+  const CliArgs args(argc, argv);
+
+  const std::string root = args.get("root", ".");
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "apamm_check: --root '%s' is not a directory\n",
+                 root.c_str());
+    return 2;
+  }
+
+  check::CheckOptions options = check::default_options();
+  options.fixture_mode = args.get_bool("fixture-mode");
+
+  // The allowlist file extends (never replaces) the built-in policy, so the
+  // committed file only needs to carry deliberate additions.
+  const std::string allowlist_path =
+      args.get("allowlist", "tools/check/guard_allowlist.txt");
+  {
+    std::ifstream in(fs::path(root) / allowlist_path);
+    for (std::string line; std::getline(in, line);) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.empty() || line[0] == '#') continue;
+      options.guard_allowlist.push_back(line);
+    }
+  }
+
+  std::vector<std::string> roots = args.positional();
+  if (roots.empty()) roots = {"src"};
+
+  const std::vector<check::Finding> findings =
+      check::check_tree(root, roots, options);
+
+  const std::string baseline_path =
+      args.get("baseline", "tools/check/baseline.txt");
+  const std::string baseline_abs = (fs::path(root) / baseline_path).string();
+
+  if (args.get_bool("write-baseline")) {
+    std::FILE* f = std::fopen(baseline_abs.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "apamm_check: cannot write '%s'\n",
+                   baseline_abs.c_str());
+      return 2;
+    }
+    std::fputs(
+        "# apamm_check accepted-debt baseline. One baseline_key per line\n"
+        "# (rule + file + message, line numbers excluded). CI fails only on\n"
+        "# findings not listed here; regenerate with --write-baseline.\n",
+        f);
+    for (const check::Finding& finding : findings) {
+      std::fprintf(f, "%s\n", check::baseline_key(finding).c_str());
+    }
+    std::fclose(f);
+    std::printf("apamm_check: wrote %zu finding(s) to %s\n", findings.size(),
+                baseline_abs.c_str());
+    return 0;
+  }
+
+  const std::vector<check::Finding> fresh = check::new_findings(
+      findings, check::load_baseline(baseline_abs));
+  for (const check::Finding& finding : fresh) {
+    std::printf("%s\n", check::format(finding).c_str());
+  }
+  const std::size_t baselined = findings.size() - fresh.size();
+  std::printf("apamm_check: %zu new finding(s), %zu baselined\n", fresh.size(),
+              baselined);
+  return fresh.empty() ? 0 : 1;
+}
